@@ -1,0 +1,42 @@
+// Ablation (not a paper figure): the effect of the distribution-sweep
+// fan-out m on ExactMaxRS's I/O. The paper fixes m = Theta(M/B) (the choice
+// that makes the recursion depth log_{M/B}); this bench shows what happens
+// when m deviates from it — small m deepens the recursion (more full passes
+// over the data), while m beyond M/B - 2 would exceed the output-buffer
+// budget and is therefore capped by the library.
+#include "bench_common.h"
+
+#include "datagen/dataset_io.h"
+#include "util/check.h"
+
+using namespace maxrs;
+using namespace maxrs::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const uint64_t n = ScaleN(kDefaultCardinality, args);
+  auto objects = MakeDistribution("uniform", n, args.seed);
+
+  const size_t memory = 256 << 10;  // small buffer so the fan-out matters
+  TablePrinter table("Ablation: ExactMaxRS I/O vs fan-out m (M = 256KB)",
+                     "Fan-out m",
+                     {"I/O (blocks)", "Levels", "Base cases"}, args.csv_path);
+  for (size_t fanout : {2, 4, 8, 16, 32, 62}) {
+    auto env = NewMemEnv(kBlockSize);
+    MAXRS_CHECK_OK(WriteDataset(*env, "dataset", objects));
+    MaxRSOptions options;
+    options.rect_width = kDefaultRange;
+    options.rect_height = kDefaultRange;
+    options.memory_bytes = memory;
+    options.fanout = fanout;
+    // Keep the base case small so the division machinery is exercised.
+    options.base_case_max_pieces = memory / sizeof(PieceRecord);
+    auto result = RunExactMaxRS(*env, "dataset", options);
+    MAXRS_CHECK_OK(result.status());
+    table.AddRow(std::to_string(fanout),
+                 {static_cast<double>(result->stats.io.total()),
+                  static_cast<double>(result->stats.recursion_levels),
+                  static_cast<double>(result->stats.base_cases)});
+  }
+  return 0;
+}

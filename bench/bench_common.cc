@@ -1,0 +1,115 @@
+#include "bench_common.h"
+
+#include <cinttypes>
+
+#include "datagen/dataset_io.h"
+#include "util/check.h"
+
+namespace maxrs {
+namespace bench {
+
+RunOutcome RunAlgorithm(Algorithm algo, const std::vector<SpatialObject>& objects,
+                        double range, size_t memory_bytes) {
+  auto env = NewMemEnv(kBlockSize);
+  MAXRS_CHECK_OK(WriteDataset(*env, "dataset", objects));
+  env->stats().Reset();
+
+  RunOutcome outcome;
+  switch (algo) {
+    case Algorithm::kExactMaxRS: {
+      MaxRSOptions options;
+      options.rect_width = range;
+      options.rect_height = range;
+      options.memory_bytes = memory_bytes;
+      auto result = RunExactMaxRS(*env, "dataset", options);
+      MAXRS_CHECK_OK(result.status());
+      outcome.io = result->stats.io.total();
+      outcome.seconds = result->stats.wall_seconds;
+      outcome.total_weight = result->total_weight;
+      break;
+    }
+    case Algorithm::kNaive:
+    case Algorithm::kASBTree: {
+      BaselineOptions options;
+      options.rect_width = range;
+      options.rect_height = range;
+      options.memory_bytes = memory_bytes;
+      auto result = algo == Algorithm::kNaive
+                        ? RunNaivePlaneSweep(*env, "dataset", options)
+                        : RunASBTreeSweep(*env, "dataset", options);
+      MAXRS_CHECK_OK(result.status());
+      outcome.io = result->io.total();
+      outcome.seconds = result->wall_seconds;
+      outcome.total_weight = result->total_weight;
+      break;
+    }
+  }
+  return outcome;
+}
+
+TablePrinter::TablePrinter(std::string title, std::string x_label,
+                           std::vector<std::string> columns,
+                           std::string csv_path)
+    : columns_(std::move(columns)) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-22s", x_label.c_str());
+  for (const std::string& c : columns_) std::printf("%16s", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < 22 + 16 * columns_.size(); ++i) std::printf("-");
+  std::printf("\n");
+  if (!csv_path.empty()) {
+    csv_ = std::fopen(csv_path.c_str(), "a");
+    if (csv_ != nullptr) {
+      std::fprintf(csv_, "# %s\n%s", title.c_str(), x_label.c_str());
+      for (const std::string& c : columns_) std::fprintf(csv_, ",%s", c.c_str());
+      std::fprintf(csv_, "\n");
+    }
+  }
+}
+
+TablePrinter::~TablePrinter() {
+  if (csv_ != nullptr) std::fclose(csv_);
+}
+
+void TablePrinter::AddRow(const std::string& x, const std::vector<double>& values) {
+  std::printf("%-22s", x.c_str());
+  for (double v : values) {
+    if (v == static_cast<uint64_t>(v) && v < 1e15) {
+      std::printf("%16" PRIu64, static_cast<uint64_t>(v));
+    } else {
+      std::printf("%16.4f", v);
+    }
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+  if (csv_ != nullptr) {
+    std::fprintf(csv_, "%s", x.c_str());
+    for (double v : values) std::fprintf(csv_, ",%.6g", v);
+    std::fprintf(csv_, "\n");
+  }
+}
+
+BenchArgs BenchArgs::Parse(int argc, char** argv) {
+  Flags flags;
+  flags.Parse(argc, argv);
+  BenchArgs args;
+  args.quick = flags.GetBool("quick", false);
+  args.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  args.csv_path = flags.GetString("csv", "");
+  return args;
+}
+
+std::vector<SpatialObject> MakeDistribution(const std::string& name, uint64_t n,
+                                            uint64_t seed) {
+  if (name == "ux") return MakeUxLike(seed);
+  if (name == "ne") return MakeNeLike(seed);
+  SyntheticOptions options;
+  options.cardinality = n;
+  options.domain_size = 1e6;  // Table 3 default space
+  options.seed = seed;
+  if (name == "gaussian") return MakeGaussian(options);
+  return MakeUniform(options);
+}
+
+}  // namespace bench
+}  // namespace maxrs

@@ -1,0 +1,45 @@
+// Figure 17: Approximation quality of ApproxMaxCRS.
+// Ratio W(c_hat) / W(c*) for circle diameters 1000..10000 on the uniform,
+// Gaussian, UX and NE datasets. Optimal answers come from the exact
+// reference (Drezner [8]-style arc sweep; grid-accelerated, same result).
+// Expected shape: always far above the theoretical 1/4 bound, approaching
+// ~0.9+ as the diameter grows.
+#include "bench_common.h"
+
+#include "circle/approx_maxcrs.h"
+#include "circle/exact_maxcrs.h"
+
+using namespace maxrs;
+using namespace maxrs::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const std::vector<double> diameters = {1000, 2500, 5000, 7500, 10000};
+  const uint64_t n = ScaleN(kDefaultCardinality, args);
+
+  TablePrinter table("Figure 17: approximation ratio W(c_hat)/W(c*) vs diameter",
+                     "Diameter",
+                     {"Uniform", "Gaussian", "UX", "NE"}, args.csv_path);
+  // Pre-generate the four datasets.
+  std::vector<std::vector<SpatialObject>> datasets;
+  for (const std::string name : {"uniform", "gaussian", "ux", "ne"}) {
+    datasets.push_back(MakeDistribution(name, n, args.seed));
+  }
+
+  for (double d : diameters) {
+    std::vector<double> ratios;
+    for (const auto& objects : datasets) {
+      const MaxCRSResult approx = ApproxMaxCRSInMemory(objects, d);
+      const ExactMaxCRSResult opt = ExactMaxCRS(objects, d);
+      const double ratio =
+          opt.total_weight > 0 ? approx.total_weight / opt.total_weight : 1.0;
+      if (ratio < 0.25 - 1e-12 || ratio > 1.0 + 1e-12) {
+        std::fprintf(stderr, "RATIO OUT OF BOUNDS: %.4f at d=%.0f\n", ratio, d);
+        return 1;
+      }
+      ratios.push_back(ratio);
+    }
+    table.AddRow(std::to_string(static_cast<int>(d)), ratios);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Franchise placement: the paper's motivating example — open a new pizza
+// store with a limited delivery range in a city with a grid road network,
+// maximizing the number of residents reached (Sec. 1).
+//
+// We synthesize a city of weighted households (clustered neighbourhoods,
+// weight = household size), then solve MaxRS for several delivery ranges
+// and report how the best location and reach change.
+//
+//   $ ./franchise_placement [--households=200000] [--seed=7]
+#include <cstdio>
+
+#include "core/exact_maxrs.h"
+#include "datagen/dataset_io.h"
+#include "datagen/generators.h"
+#include "io/env.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace maxrs;
+  Flags flags;
+  flags.Parse(argc, argv);
+  const uint64_t households =
+      static_cast<uint64_t>(flags.GetInt("households", 200000));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+
+  // A 20km x 20km city (coordinates in meters): neighbourhoods as clusters,
+  // households weighted by size 1..4.
+  ClusterOptions city;
+  city.cardinality = households;
+  city.domain_size = 20000.0;
+  city.num_clusters = 24;
+  city.cluster_sigma_fraction = 0.035;
+  city.background_fraction = 0.2;
+  city.weights = WeightMode::kUnit;
+  city.seed = seed;
+  auto homes = MakeClustered(city);
+  Rng size_rng(seed + 1);
+  double population = 0;
+  for (auto& h : homes) {
+    h.w = static_cast<double>(1 + size_rng.UniformU64(4));  // household size
+    population += h.w;
+  }
+  std::printf("City: %llu households, %.0f residents, 20km x 20km\n\n",
+              static_cast<unsigned long long>(homes.size()), population);
+
+  auto env = NewMemEnv(4096);
+  if (Status st = WriteDataset(*env, "homes", homes); !st.ok()) {
+    std::fprintf(stderr, "stage failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-18s%-24s%-16s%-12s%s\n", "Delivery range", "Best store site",
+              "Residents", "% of city", "block I/Os");
+  for (double range_m : {1000.0, 2000.0, 4000.0}) {
+    MaxRSOptions options;
+    options.rect_width = range_m;   // delivery rectangle (grid roads: L1-ish)
+    options.rect_height = range_m;
+    options.memory_bytes = 1 << 20;
+    auto result = RunExactMaxRS(*env, "homes", options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "MaxRS failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    char site[64];
+    std::snprintf(site, sizeof(site), "(%.0fm, %.0fm)", result->location.x,
+                  result->location.y);
+    std::printf("%-18.0f%-24s%-16.0f%-12.1f%llu\n", range_m, site,
+                result->total_weight, 100.0 * result->total_weight / population,
+                static_cast<unsigned long long>(result->stats.io.total()));
+  }
+
+  std::printf("\nInterpretation: the optimal site tracks the densest cluster "
+              "mix; doubling the\ndelivery range more than doubles reach only "
+              "while adjacent neighbourhoods merge\ninto one service window.\n");
+  return 0;
+}

@@ -1,0 +1,359 @@
+#include "baseline/asb_tree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "baseline/baseline.h"
+#include "baseline/sweep_prep.h"
+#include "core/records.h"
+#include "io/external_sort.h"
+#include "io/temp_manager.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace maxrs {
+namespace {
+
+struct NodeHeader {
+  int32_t is_leaf;
+  int32_t num_entries;
+  double x_lo;
+  double x_hi;
+};
+
+struct LeafEntry {
+  double x_lo;  ///< Cell covers [x_lo, next cell's x_lo or node x_hi).
+  double value;
+};
+
+struct InternalEntry {
+  double x_lo;  ///< Child covers [x_lo, next entry's x_lo or node x_hi).
+  double add;
+  double child_max;
+  uint32_t child;
+  uint32_t pad = 0;
+};
+
+constexpr size_t kHeaderSize = sizeof(NodeHeader);
+
+size_t LeafFanout(size_t block_size) {
+  return (block_size - kHeaderSize) / sizeof(LeafEntry);
+}
+size_t InternalFanout(size_t block_size) {
+  return (block_size - kHeaderSize) / sizeof(InternalEntry);
+}
+
+NodeHeader* HeaderOf(char* data) { return reinterpret_cast<NodeHeader*>(data); }
+LeafEntry* LeavesOf(char* data) {
+  return reinterpret_cast<LeafEntry*>(data + kHeaderSize);
+}
+InternalEntry* InternalsOf(char* data) {
+  return reinterpret_cast<InternalEntry*>(data + kHeaderSize);
+}
+
+}  // namespace
+
+Result<ExternalAggTree> ExternalAggTree::Build(Env& env,
+                                               const std::string& tree_file,
+                                               RecordReader<EdgeRecord>& edges) {
+  ExternalAggTree tree;
+  const size_t block_size = env.block_size();
+  const size_t leaf_fanout = LeafFanout(block_size);
+  const size_t internal_fanout = InternalFanout(block_size);
+
+  MAXRS_ASSIGN_OR_RETURN(std::unique_ptr<BlockFile> file, env.Create(tree_file));
+
+  struct NodeMeta {
+    uint64_t block;
+    double x_lo;
+    double x_hi;
+  };
+
+  // --- Leaf level: stream the sorted edges, dedupe, pack cells. ---
+  std::vector<NodeMeta> level;
+  {
+    std::vector<char> buf(block_size, 0);
+    NodeHeader* header = HeaderOf(buf.data());
+    LeafEntry* cells = LeavesOf(buf.data());
+    uint64_t next_block = 0;
+    int32_t in_node = 0;
+    double node_lo = 0.0;
+    bool have_prev = false;
+    double prev = 0.0;
+    EdgeRecord e{};
+
+    auto flush_leaf = [&](double upper) -> Status {
+      if (in_node == 0) return Status::OK();
+      *header = NodeHeader{1, in_node, node_lo, upper};
+      MAXRS_RETURN_IF_ERROR(file->WriteBlock(next_block, buf.data()));
+      level.push_back(NodeMeta{next_block, node_lo, upper});
+      ++next_block;
+      in_node = 0;
+      return Status::OK();
+    };
+
+    while (edges.Next(&e)) {
+      if (have_prev) {
+        if (e.x == prev) continue;  // dedupe
+        // Cell [prev, e.x).
+        if (in_node == 0) node_lo = prev;
+        cells[in_node++] = LeafEntry{prev, 0.0};
+        if (in_node == static_cast<int32_t>(leaf_fanout)) {
+          MAXRS_RETURN_IF_ERROR(flush_leaf(e.x));
+        }
+      }
+      prev = e.x;
+      have_prev = true;
+    }
+    MAXRS_RETURN_IF_ERROR(edges.final_status());
+    if (have_prev) MAXRS_RETURN_IF_ERROR(flush_leaf(prev));
+
+    if (level.empty()) {
+      // Zero or one distinct coordinate: no elementary interval exists.
+      return {std::move(tree)};  // empty() == true
+    }
+    tree.domain_lo_ = level.front().x_lo;
+    tree.domain_hi_ = level.back().x_hi;
+    tree.num_blocks_ = next_block;
+    tree.height_ = 1;
+  }
+
+  // --- Internal levels, bottom-up. ---
+  while (level.size() > 1) {
+    std::vector<NodeMeta> upper;
+    std::vector<char> buf(block_size, 0);
+    NodeHeader* header = HeaderOf(buf.data());
+    InternalEntry* entries = InternalsOf(buf.data());
+    size_t i = 0;
+    while (i < level.size()) {
+      const size_t here = std::min(internal_fanout, level.size() - i);
+      for (size_t k = 0; k < here; ++k) {
+        entries[k] = InternalEntry{level[i + k].x_lo, 0.0, 0.0,
+                                   static_cast<uint32_t>(level[i + k].block)};
+      }
+      *header = NodeHeader{0, static_cast<int32_t>(here), level[i].x_lo,
+                           level[i + here - 1].x_hi};
+      MAXRS_RETURN_IF_ERROR(file->WriteBlock(tree.num_blocks_, buf.data()));
+      upper.push_back(
+          NodeMeta{tree.num_blocks_, level[i].x_lo, level[i + here - 1].x_hi});
+      ++tree.num_blocks_;
+      i += here;
+    }
+    level = std::move(upper);
+    ++tree.height_;
+  }
+
+  tree.root_block_ = level.front().block;
+  tree.file_ = std::move(file);
+  return {std::move(tree)};
+}
+
+Status ExternalAggTree::RangeAdd(BufferPool& pool, double x_lo, double x_hi,
+                                 double w) {
+  if (empty()) return Status::OK();
+  const double lo = std::max(x_lo, domain_lo_);
+  const double hi = std::min(x_hi, domain_hi_);
+  if (lo >= hi) return Status::OK();
+  double unused = 0.0;
+  return AddRec(pool, root_block_, lo, hi, w, &unused);
+}
+
+Status ExternalAggTree::AddRec(BufferPool& pool, uint64_t block, double lo,
+                               double hi, double w, double* subtree_max) {
+  MAXRS_ASSIGN_OR_RETURN(PageHandle page, pool.Fetch(*file_, block));
+  NodeHeader* header = HeaderOf(page.data());
+
+  if (header->is_leaf != 0) {
+    LeafEntry* cells = LeavesOf(page.data());
+    double node_max = -kInf;
+    for (int32_t k = 0; k < header->num_entries; ++k) {
+      // Range boundaries are always edge coordinates, so cells are either
+      // fully inside or fully outside [lo, hi).
+      if (cells[k].x_lo >= lo && cells[k].x_lo < hi) cells[k].value += w;
+      node_max = std::max(node_max, cells[k].value);
+    }
+    page.MarkDirty();
+    *subtree_max = node_max;
+    return Status::OK();
+  }
+
+  InternalEntry* entries = InternalsOf(page.data());
+  const int32_t n = header->num_entries;
+  double node_max = -kInf;
+  bool dirty = false;
+  for (int32_t k = 0; k < n; ++k) {
+    const double e_lo = entries[k].x_lo;
+    const double e_hi = (k + 1 < n) ? entries[k + 1].x_lo : header->x_hi;
+    if (e_lo < hi && lo < e_hi) {
+      if (lo <= e_lo && e_hi <= hi) {
+        entries[k].add += w;  // fully covered: lazy add
+      } else {
+        double child_max = 0.0;
+        MAXRS_RETURN_IF_ERROR(AddRec(pool, entries[k].child, std::max(lo, e_lo),
+                                     std::min(hi, e_hi), w, &child_max));
+        entries[k].child_max = child_max;
+      }
+      dirty = true;
+    }
+    node_max = std::max(node_max, entries[k].child_max + entries[k].add);
+  }
+  if (dirty) page.MarkDirty();
+  *subtree_max = node_max;
+  return Status::OK();
+}
+
+Result<double> ExternalAggTree::MaxValue(BufferPool& pool) {
+  if (empty()) return {0.0};
+  MAXRS_ASSIGN_OR_RETURN(PageHandle page, pool.Fetch(*file_, root_block_));
+  NodeHeader* header = HeaderOf(page.data());
+  double best = -kInf;
+  if (header->is_leaf != 0) {
+    LeafEntry* cells = LeavesOf(page.data());
+    for (int32_t k = 0; k < header->num_entries; ++k) {
+      best = std::max(best, cells[k].value);
+    }
+  } else {
+    InternalEntry* entries = InternalsOf(page.data());
+    for (int32_t k = 0; k < header->num_entries; ++k) {
+      best = std::max(best, entries[k].child_max + entries[k].add);
+    }
+  }
+  return {best};
+}
+
+Result<double> ExternalAggTree::MaxWitness(BufferPool& pool) {
+  if (empty()) return {0.0};
+  uint64_t block = root_block_;
+  while (true) {
+    MAXRS_ASSIGN_OR_RETURN(PageHandle page, pool.Fetch(*file_, block));
+    NodeHeader* header = HeaderOf(page.data());
+    if (header->is_leaf != 0) {
+      LeafEntry* cells = LeavesOf(page.data());
+      int32_t best = 0;
+      for (int32_t k = 1; k < header->num_entries; ++k) {
+        if (cells[k].value > cells[best].value) best = k;
+      }
+      const double cell_hi = (best + 1 < header->num_entries)
+                                 ? cells[best + 1].x_lo
+                                 : header->x_hi;
+      return {(cells[best].x_lo + cell_hi) / 2.0};
+    }
+    InternalEntry* entries = InternalsOf(page.data());
+    int32_t best = 0;
+    double best_val = entries[0].child_max + entries[0].add;
+    for (int32_t k = 1; k < header->num_entries; ++k) {
+      const double v = entries[k].child_max + entries[k].add;
+      if (v > best_val) {
+        best_val = v;
+        best = k;
+      }
+    }
+    block = entries[best].child;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep driver.
+// ---------------------------------------------------------------------------
+
+Result<BaselineResult> RunASBTreeSweep(Env& env, const std::string& object_file,
+                                       const BaselineOptions& options) {
+  Stopwatch timer;
+  const IoStatsSnapshot io_before = env.stats().Snapshot();
+  BaselineResult result;
+  TempFileManager temps(env, options.work_prefix);
+
+  uint64_t n = 0;
+  MAXRS_ASSIGN_OR_RETURN(
+      std::string rect_file,
+      PrepareSortedRectangles(temps, object_file, options.rect_width,
+                              options.rect_height, options.memory_bytes, &n));
+  if (n == 0) {
+    temps.Release(rect_file);
+    result.io = env.stats().Snapshot() - io_before;
+    result.wall_seconds = timer.ElapsedSeconds();
+    return {std::move(result)};
+  }
+
+  // Edge coordinates, x-sorted, for the static tree skeleton.
+  std::string raw_edges = temps.NewName("edges_raw");
+  {
+    MAXRS_ASSIGN_OR_RETURN(RecordReader<PieceRecord> reader,
+                           RecordReader<PieceRecord>::Make(env, rect_file));
+    MAXRS_ASSIGN_OR_RETURN(RecordWriter<EdgeRecord> writer,
+                           RecordWriter<EdgeRecord>::Make(env, raw_edges));
+    PieceRecord p{};
+    while (reader.Next(&p)) {
+      MAXRS_RETURN_IF_ERROR(writer.Append(EdgeRecord{p.x_lo}));
+      MAXRS_RETURN_IF_ERROR(writer.Append(EdgeRecord{p.x_hi}));
+    }
+    MAXRS_RETURN_IF_ERROR(reader.final_status());
+    MAXRS_RETURN_IF_ERROR(writer.Finish());
+  }
+  std::string sorted_edges = temps.NewName("edges_sorted");
+  MAXRS_RETURN_IF_ERROR(ExternalSort<EdgeRecord>(
+      env, raw_edges, sorted_edges,
+      [](const EdgeRecord& a, const EdgeRecord& b) { return a.x < b.x; },
+      ExternalSortOptions{options.memory_bytes}));
+  temps.Release(raw_edges);
+
+  const std::string tree_name = temps.NewName("asb_tree");
+  MAXRS_ASSIGN_OR_RETURN(RecordReader<EdgeRecord> edge_reader,
+                         RecordReader<EdgeRecord>::Make(env, sorted_edges));
+  MAXRS_ASSIGN_OR_RETURN(ExternalAggTree tree,
+                         ExternalAggTree::Build(env, tree_name, edge_reader));
+  temps.Release(sorted_edges);
+
+  BufferPool pool(env, options.memory_bytes);
+
+  MAXRS_ASSIGN_OR_RETURN(RecordReader<PieceRecord> bottoms,
+                         RecordReader<PieceRecord>::Make(env, rect_file));
+  MAXRS_ASSIGN_OR_RETURN(RecordReader<PieceRecord> tops,
+                         RecordReader<PieceRecord>::Make(env, rect_file));
+  PieceRecord bottom{}, top{};
+  bool have_bottom = bottoms.Next(&bottom);
+  bool have_top = tops.Next(&top);
+
+  double best_y = 0.0;
+  bool improved = false;
+  while (have_bottom || have_top) {
+    MAXRS_RETURN_IF_ERROR(bottoms.final_status());
+    MAXRS_RETURN_IF_ERROR(tops.final_status());
+    // Apply the full batch of events at the current h-line before querying.
+    const double y = have_bottom
+                         ? (have_top ? std::min(bottom.y_lo, top.y_hi) : bottom.y_lo)
+                         : top.y_hi;
+    while (have_top && top.y_hi == y) {
+      MAXRS_RETURN_IF_ERROR(tree.RangeAdd(pool, top.x_lo, top.x_hi, -top.w));
+      have_top = tops.Next(&top);
+      ++result.events;
+    }
+    while (have_bottom && bottom.y_lo == y) {
+      MAXRS_RETURN_IF_ERROR(
+          tree.RangeAdd(pool, bottom.x_lo, bottom.x_hi, bottom.w));
+      have_bottom = bottoms.Next(&bottom);
+      ++result.events;
+    }
+    MAXRS_ASSIGN_OR_RETURN(double max_now, tree.MaxValue(pool));
+    if (max_now > result.total_weight) {
+      result.total_weight = max_now;
+      best_y = y;
+      improved = true;
+      MAXRS_ASSIGN_OR_RETURN(double witness_x, tree.MaxWitness(pool));
+      result.location = {witness_x, best_y};
+    }
+  }
+  (void)improved;
+  MAXRS_RETURN_IF_ERROR(bottoms.final_status());
+  MAXRS_RETURN_IF_ERROR(tops.final_status());
+
+  MAXRS_RETURN_IF_ERROR(pool.FlushAll());
+  temps.Release(tree_name);
+  temps.Release(rect_file);
+  result.io = env.stats().Snapshot() - io_before;
+  result.wall_seconds = timer.ElapsedSeconds();
+  return {std::move(result)};
+}
+
+}  // namespace maxrs

@@ -1,0 +1,67 @@
+// External aggregate segment tree: the sweep structure of the aSB-tree
+// baseline (Du et al. [9] as adapted by the paper, Sec. 7.1).
+//
+// A static tree over the elementary x-intervals defined by all rectangle
+// edge coordinates. Nodes are block-sized; internal entries carry a lazy
+// `add` (weight applied to the entry's whole subtree) and `child_max` (the
+// subtree max, excluding this entry's add), so a range update touches only
+// the O(log_B N) nodes along the two boundary paths and the global max is
+// read off the root. All node accesses go through a caller-supplied
+// BufferPool, which is what makes the baseline's I/O cost buffer-sensitive.
+#ifndef MAXRS_BASELINE_ASB_TREE_H_
+#define MAXRS_BASELINE_ASB_TREE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/records.h"
+#include "geom/geometry.h"
+#include "io/buffer_pool.h"
+#include "io/env.h"
+#include "io/record_io.h"
+#include "util/status.h"
+
+namespace maxrs {
+
+class ExternalAggTree {
+ public:
+  /// Builds the tree over the elementary intervals between consecutive
+  /// distinct values of the (x-sorted) edge coordinate stream. Build I/O is
+  /// counted (sequential block writes). Returns the ready tree.
+  static Result<ExternalAggTree> Build(Env& env, const std::string& tree_file,
+                                       RecordReader<EdgeRecord>& edges);
+
+  /// Adds w to every elementary interval within [x_lo, x_hi). Both bounds
+  /// must be edge coordinates used at Build time (rectangle extents always
+  /// are). Node accesses go through `pool`.
+  Status RangeAdd(BufferPool& pool, double x_lo, double x_hi, double w);
+
+  /// Current global maximum stabbing weight.
+  Result<double> MaxValue(BufferPool& pool);
+
+  /// A witness x-position achieving the current maximum.
+  Result<double> MaxWitness(BufferPool& pool);
+
+  uint64_t num_blocks() const { return num_blocks_; }
+  uint64_t height() const { return height_; }
+  bool empty() const { return file_ == nullptr; }
+
+  BlockFile* file() { return file_.get(); }
+
+ private:
+  ExternalAggTree() = default;
+
+  Status AddRec(BufferPool& pool, uint64_t block, double lo, double hi, double w,
+                double* subtree_max);
+
+  std::unique_ptr<BlockFile> file_;
+  uint64_t root_block_ = 0;
+  uint64_t num_blocks_ = 0;
+  uint64_t height_ = 0;
+  double domain_lo_ = 0.0;
+  double domain_hi_ = 0.0;
+};
+
+}  // namespace maxrs
+
+#endif  // MAXRS_BASELINE_ASB_TREE_H_

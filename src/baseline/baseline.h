@@ -1,0 +1,63 @@
+// Shared types for the two plane-sweep baselines the paper compares against
+// (Sec. 7.1): Naive Plane Sweep and the aSB-tree, both externalizations of
+// the in-memory algorithm of Imai & Asano [11] following Du et al. [9].
+#ifndef MAXRS_BASELINE_BASELINE_H_
+#define MAXRS_BASELINE_BASELINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geom/geometry.h"
+#include "io/env.h"
+#include "io/io_stats.h"
+#include "util/status.h"
+
+namespace maxrs {
+
+struct BaselineOptions {
+  double rect_width = 1000.0;
+  double rect_height = 1000.0;
+  /// Memory budget M in bytes (sort buffers, node cache, in-memory shortcut).
+  size_t memory_bytes = 1 << 20;
+  std::string work_prefix = "baseline_work";
+};
+
+struct BaselineResult {
+  /// The maximum range sum found (must equal ExactMaxRS's total_weight).
+  double total_weight = 0.0;
+  /// An optimal location.
+  Point location;
+  IoStatsSnapshot io;
+  double wall_seconds = 0.0;
+  uint64_t events = 0;
+};
+
+/// Naive Plane Sweep: external sort of the transformed rectangles by y, then
+/// a bottom-to-top sweep keeping the active x-intervals in an on-disk file,
+/// sorted by x_lo. Every event re-reads the file, applies the insert/delete
+/// while rewriting it, and the max count is recomputed by scanning (a naive
+/// sweep has no incremental max structure). Like the implementation the
+/// paper measures, it loads the whole dataset and solves in memory when it
+/// fits in M ("UX is small enough to be loaded into a buffer of size 512KB,
+/// which causes only one linear scan", Sec. 7.2.4) — giving the Fig. 15(a)
+/// crossover; otherwise every sweep-file access is direct, uncached I/O.
+Result<BaselineResult> RunNaivePlaneSweep(Env& env,
+                                          const std::string& object_file,
+                                          const BaselineOptions& options);
+
+/// aSB-tree: the sweep structure is a disk-resident aggregate segment tree
+/// with block-sized nodes (per-entry lazy `add` + subtree `max`), accessed
+/// through an LRU buffer pool of size M. Each event performs a canonical
+/// range update in O(log_B N) node touches, matching the O(N log_B N) bound
+/// the paper quotes for the B-tree adaptation; larger buffers cache the
+/// upper levels (Fig. 13/15 sensitivity), and wider ranges touch more
+/// boundary leaves (Fig. 14 growth). The pointer-bearing tree is several
+/// times larger than the raw dataset, so it gets no in-memory shortcut —
+/// exactly the paper's explanation of why only the naive sweep collapses
+/// once UX fits in the buffer.
+Result<BaselineResult> RunASBTreeSweep(Env& env, const std::string& object_file,
+                                       const BaselineOptions& options);
+
+}  // namespace maxrs
+
+#endif  // MAXRS_BASELINE_BASELINE_H_

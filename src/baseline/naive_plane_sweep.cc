@@ -1,0 +1,239 @@
+#include "baseline/baseline.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "baseline/sweep_prep.h"
+#include "core/exact_maxrs.h"
+#include "core/records.h"
+#include "io/record_io.h"
+#include "io/temp_manager.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace maxrs {
+namespace {
+
+/// An active x-interval [x_lo, x_hi) of weight w on the sweep line.
+struct IntervalRecord {
+  double x_lo;
+  double x_hi;
+  double w;
+};
+
+/// The naive sweep's disk-resident structure: a flat file of IntervalRecords
+/// sorted by x_lo, fully re-read and fully re-written on every modification
+/// (a straightforward array externalization, with direct uncounted-by-cache
+/// I/O — a naive implementation manages no block cache of its own).
+class LiveIntervalFile {
+ public:
+  LiveIntervalFile(Env& env, std::unique_ptr<BlockFile> file)
+      : file_(std::move(file)),
+        per_block_(env.block_size() / sizeof(IntervalRecord)),
+        block_size_(env.block_size()),
+        count_(0) {}
+
+  /// Reads the whole file into `out` (counted reads).
+  Status Load(std::vector<IntervalRecord>* out) {
+    out->clear();
+    out->reserve(count_);
+    std::vector<char> buf(block_size_);
+    uint64_t remaining = count_;
+    for (uint64_t b = 0; remaining > 0; ++b) {
+      MAXRS_RETURN_IF_ERROR(file_->ReadBlock(b, buf.data()));
+      const uint64_t here = std::min<uint64_t>(per_block_, remaining);
+      const IntervalRecord* recs =
+          reinterpret_cast<const IntervalRecord*>(buf.data());
+      out->insert(out->end(), recs, recs + here);
+      remaining -= here;
+    }
+    return Status::OK();
+  }
+
+  /// Writes the whole file back (counted writes).
+  Status Store(const std::vector<IntervalRecord>& records) {
+    std::vector<char> buf(block_size_);
+    uint64_t b = 0;
+    size_t i = 0;
+    while (i < records.size()) {
+      const size_t here = std::min(per_block_, records.size() - i);
+      std::memcpy(buf.data(), records.data() + i, here * sizeof(IntervalRecord));
+      MAXRS_RETURN_IF_ERROR(file_->WriteBlock(b, buf.data()));
+      ++b;
+      i += here;
+    }
+    // Even an empty structure costs one write: the naive implementation
+    // persists its (empty) array.
+    if (records.empty()) {
+      MAXRS_RETURN_IF_ERROR(file_->WriteBlock(0, buf.data()));
+    }
+    count_ = records.size();
+    return Status::OK();
+  }
+
+ private:
+  std::unique_ptr<BlockFile> file_;
+  size_t per_block_;
+  size_t block_size_;
+  uint64_t count_;
+};
+
+/// Max stabbing weight restricted to the x-extent of `probe`, given the
+/// active intervals. The global max over the whole sweep is attained right
+/// after some insertion, within the inserted interval, so probing at inserts
+/// suffices. Returns the best weight and an x strictly inside the best run
+/// (interior, so the caller's center-space witness is boundary-safe).
+std::pair<double, double> MaxOverlapWithin(const std::vector<IntervalRecord>& live,
+                                           const IntervalRecord& probe) {
+  // Collect endpoint deltas clipped to the probe's extent.
+  std::vector<std::pair<double, double>> deltas;  // (x, +/- w)
+  for (const IntervalRecord& r : live) {
+    if (r.x_lo < probe.x_hi && probe.x_lo < r.x_hi) {
+      deltas.emplace_back(std::max(r.x_lo, probe.x_lo), r.w);
+      if (r.x_hi < probe.x_hi) deltas.emplace_back(r.x_hi, -r.w);
+    }
+  }
+  std::sort(deltas.begin(), deltas.end());
+  double best = 0.0;
+  double best_x = probe.x_lo;
+  double run = 0.0;
+  bool pending_mid = false;
+  double run_start = probe.x_lo;
+  size_t i = 0;
+  while (i < deltas.size()) {
+    const double x = deltas[i].first;
+    if (pending_mid) {
+      best_x = (run_start + x) / 2.0;  // interior of the previous max run
+      pending_mid = false;
+    }
+    while (i < deltas.size() && deltas[i].first == x) {
+      run += deltas[i].second;
+      ++i;
+    }
+    if (run > best) {
+      best = run;
+      run_start = x;
+      pending_mid = true;
+    }
+  }
+  if (pending_mid) best_x = (run_start + probe.x_hi) / 2.0;
+  return {best, best_x};
+}
+
+}  // namespace
+
+Result<BaselineResult> RunNaivePlaneSweep(Env& env,
+                                          const std::string& object_file,
+                                          const BaselineOptions& options) {
+  Stopwatch timer;
+  const IoStatsSnapshot io_before = env.stats().Snapshot();
+  BaselineResult result;
+
+  TempFileManager temps(env, options.work_prefix);
+  {
+    MAXRS_ASSIGN_OR_RETURN(RecordReader<SpatialObject> probe,
+                           RecordReader<SpatialObject>::Make(env, object_file));
+    const uint64_t n = probe.total();
+    if (n * sizeof(SpatialObject) <= options.memory_bytes) {
+      // The whole dataset fits in the buffer: one linear scan, then solve in
+      // memory (the behaviour the paper observes for UX at >= 512KB).
+      std::vector<SpatialObject> objects;
+      objects.reserve(n);
+      SpatialObject o{};
+      while (probe.Next(&o)) objects.push_back(o);
+      MAXRS_RETURN_IF_ERROR(probe.final_status());
+      const MaxRSResult mem = ExactMaxRSInMemory(objects, options.rect_width,
+                                                 options.rect_height);
+      result.total_weight = mem.total_weight;
+      result.location = mem.location;
+      result.events = 2 * n;
+      result.io = env.stats().Snapshot() - io_before;
+      result.wall_seconds = timer.ElapsedSeconds();
+      return {std::move(result)};
+    }
+  }
+
+  uint64_t n = 0;
+  MAXRS_ASSIGN_OR_RETURN(
+      std::string rect_file,
+      PrepareSortedRectangles(temps, object_file, options.rect_width,
+                              options.rect_height, options.memory_bytes, &n));
+
+  // Bottom events from one sequential reader, top events from a second (all
+  // rectangles share height d2, so both arrive in file order).
+  MAXRS_ASSIGN_OR_RETURN(RecordReader<PieceRecord> bottoms,
+                         RecordReader<PieceRecord>::Make(env, rect_file));
+  MAXRS_ASSIGN_OR_RETURN(RecordReader<PieceRecord> tops,
+                         RecordReader<PieceRecord>::Make(env, rect_file));
+
+  const std::string live_name = temps.NewName("naive_live");
+  MAXRS_ASSIGN_OR_RETURN(std::unique_ptr<BlockFile> live_file,
+                         env.Create(live_name));
+  LiveIntervalFile live(env, std::move(live_file));
+
+  std::vector<IntervalRecord> work;
+  PieceRecord bottom{}, top{};
+  bool have_bottom = bottoms.Next(&bottom);
+  bool have_top = tops.Next(&top);
+
+  while (have_bottom || have_top) {
+    MAXRS_RETURN_IF_ERROR(bottoms.final_status());
+    MAXRS_RETURN_IF_ERROR(tops.final_status());
+    // Ties go to tops: with half-open [y_lo, y_hi) extents, an interval
+    // expiring at y must leave the structure before any same-y insertion is
+    // probed, or the probe would overcount.
+    const bool do_bottom = have_bottom && (!have_top || bottom.y_lo < top.y_hi);
+
+    if (do_bottom) {
+      const IntervalRecord rec{bottom.x_lo, bottom.x_hi, bottom.w};
+      // Insert: full read, sorted insert, full write.
+      MAXRS_RETURN_IF_ERROR(live.Load(&work));
+      auto pos = std::lower_bound(
+          work.begin(), work.end(), rec,
+          [](const IntervalRecord& a, const IntervalRecord& b) {
+            return a.x_lo < b.x_lo;
+          });
+      work.insert(pos, rec);
+      MAXRS_RETURN_IF_ERROR(live.Store(work));
+      // The interval counts live inside the structure (Imai & Asano keep
+      // per-interval counts in the sweep tree), so tracking the running max
+      // takes another scan of the file after the update.
+      MAXRS_RETURN_IF_ERROR(live.Load(&work));
+      const auto [weight, x] = MaxOverlapWithin(work, rec);
+      if (weight > result.total_weight) {
+        result.total_weight = weight;
+        // x is interior to the max run; y sits on the stratum's lower edge
+        // (an interior y would require lookahead to the next event).
+        result.location = {x, bottom.y_lo};
+      }
+      have_bottom = bottoms.Next(&bottom);
+    } else {
+      // Delete: full read, remove the matching interval, full write, and the
+      // same post-update max scan.
+      MAXRS_RETURN_IF_ERROR(live.Load(&work));
+      const IntervalRecord rec{top.x_lo, top.x_hi, top.w};
+      auto it = std::find_if(work.begin(), work.end(),
+                             [&rec](const IntervalRecord& r) {
+                               return r.x_lo == rec.x_lo && r.x_hi == rec.x_hi &&
+                                      r.w == rec.w;
+                             });
+      MAXRS_CHECK_MSG(it != work.end(), "naive sweep lost an interval");
+      work.erase(it);
+      MAXRS_RETURN_IF_ERROR(live.Store(work));
+      MAXRS_RETURN_IF_ERROR(live.Load(&work));
+      have_top = tops.Next(&top);
+    }
+    ++result.events;
+  }
+  MAXRS_RETURN_IF_ERROR(bottoms.final_status());
+  MAXRS_RETURN_IF_ERROR(tops.final_status());
+
+  temps.Release(live_name);
+  temps.Release(rect_file);
+  result.io = env.stats().Snapshot() - io_before;
+  result.wall_seconds = timer.ElapsedSeconds();
+  return {std::move(result)};
+}
+
+}  // namespace maxrs

@@ -1,0 +1,40 @@
+#include "baseline/sweep_prep.h"
+
+#include "geom/geometry.h"
+#include "io/external_sort.h"
+#include "io/record_io.h"
+
+namespace maxrs {
+
+Result<std::string> PrepareSortedRectangles(TempFileManager& temps,
+                                            const std::string& object_file,
+                                            double rect_width,
+                                            double rect_height,
+                                            size_t memory_bytes,
+                                            uint64_t* num_objects) {
+  Env& env = temps.env();
+  std::string raw = temps.NewName("rects_raw");
+  {
+    MAXRS_ASSIGN_OR_RETURN(RecordReader<SpatialObject> reader,
+                           RecordReader<SpatialObject>::Make(env, object_file));
+    if (num_objects != nullptr) *num_objects = reader.total();
+    MAXRS_ASSIGN_OR_RETURN(RecordWriter<PieceRecord> writer,
+                           RecordWriter<PieceRecord>::Make(env, raw));
+    SpatialObject o{};
+    while (reader.Next(&o)) {
+      MAXRS_RETURN_IF_ERROR(writer.Append(
+          PieceRecord{o.x - rect_width / 2.0, o.x + rect_width / 2.0,
+                      o.y - rect_height / 2.0, o.y + rect_height / 2.0, o.w}));
+    }
+    MAXRS_RETURN_IF_ERROR(writer.Finish());
+  }
+  std::string sorted = temps.NewName("rects_sorted");
+  MAXRS_RETURN_IF_ERROR(ExternalSort<PieceRecord>(
+      env, raw, sorted,
+      [](const PieceRecord& a, const PieceRecord& b) { return a.y_lo < b.y_lo; },
+      ExternalSortOptions{memory_bytes}));
+  temps.Release(raw);
+  return {std::move(sorted)};
+}
+
+}  // namespace maxrs

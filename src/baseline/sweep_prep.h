@@ -1,0 +1,27 @@
+// Event preparation shared by both baselines: transform the objects into
+// d1 x d2 rectangles and sort them by bottom edge. Top events need no second
+// sort: all rectangles share height d2, so the y_lo order equals the y_hi
+// order and a second sequential reader over the same file delivers tops.
+#ifndef MAXRS_BASELINE_SWEEP_PREP_H_
+#define MAXRS_BASELINE_SWEEP_PREP_H_
+
+#include <string>
+
+#include "core/records.h"
+#include "io/temp_manager.h"
+#include "util/status.h"
+
+namespace maxrs {
+
+/// Writes the transformed rectangle file (sorted by y_lo) for `object_file`
+/// and returns its name. `num_objects` receives N.
+Result<std::string> PrepareSortedRectangles(TempFileManager& temps,
+                                            const std::string& object_file,
+                                            double rect_width,
+                                            double rect_height,
+                                            size_t memory_bytes,
+                                            uint64_t* num_objects);
+
+}  // namespace maxrs
+
+#endif  // MAXRS_BASELINE_SWEEP_PREP_H_

@@ -1,0 +1,117 @@
+#include "circle/approx_maxcrs.h"
+
+#include "io/record_io.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace maxrs {
+
+namespace circle_internal {
+
+std::array<Point, 4> ShiftedPoints(Point p0, double sigma) {
+  // The shifted points lie on the diagonals of the MBR (Fig. 9/11): a corner
+  // of the d x d square is at distance sqrt(2) d/2 from p0, so the diagonal
+  // circle at distance sigma covers it iff sqrt(2) d/2 - sigma < d/2, i.e.
+  // sigma > (sqrt(2)-1) d/2 — precisely the lower bound of Sec. 6.1.
+  constexpr double kInvSqrt2 = 0.7071067811865476;
+  const double s = sigma * kInvSqrt2;
+  return {Point{p0.x + s, p0.y + s}, Point{p0.x + s, p0.y - s},
+          Point{p0.x - s, p0.y - s}, Point{p0.x - s, p0.y + s}};
+}
+
+}  // namespace circle_internal
+
+namespace {
+
+Status ValidateCircleOptions(const MaxCRSOptions& options) {
+  if (!(options.diameter > 0.0)) {
+    return Status::InvalidArgument("diameter must be positive");
+  }
+  constexpr double kSqrt2Minus1 = 0.41421356237309515;
+  if (options.sigma_fraction <= kSqrt2Minus1 || options.sigma_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "sigma_fraction must lie in (sqrt(2)-1, 1) for the 1/4 bound");
+  }
+  return Status::OK();
+}
+
+template <typename ScanFn>
+Status FinishCandidates(const MaxRSResult& rs, const MaxCRSOptions& options,
+                        ScanFn&& scan, MaxCRSResult* result) {
+  const double sigma = options.sigma_fraction * options.diameter / 2.0;
+  result->candidates[0] = rs.location;
+  const auto shifted = circle_internal::ShiftedPoints(rs.location, sigma);
+  for (int i = 0; i < 4; ++i) result->candidates[i + 1] = shifted[i];
+
+  // One pass over the dataset scores all five candidates (Algorithm 3
+  // line 7 "requires only a single scan").
+  MAXRS_RETURN_IF_ERROR(scan([&](const SpatialObject& o) {
+    for (int i = 0; i < 5; ++i) {
+      const Circle c{result->candidates[i], options.diameter};
+      if (c.Contains(o)) result->candidate_weights[i] += o.w;
+    }
+  }));
+
+  result->chosen = 0;
+  for (int i = 1; i < 5; ++i) {
+    if (result->candidate_weights[i] >
+        result->candidate_weights[result->chosen]) {
+      result->chosen = i;
+    }
+  }
+  result->location = result->candidates[result->chosen];
+  result->total_weight = result->candidate_weights[result->chosen];
+  result->stats = rs.stats;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MaxCRSResult> RunApproxMaxCRS(Env& env, const std::string& object_file,
+                                     const MaxCRSOptions& options) {
+  MAXRS_RETURN_IF_ERROR(ValidateCircleOptions(options));
+  Stopwatch timer;
+  const IoStatsSnapshot io_before = env.stats().Snapshot();
+
+  // Step 1-2: ExactMaxRS over the MBRs — the d x d squares centered at the
+  // objects, i.e. a MaxRS run with rect_width = rect_height = d.
+  MaxRSOptions rs_options;
+  rs_options.rect_width = options.diameter;
+  rs_options.rect_height = options.diameter;
+  rs_options.memory_bytes = options.memory_bytes;
+  rs_options.work_prefix = options.work_prefix;
+  MAXRS_ASSIGN_OR_RETURN(MaxRSResult rs,
+                         RunExactMaxRS(env, object_file, rs_options));
+
+  // Step 3-7: score p0 and the four shifted points with one linear scan.
+  auto scan = [&](auto&& per_object) -> Status {
+    MAXRS_ASSIGN_OR_RETURN(RecordReader<SpatialObject> reader,
+                           RecordReader<SpatialObject>::Make(env, object_file));
+    SpatialObject o{};
+    while (reader.Next(&o)) per_object(o);
+    return reader.final_status();
+  };
+  MaxCRSResult result;
+  MAXRS_RETURN_IF_ERROR(FinishCandidates(rs, options, scan, &result));
+  result.stats.io = env.stats().Snapshot() - io_before;
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  return {std::move(result)};
+}
+
+MaxCRSResult ApproxMaxCRSInMemory(const std::vector<SpatialObject>& objects,
+                                  double diameter, double sigma_fraction) {
+  MaxCRSOptions options;
+  options.diameter = diameter;
+  options.sigma_fraction = sigma_fraction;
+  MAXRS_CHECK_OK(ValidateCircleOptions(options));
+  const MaxRSResult rs = ExactMaxRSInMemory(objects, diameter, diameter);
+  auto scan = [&](auto&& per_object) -> Status {
+    for (const SpatialObject& o : objects) per_object(o);
+    return Status::OK();
+  };
+  MaxCRSResult result;
+  MAXRS_CHECK_OK(FinishCandidates(rs, options, scan, &result));
+  return result;
+}
+
+}  // namespace maxrs

@@ -1,0 +1,71 @@
+// ApproxMaxCRS (Algorithm 3): a (1/4)-approximation for the MaxCRS problem
+// in O((N/B) log_{M/B}(N/B)) I/Os.
+//
+// Reduction (Sec. 6.1): replace every diameter-d circle by its MBR (a d x d
+// square) and solve MaxRS exactly; let p0 be the returned optimal point.
+// Because the max-region for the MBRs may not even intersect the optimal
+// circle region (Fig. 8(c)), the algorithm evaluates p0 together with four
+// points shifted by sigma along the axes (Fig. 9), where
+// (sqrt(2)-1) d/2 < sigma < d/2 guarantees the MBR of the circle at p0 is
+// covered by the union of the four shifted circles (Lemma 5), yielding
+// W(c*) <= 4 W(c_hat) (Theorem 3). The five candidates are scored with one
+// linear scan of the dataset.
+#ifndef MAXRS_CIRCLE_APPROX_MAXCRS_H_
+#define MAXRS_CIRCLE_APPROX_MAXCRS_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/exact_maxrs.h"
+#include "geom/geometry.h"
+#include "io/env.h"
+#include "util/status.h"
+
+namespace maxrs {
+
+struct MaxCRSOptions {
+  /// Circle diameter d.
+  double diameter = 1000.0;
+
+  /// sigma = sigma_fraction * (d/2). Valid range is (sqrt(2)-1, 1)
+  /// exclusive (Sec. 6.1); the default sits comfortably inside it.
+  double sigma_fraction = 0.7;
+
+  /// Memory budget M for the underlying ExactMaxRS run.
+  size_t memory_bytes = 1 << 20;
+
+  std::string work_prefix = "maxcrs_work";
+};
+
+struct MaxCRSResult {
+  /// The chosen point p_hat among {p0, ..., p4}.
+  Point location;
+  /// W(c(p_hat)): total weight strictly inside the circle at `location`.
+  double total_weight = 0.0;
+  /// The five candidates and their weights (index 0 is p0), for diagnostics.
+  std::array<Point, 5> candidates;
+  std::array<double, 5> candidate_weights{};
+  int chosen = 0;
+  /// Statistics of the inner ExactMaxRS run plus the candidate scan.
+  MaxRSStats stats;
+};
+
+/// External-memory ApproxMaxCRS over a SpatialObject record file.
+Result<MaxCRSResult> RunApproxMaxCRS(Env& env, const std::string& object_file,
+                                     const MaxCRSOptions& options);
+
+/// In-memory convenience variant.
+MaxCRSResult ApproxMaxCRSInMemory(const std::vector<SpatialObject>& objects,
+                                  double diameter, double sigma_fraction = 0.7);
+
+namespace circle_internal {
+
+/// The four shifted points of Algorithm 3 (GetShiftedPoint).
+std::array<Point, 4> ShiftedPoints(Point p0, double sigma);
+
+}  // namespace circle_internal
+
+}  // namespace maxrs
+
+#endif  // MAXRS_CIRCLE_APPROX_MAXCRS_H_

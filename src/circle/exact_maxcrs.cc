@@ -1,0 +1,115 @@
+#include "circle/exact_maxcrs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "circle/grid_index.h"
+
+namespace maxrs {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// An angular event on the carrier circle around the anchor object.
+struct ArcEvent {
+  double theta;
+  double delta;  // +w when an arc opens, -w when it closes
+
+  bool operator<(const ArcEvent& other) const { return theta < other.theta; }
+};
+
+}  // namespace
+
+ExactMaxCRSResult ExactMaxCRS(const std::vector<SpatialObject>& objects,
+                              double diameter) {
+  ExactMaxCRSResult best;
+  if (objects.empty() || diameter <= 0.0) return best;
+
+  const double r = diameter / 2.0;
+  const double r_carrier = r * (1.0 - 1e-9);
+  GridIndex grid(objects, std::max(r, 1e-12));
+
+  std::vector<ArcEvent> events;
+  for (const SpatialObject& anchor : objects) {
+    ++best.anchors;
+    const Point a{anchor.x, anchor.y};
+
+    // Base: weight always covered anywhere on the carrier circle, including
+    // the anchor itself (strictly inside at distance r_carrier < r).
+    double base = 0.0;
+    events.clear();
+
+    grid.ForEachWithin(a, r_carrier + r, [&](const SpatialObject& o) {
+      if (o.x == anchor.x && o.y == anchor.y) return;  // merged into base below
+      const double dist = Distance(a, {o.x, o.y});
+      if (dist >= r_carrier + r) return;  // never covered from the carrier
+      if (dist < r - r_carrier) {
+        base += o.w;  // strictly covered from every carrier position
+        return;
+      }
+      // Arc of carrier angles theta where |c(theta) - o| < r:
+      // half-width phi from the law of cosines.
+      double cos_phi = (r_carrier * r_carrier + dist * dist - r * r) /
+                       (2.0 * r_carrier * dist);
+      cos_phi = std::clamp(cos_phi, -1.0, 1.0);
+      const double phi = std::acos(cos_phi);
+      const double theta0 = std::atan2(o.y - a.y, o.x - a.x);
+      double lo = theta0 - phi;
+      double hi = theta0 + phi;
+      if (lo < -kPi) {
+        events.push_back({lo + 2.0 * kPi, o.w});
+        events.push_back({kPi, -o.w});
+        lo = -kPi;
+      }
+      if (hi > kPi) {
+        events.push_back({-kPi, o.w});
+        events.push_back({hi - 2.0 * kPi, -o.w});
+        hi = kPi;
+      }
+      events.push_back({lo, o.w});
+      events.push_back({hi, -o.w});
+    });
+
+    // Coincident duplicates of the anchor count toward every position.
+    grid.ForEachWithin(a, 0.0, [&](const SpatialObject& o) { base += o.w; });
+
+    if (events.empty()) {
+      if (base > best.total_weight) {
+        best.total_weight = base;
+        best.location = a;
+      }
+      continue;
+    }
+
+    std::sort(events.begin(), events.end());
+    // Arcs are closed in theta but disk cover is *strict*: at an arc
+    // endpoint the defining object sits exactly on the boundary. Candidate
+    // positions are therefore the midpoints of the gaps between consecutive
+    // event angles, where every active arc holds strictly.
+    double run = base;
+    double best_here = base;
+    double best_theta = -kPi;
+    size_t i = 0;
+    while (i < events.size()) {
+      const double theta = events[i].theta;
+      while (i < events.size() && events[i].theta == theta) {
+        run += events[i].delta;
+        ++i;
+      }
+      const double next_theta = (i < events.size()) ? events[i].theta : kPi;
+      if (run > best_here && next_theta > theta) {
+        best_here = run;
+        best_theta = (theta + next_theta) / 2.0;
+      }
+    }
+    if (best_here > best.total_weight) {
+      best.total_weight = best_here;
+      best.location = {a.x + r_carrier * std::cos(best_theta),
+                       a.y + r_carrier * std::sin(best_theta)};
+    }
+  }
+  return best;
+}
+
+}  // namespace maxrs

@@ -1,0 +1,91 @@
+#include "circle/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace maxrs {
+
+GridIndex::GridIndex(const std::vector<SpatialObject>& objects, double cell_size)
+    : cell_size_(cell_size > 0 ? cell_size : 1.0) {
+  if (objects.empty()) {
+    offsets_.assign(2, 0);
+    return;
+  }
+  const Rect box = BoundingBox(objects);
+  origin_x_ = box.x_lo;
+  origin_y_ = box.y_lo;
+  cells_x_ = std::max<int64_t>(
+      1, static_cast<int64_t>((box.x_hi - box.x_lo) / cell_size_) + 1);
+  cells_y_ = std::max<int64_t>(
+      1, static_cast<int64_t>((box.y_hi - box.y_lo) / cell_size_) + 1);
+  // Bound the table size for very sparse data: fall back to coarser cells.
+  const int64_t kMaxCells = 1 << 24;
+  while (cells_x_ * cells_y_ > kMaxCells) {
+    cell_size_ *= 2.0;
+    cells_x_ = std::max<int64_t>(
+        1, static_cast<int64_t>((box.x_hi - box.x_lo) / cell_size_) + 1);
+    cells_y_ = std::max<int64_t>(
+        1, static_cast<int64_t>((box.y_hi - box.y_lo) / cell_size_) + 1);
+  }
+
+  const size_t num_cells = static_cast<size_t>(cells_x_ * cells_y_);
+  std::vector<uint32_t> counts(num_cells, 0);
+  for (const SpatialObject& o : objects) {
+    ++counts[CellIndex(CellX(o.x), CellY(o.y))];
+  }
+  offsets_.assign(num_cells + 1, 0);
+  for (size_t c = 0; c < num_cells; ++c) offsets_[c + 1] = offsets_[c] + counts[c];
+  objects_.resize(objects.size());
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const SpatialObject& o : objects) {
+    const size_t c = CellIndex(CellX(o.x), CellY(o.y));
+    objects_[cursor[c]++] = o;
+  }
+}
+
+int64_t GridIndex::CellX(double x) const {
+  int64_t c = static_cast<int64_t>(std::floor((x - origin_x_) / cell_size_));
+  return std::clamp<int64_t>(c, 0, cells_x_ - 1);
+}
+
+int64_t GridIndex::CellY(double y) const {
+  int64_t c = static_cast<int64_t>(std::floor((y - origin_y_) / cell_size_));
+  return std::clamp<int64_t>(c, 0, cells_y_ - 1);
+}
+
+size_t GridIndex::CellIndex(int64_t cx, int64_t cy) const {
+  return static_cast<size_t>(cy * cells_x_ + cx);
+}
+
+void GridIndex::ForEachWithin(
+    Point center, double radius,
+    const std::function<void(const SpatialObject&)>& fn) const {
+  if (objects_.empty()) return;
+  const double r2 = radius * radius;
+  const int64_t cx_lo = CellX(center.x - radius);
+  const int64_t cx_hi = CellX(center.x + radius);
+  const int64_t cy_lo = CellY(center.y - radius);
+  const int64_t cy_hi = CellY(center.y + radius);
+  for (int64_t cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (int64_t cx = cx_lo; cx <= cx_hi; ++cx) {
+      const size_t c = CellIndex(cx, cy);
+      for (uint32_t i = offsets_[c]; i < offsets_[c + 1]; ++i) {
+        const SpatialObject& o = objects_[i];
+        if (DistanceSquared({o.x, o.y}, center) <= r2) fn(o);
+      }
+    }
+  }
+}
+
+double GridIndex::WeightInside(const Circle& circle) const {
+  double sum = 0.0;
+  ForEachWithin(circle.center, circle.radius(),
+                [&](const SpatialObject& o) {
+                  if (circle.Contains(o)) sum += o.w;
+                });
+  return sum;
+}
+
+}  // namespace maxrs

@@ -1,0 +1,48 @@
+// Uniform grid over a point set for radius-bounded neighbour enumeration.
+// Used by the exact MaxCRS reference to prune the O(n^2) pair candidates to
+// the pairs within distance 2r (expected O(n k) on bounded-density data),
+// and by examples for quick density queries.
+#ifndef MAXRS_CIRCLE_GRID_INDEX_H_
+#define MAXRS_CIRCLE_GRID_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace maxrs {
+
+class GridIndex {
+ public:
+  /// Builds a grid with square cells of side `cell_size` covering the
+  /// bounding box of `objects`. The objects are copied (CSR bucket layout).
+  GridIndex(const std::vector<SpatialObject>& objects, double cell_size);
+
+  /// Invokes `fn` for every object within distance <= radius of `center`
+  /// (closed; callers apply stricter predicates as needed).
+  void ForEachWithin(Point center, double radius,
+                     const std::function<void(const SpatialObject&)>& fn) const;
+
+  /// Total weight of objects strictly inside the circle.
+  double WeightInside(const Circle& circle) const;
+
+  size_t size() const { return objects_.size(); }
+
+ private:
+  int64_t CellX(double x) const;
+  int64_t CellY(double y) const;
+  size_t CellIndex(int64_t cx, int64_t cy) const;
+
+  std::vector<SpatialObject> objects_;  // reordered into CSR buckets
+  std::vector<uint32_t> offsets_;       // bucket -> first object
+  double cell_size_ = 1.0;
+  double origin_x_ = 0.0;
+  double origin_y_ = 0.0;
+  int64_t cells_x_ = 1;
+  int64_t cells_y_ = 1;
+};
+
+}  // namespace maxrs
+
+#endif  // MAXRS_CIRCLE_GRID_INDEX_H_

@@ -1,0 +1,35 @@
+// Brute-force MaxRS oracle for testing.
+//
+// The optimum of the MaxRS problem is always attained by a placement whose
+// rectangle has some object on its left edge x and some object on its bottom
+// edge y (slide any optimal rectangle left/down until its low edges hit
+// objects; with half-open cover semantics the covered set never shrinks).
+// Enumerating all O(n^2) such candidate placements and scanning the objects
+// for each is O(n^3) — fine as a test oracle for small n.
+#ifndef MAXRS_CORE_BRUTE_FORCE_H_
+#define MAXRS_CORE_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace maxrs {
+
+struct BruteForceResult {
+  Point location;
+  double total_weight = 0.0;
+};
+
+/// Exhaustive MaxRS over candidate anchor pairs.
+BruteForceResult BruteForceMaxRS(const std::vector<SpatialObject>& objects,
+                                 double rect_width, double rect_height);
+
+/// Exhaustive MaxCRS: evaluates circles centered at every object and at
+/// every intersection point of radius-r circles around object pairs (the
+/// classic O(n^3 log n)-ish reference). Small n only.
+BruteForceResult BruteForceMaxCRS(const std::vector<SpatialObject>& objects,
+                                  double diameter);
+
+}  // namespace maxrs
+
+#endif  // MAXRS_CORE_BRUTE_FORCE_H_

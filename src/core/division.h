@@ -1,0 +1,53 @@
+// Division phase of ExactMaxRS (Sec. 5.2.1).
+//
+// A recursion node holds two files: the slab's pieces (sorted by y_lo) and
+// the slab's real vertical-edge x-coordinates (sorted by x). The division
+// cuts the edge file into m chunks of roughly equal edge count — Lemma 1
+// partitions *edges*, guaranteeing each child shrinks by a factor of m —
+// and routes each piece into child pieces and at most one spanning record.
+// Both output piece files inherit y-sortedness (they are subsequences of the
+// parent's y-sorted stream), and the edge chunks inherit x-sortedness (they
+// are contiguous cuts), so no re-sorting is ever needed after the two
+// up-front external sorts: every level costs O(n/B) I/Os.
+#ifndef MAXRS_CORE_DIVISION_H_
+#define MAXRS_CORE_DIVISION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/records.h"
+#include "geom/geometry.h"
+#include "io/temp_manager.h"
+#include "util/status.h"
+
+namespace maxrs {
+
+/// One child of a division: its slab x-range and its two input files.
+struct ChildSlab {
+  Interval x_range;
+  std::string piece_file;
+  std::string edge_file;
+  uint64_t num_pieces = 0;
+  uint64_t num_edges = 0;
+};
+
+struct DivisionResult {
+  std::vector<ChildSlab> children;
+  std::string span_file;      ///< SpanRecords sorted by y_lo (== y order).
+  uint64_t num_spans = 0;
+};
+
+/// Computes child slab boundaries by cutting the (x-sorted) edge file into at
+/// most `m` chunks at value changes, then routes pieces and edges.
+///
+/// Returns InvalidArgument if the edge file cannot be cut into at least two
+/// chunks (all edges share one x) — callers fall back to the in-memory base
+/// case in that degenerate situation.
+Result<DivisionResult> DividePieces(TempFileManager& temps,
+                                    const std::string& piece_file,
+                                    const std::string& edge_file,
+                                    const Interval& slab, size_t m);
+
+}  // namespace maxrs
+
+#endif  // MAXRS_CORE_DIVISION_H_

@@ -1,0 +1,375 @@
+#include "core/exact_maxrs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/division.h"
+#include "core/merge_sweep.h"
+#include "core/plane_sweep.h"
+#include "io/external_sort.h"
+#include "io/record_io.h"
+#include "io/temp_manager.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace maxrs {
+namespace {
+
+Status ValidateOptions(const MaxRSOptions& options, size_t block_size) {
+  if (!(options.rect_width > 0.0) || !(options.rect_height > 0.0)) {
+    return Status::InvalidArgument("rectangle dimensions must be positive");
+  }
+  if (options.memory_bytes < 4 * block_size) {
+    return Status::InvalidArgument("memory budget must be at least 4 blocks");
+  }
+  return Status::OK();
+}
+
+PieceRecord TransformObject(const SpatialObject& o, double w, double h) {
+  return PieceRecord{o.x - w / 2.0, o.x + w / 2.0, o.y - h / 2.0, o.y + h / 2.0,
+                     o.w};
+}
+
+double FiniteMid(double lo, double hi) {
+  const bool lo_f = std::isfinite(lo);
+  const bool hi_f = std::isfinite(hi);
+  if (lo_f && hi_f) return (lo + hi) / 2.0;
+  if (lo_f) return lo;
+  if (hi_f) return hi;
+  return 0.0;
+}
+
+/// Recursive solver: owns the per-run knobs and statistics.
+class Driver {
+ public:
+  Driver(Env& env, const MaxRSOptions& options, MaxRSStats* stats)
+      : env_(env), temps_(env, options.work_prefix), options_(options),
+        stats_(stats) {
+    const size_t blocks = options.memory_bytes / env.block_size();
+    fanout_ = options.fanout != 0
+                  ? options.fanout
+                  : std::max<size_t>(2, blocks > 2 ? blocks - 2 : 2);
+    base_max_ = options.base_case_max_pieces != 0
+                    ? options.base_case_max_pieces
+                    : std::max<uint64_t>(
+                          2, options.memory_bytes / sizeof(PieceRecord));
+  }
+
+  uint64_t base_max() const { return base_max_; }
+  TempFileManager& temps() { return temps_; }
+
+  /// Solves the sub-problem of `slab`, consuming (and deleting) the two
+  /// input files; returns the name of the slab-file produced.
+  Result<std::string> Solve(const std::string& piece_file,
+                            const std::string& edge_file, const Interval& slab,
+                            uint64_t num_pieces, uint64_t depth) {
+    stats_->recursion_levels = std::max(stats_->recursion_levels, depth);
+
+    if (num_pieces > base_max_) {
+      auto division_or =
+          DividePieces(temps_, piece_file, edge_file, slab, fanout_);
+      if (division_or.ok()) {
+        return Merge(piece_file, edge_file, std::move(division_or).value(),
+                     depth);
+      }
+      if (division_or.status().code() != Status::Code::kInvalidArgument) {
+        return {division_or.status()};
+      }
+      // Degenerate input (all edges share one x): the slab cannot be split,
+      // so fall through to the in-memory base case regardless of size.
+    }
+    return BaseCase(piece_file, edge_file, slab);
+  }
+
+ private:
+  Result<std::string> BaseCase(const std::string& piece_file,
+                               const std::string& edge_file,
+                               const Interval& slab) {
+    MAXRS_ASSIGN_OR_RETURN(std::vector<PieceRecord> pieces,
+                           ReadRecordFile<PieceRecord>(env_, piece_file));
+    temps_.Release(piece_file);
+    temps_.Release(edge_file);
+    const std::vector<SlabTuple> tuples =
+        PlaneSweep(pieces, slab, options_.objective);
+    std::string out = temps_.NewName("slab");
+    MAXRS_RETURN_IF_ERROR(WriteRecordFile(env_, out, tuples));
+    ++stats_->base_cases;
+    return {std::move(out)};
+  }
+
+  Result<std::string> Merge(const std::string& piece_file,
+                            const std::string& edge_file,
+                            DivisionResult division, uint64_t depth) {
+    temps_.Release(piece_file);
+    temps_.Release(edge_file);
+
+    std::vector<std::string> child_slab_files;
+    child_slab_files.reserve(division.children.size());
+    for (const ChildSlab& child : division.children) {
+      MAXRS_ASSIGN_OR_RETURN(
+          std::string slab_file,
+          Solve(child.piece_file, child.edge_file, child.x_range,
+                child.num_pieces, depth + 1));
+      child_slab_files.push_back(std::move(slab_file));
+    }
+
+    std::string out = temps_.NewName("slab");
+    MAXRS_RETURN_IF_ERROR(MergeSweep(env_, division.children, child_slab_files,
+                                     division.span_file, out,
+                                     options_.objective));
+    ++stats_->merges;
+    stats_->total_spans += division.num_spans;
+    for (const std::string& f : child_slab_files) temps_.Release(f);
+    temps_.Release(division.span_file);
+    return {std::move(out)};
+  }
+
+  Env& env_;
+  TempFileManager temps_;
+  MaxRSOptions options_;
+  MaxRSStats* stats_;
+  size_t fanout_ = 2;
+  uint64_t base_max_ = 2;
+};
+
+}  // namespace
+
+namespace core_internal {
+
+void TopTupleTracker::Visit(const SlabTuple& t) {
+  if (have_pending_) Offer(pending_, t.y);
+  pending_ = t;
+  have_pending_ = true;
+}
+
+void TopTupleTracker::Offer(const SlabTuple& t, double y_next) {
+  if (heap_.size() < k_) {
+    heap_.push_back({t, y_next});
+    std::push_heap(heap_.begin(), heap_.end(), &TopTupleTracker::SumGreater);
+    return;
+  }
+  if (!heap_.empty() && t.sum > heap_.front().tuple.sum) {
+    std::pop_heap(heap_.begin(), heap_.end(), &TopTupleTracker::SumGreater);
+    heap_.back() = {t, y_next};
+    std::push_heap(heap_.begin(), heap_.end(), &TopTupleTracker::SumGreater);
+  }
+}
+
+std::vector<RankedRegion> TopTupleTracker::Finish() {
+  if (have_pending_) {
+    Offer(pending_, kInf);
+    have_pending_ = false;
+  }
+  std::sort(heap_.begin(), heap_.end(),
+            [](const Entry& a, const Entry& b) { return a.tuple.sum > b.tuple.sum; });
+  std::vector<RankedRegion> out;
+  out.reserve(heap_.size());
+  for (const Entry& e : heap_) {
+    RankedRegion region;
+    region.total_weight = e.tuple.sum;
+    region.region = Rect{e.tuple.x_lo, e.tuple.x_hi, e.tuple.y, e.y_next};
+    region.location = {FiniteMid(e.tuple.x_lo, e.tuple.x_hi),
+                       FiniteMid(e.tuple.y, e.y_next)};
+    out.push_back(region);
+  }
+  heap_.clear();
+  return out;
+}
+
+bool TopTupleTracker::SumGreater(const Entry& a, const Entry& b) {
+  return a.tuple.sum > b.tuple.sum;
+}
+
+MaxRSResult ExtractFromTuples(const std::vector<SlabTuple>& tuples) {
+  TopTupleTracker tracker(1);
+  for (const SlabTuple& t : tuples) tracker.Visit(t);
+  auto best = tracker.Finish();
+  MaxRSResult result;
+  if (best.empty()) {
+    result.region = Rect{-kInf, kInf, -kInf, kInf};
+    return result;
+  }
+  result.location = best[0].location;
+  result.total_weight = best[0].total_weight;
+  result.region = best[0].region;
+  return result;
+}
+
+Status VisitRootTuples(Env& env, const std::string& object_file,
+                       const MaxRSOptions& options, MaxRSStats* stats,
+                       const std::function<void(const SlabTuple&)>& visit) {
+  MAXRS_RETURN_IF_ERROR(ValidateOptions(options, env.block_size()));
+  Driver driver(env, options, stats);
+  const bool minimize = options.objective == SweepObjective::kMinimize;
+
+  MAXRS_ASSIGN_OR_RETURN(RecordReader<SpatialObject> objects,
+                         RecordReader<SpatialObject>::Make(env, object_file));
+  const uint64_t n = objects.total();
+  stats->input_objects = n;
+
+  // The min objective restricts placements to the dataset bounding box
+  // (unrestricted, the minimum is trivially 0 anywhere in empty space).
+  // This needs one extra counted scan to find the box.
+  Interval root_slab{-kInf, kInf};
+  if (minimize) {
+    MAXRS_ASSIGN_OR_RETURN(RecordReader<SpatialObject> scan,
+                           RecordReader<SpatialObject>::Make(env, object_file));
+    Rect box{kInf, -kInf, kInf, -kInf};
+    SpatialObject o{};
+    bool any = false;
+    while (scan.Next(&o)) {
+      any = true;
+      box.x_lo = std::min(box.x_lo, o.x);
+      box.x_hi = std::max(box.x_hi, o.x);
+      box.y_lo = std::min(box.y_lo, o.y);
+      box.y_hi = std::max(box.y_hi, o.y);
+    }
+    MAXRS_RETURN_IF_ERROR(scan.final_status());
+    if (!any) return Status::OK();  // empty dataset: no tuples
+    // Guard degenerate (zero-extent) boxes; the domain is half-open.
+    if (box.x_lo == box.x_hi) box.x_hi = box.x_lo + 1.0;
+    if (box.y_lo == box.y_hi) box.y_hi = box.y_lo + 1.0;
+    stats->domain = box;
+    root_slab = Interval{box.x_lo, box.x_hi};
+  }
+
+  // Clips a transformed rectangle to the root slab; returns false if it
+  // falls entirely outside the placement domain in x.
+  auto clip = [&root_slab, minimize](PieceRecord* piece) {
+    if (!minimize) return true;
+    piece->x_lo = std::max(piece->x_lo, root_slab.lo);
+    piece->x_hi = std::min(piece->x_hi, root_slab.hi);
+    return piece->x_lo < piece->x_hi;
+  };
+
+  if (n <= driver.base_max()) {
+    // Whole dataset fits in memory: one linear scan + in-memory PlaneSweep
+    // (Algorithm 2 line 9 at the top level; no recursion, no extra I/O).
+    std::vector<PieceRecord> pieces;
+    pieces.reserve(n);
+    SpatialObject o{};
+    while (objects.Next(&o)) {
+      PieceRecord piece =
+          TransformObject(o, options.rect_width, options.rect_height);
+      if (clip(&piece)) pieces.push_back(piece);
+    }
+    MAXRS_RETURN_IF_ERROR(objects.final_status());
+    for (const SlabTuple& t : PlaneSweep(pieces, root_slab, options.objective)) {
+      visit(t);
+    }
+    stats->base_cases += 1;
+    return Status::OK();
+  }
+
+  TempFileManager& temps = driver.temps();
+  // Transform pass: emit the rectangle (piece) file and the vertical-edge
+  // x-coordinate file, both unsorted.
+  std::string raw_pieces = temps.NewName("raw_pieces");
+  std::string raw_edges = temps.NewName("raw_edges");
+  uint64_t num_pieces = 0;
+  {
+    MAXRS_ASSIGN_OR_RETURN(RecordWriter<PieceRecord> piece_writer,
+                           RecordWriter<PieceRecord>::Make(env, raw_pieces));
+    MAXRS_ASSIGN_OR_RETURN(RecordWriter<EdgeRecord> edge_writer,
+                           RecordWriter<EdgeRecord>::Make(env, raw_edges));
+    SpatialObject o{};
+    while (objects.Next(&o)) {
+      PieceRecord piece =
+          TransformObject(o, options.rect_width, options.rect_height);
+      if (!clip(&piece)) continue;
+      MAXRS_RETURN_IF_ERROR(piece_writer.Append(piece));
+      MAXRS_RETURN_IF_ERROR(edge_writer.Append(EdgeRecord{piece.x_lo}));
+      MAXRS_RETURN_IF_ERROR(edge_writer.Append(EdgeRecord{piece.x_hi}));
+    }
+    MAXRS_RETURN_IF_ERROR(objects.final_status());
+    MAXRS_RETURN_IF_ERROR(piece_writer.Finish());
+    MAXRS_RETURN_IF_ERROR(edge_writer.Finish());
+    num_pieces = piece_writer.count();
+  }
+
+  // The two up-front external sorts of Theorem 2.
+  ExternalSortOptions sort_options{options.memory_bytes};
+  std::string sorted_pieces = temps.NewName("pieces");
+  std::string sorted_edges = temps.NewName("edges");
+  MAXRS_RETURN_IF_ERROR(ExternalSort<PieceRecord>(
+      env, raw_pieces, sorted_pieces,
+      [](const PieceRecord& a, const PieceRecord& b) { return a.y_lo < b.y_lo; },
+      sort_options));
+  MAXRS_RETURN_IF_ERROR(ExternalSort<EdgeRecord>(
+      env, raw_edges, sorted_edges,
+      [](const EdgeRecord& a, const EdgeRecord& b) { return a.x < b.x; },
+      sort_options));
+  temps.Release(raw_pieces);
+  temps.Release(raw_edges);
+
+  MAXRS_ASSIGN_OR_RETURN(
+      std::string root_slab_file,
+      driver.Solve(sorted_pieces, sorted_edges, root_slab, num_pieces,
+                   /*depth=*/0));
+
+  // Final scan over the root slab-file.
+  {
+    MAXRS_ASSIGN_OR_RETURN(RecordReader<SlabTuple> reader,
+                           RecordReader<SlabTuple>::Make(env, root_slab_file));
+    SlabTuple t{};
+    while (reader.Next(&t)) visit(t);
+    MAXRS_RETURN_IF_ERROR(reader.final_status());
+  }
+  temps.Release(root_slab_file);
+  return Status::OK();
+}
+
+}  // namespace core_internal
+
+MaxRSResult ExactMaxRSInMemory(const std::vector<SpatialObject>& objects,
+                               double rect_width, double rect_height) {
+  std::vector<PieceRecord> pieces;
+  pieces.reserve(objects.size());
+  for (const SpatialObject& o : objects) {
+    pieces.push_back(TransformObject(o, rect_width, rect_height));
+  }
+  const Interval everything{-kInf, kInf};
+  MaxRSResult result =
+      core_internal::ExtractFromTuples(PlaneSweep(pieces, everything));
+  result.stats.input_objects = objects.size();
+  result.stats.base_cases = 1;
+  return result;
+}
+
+Result<MaxRSResult> RunExactMaxRS(Env& env, const std::string& object_file,
+                                  const MaxRSOptions& options) {
+  Stopwatch timer;
+  const IoStatsSnapshot io_before = env.stats().Snapshot();
+  MaxRSStats stats;
+  core_internal::TopTupleTracker tracker(1);
+  MAXRS_RETURN_IF_ERROR(core_internal::VisitRootTuples(
+      env, object_file, options, &stats,
+      [&tracker](const SlabTuple& t) { tracker.Visit(t); }));
+
+  MaxRSResult result;
+  auto best = tracker.Finish();
+  if (best.empty()) {
+    result.region = Rect{-kInf, kInf, -kInf, kInf};
+  } else {
+    result.location = best[0].location;
+    result.total_weight = best[0].total_weight;
+    result.region = best[0].region;
+  }
+  stats.io = env.stats().Snapshot() - io_before;
+  stats.wall_seconds = timer.ElapsedSeconds();
+  result.stats = stats;
+  return {std::move(result)};
+}
+
+Result<MaxRSResult> RunExactMaxRS(Env& env,
+                                  const std::vector<SpatialObject>& objects,
+                                  const MaxRSOptions& options) {
+  const std::string staging = options.work_prefix + "/dataset_staging";
+  MAXRS_RETURN_IF_ERROR(WriteRecordFile(env, staging, objects));
+  auto result = RunExactMaxRS(env, staging, options);
+  Status st = env.Delete(staging);
+  (void)st;
+  return result;
+}
+
+}  // namespace maxrs

@@ -1,0 +1,153 @@
+// ExactMaxRS (Algorithm 2): the paper's primary contribution — the first
+// external-memory algorithm for the MaxRS problem, optimal at
+// O((N/B) log_{M/B}(N/B)) I/Os under the EM comparison model (Theorem 2).
+//
+// Pipeline (Sec. 5):
+//   1. Transform each object o into the d1 x d2 rectangle centered at o
+//      carrying weight w(o); MaxRS becomes finding the max-region of the
+//      rectangle set (Sec. 4, Def. 5).
+//   2. External-sort the rectangle file by y and the vertical-edge
+//      x-coordinates by x (the two up-front sorts of Theorem 2).
+//   3. Recursively divide the slab into m = Theta(M/B) sub-slabs of roughly
+//      equal edge count, separating spanning parts (division.h); solve each
+//      sub-slab (in memory once it fits, plane_sweep.h); merge child
+//      slab-files bottom-up (merge_sweep.h).
+//   4. Scan the root slab-file for the tuple with the maximum sum: its
+//      stratum is the max-region; any interior point is an optimal location.
+//
+// This header is the public entry point of the library for MaxRS.
+#ifndef MAXRS_CORE_EXACT_MAXRS_H_
+#define MAXRS_CORE_EXACT_MAXRS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/plane_sweep.h"
+#include "core/records.h"
+#include "geom/geometry.h"
+#include "io/env.h"
+#include "io/io_stats.h"
+#include "util/status.h"
+
+namespace maxrs {
+
+struct MaxRSOptions {
+  /// Query rectangle size (paper: d1 x d2).
+  double rect_width = 1000.0;
+  double rect_height = 1000.0;
+
+  /// Memory budget M in bytes. Governs the fan-out m = Theta(M/B), the
+  /// external-sort fan-in, and the in-memory base-case threshold.
+  size_t memory_bytes = 1 << 20;
+
+  /// Fan-out override for tests; 0 derives max(2, M/B - 2).
+  size_t fanout = 0;
+
+  /// Base-case threshold override (#pieces) for tests; 0 derives M/|piece|.
+  uint64_t base_case_max_pieces = 0;
+
+  /// Namespace prefix for scratch files inside the Env.
+  std::string work_prefix = "maxrs_work";
+
+  /// kMaximize is the paper's MaxRS. kMinimize runs the MinRS extension's
+  /// min-objective sweep with placements restricted to the dataset bounding
+  /// box (unrestricted MinRS is trivially 0 in empty space); use RunMinRS
+  /// from core/extensions.h rather than setting this directly.
+  SweepObjective objective = SweepObjective::kMaximize;
+};
+
+/// Execution statistics of one ExactMaxRS run.
+struct MaxRSStats {
+  uint64_t input_objects = 0;
+  uint64_t recursion_levels = 0;  ///< Depth of the deepest recursion node.
+  uint64_t base_cases = 0;        ///< In-memory PlaneSweep invocations.
+  uint64_t merges = 0;            ///< MergeSweep invocations.
+  uint64_t total_spans = 0;       ///< Spanning records produced overall.
+  IoStatsSnapshot io;             ///< Block transfers attributed to this run.
+  double wall_seconds = 0.0;
+  /// Placement domain used: infinite for MaxRS, the dataset bounding box for
+  /// the min objective.
+  Rect domain{-kInf, kInf, -kInf, kInf};
+};
+
+/// The answer to a MaxRS query.
+struct MaxRSResult {
+  /// An optimal location (any point of the max-region; we return its center).
+  Point location;
+  /// The maximum range sum: total weight covered by the rectangle at
+  /// `location` (Def. 1).
+  double total_weight = 0.0;
+  /// The max-region: every point in it is an optimal location (Def. 4).
+  Rect region;
+  MaxRSStats stats;
+};
+
+/// Runs ExactMaxRS against a dataset stored as a record file of
+/// SpatialObject in `env`. This is the scalable external-memory entry point.
+Result<MaxRSResult> RunExactMaxRS(Env& env, const std::string& object_file,
+                                  const MaxRSOptions& options);
+
+/// Convenience wrapper: stages `objects` into a scratch file in `env`, runs
+/// the external algorithm, and cleans up.
+Result<MaxRSResult> RunExactMaxRS(Env& env,
+                                  const std::vector<SpatialObject>& objects,
+                                  const MaxRSOptions& options);
+
+/// Pure in-memory variant (no Env, no I/O): transform + PlaneSweep over the
+/// whole plane. Suitable when the dataset fits in memory; used as the
+/// recursion base case internally.
+MaxRSResult ExactMaxRSInMemory(const std::vector<SpatialObject>& objects,
+                               double rect_width, double rect_height);
+
+/// One optimal (or k-th best) placement region; see extensions.h for the
+/// MaxkRS / MinRS entry points built on top of these.
+struct RankedRegion {
+  Point location;
+  double total_weight = 0.0;
+  Rect region;
+};
+
+namespace core_internal {
+
+/// Streams the tuples of the *root* slab-file (y-ascending) produced by a
+/// full ExactMaxRS pipeline run to `visit`. This is the shared engine under
+/// RunExactMaxRS, RunTopKMaxRS and RunMinRS: the tuple stream contains, for
+/// every y-stratum, the max-interval of the whole plane — enough to answer
+/// any "best placements" question without re-running the sweep.
+Status VisitRootTuples(Env& env, const std::string& object_file,
+                       const MaxRSOptions& options, MaxRSStats* stats,
+                       const std::function<void(const SlabTuple&)>& visit);
+
+/// Streaming tracker of the k best strata (by sum). Feed tuples in y order
+/// via Visit(); Finish() returns regions sorted by descending weight.
+class TopTupleTracker {
+ public:
+  explicit TopTupleTracker(size_t k) : k_(k == 0 ? 1 : k) {}
+
+  void Visit(const SlabTuple& t);
+  std::vector<RankedRegion> Finish();
+
+ private:
+  struct Entry {
+    SlabTuple tuple;
+    double y_next;
+  };
+
+  void Offer(const SlabTuple& t, double y_next);
+  static bool SumGreater(const Entry& a, const Entry& b);
+
+  size_t k_;
+  std::vector<Entry> heap_;  // min-heap on sum (k best retained)
+  SlabTuple pending_{};
+  bool have_pending_ = false;
+};
+
+/// Extracts the final answer from an in-memory tuple stream.
+MaxRSResult ExtractFromTuples(const std::vector<SlabTuple>& tuples);
+
+}  // namespace core_internal
+
+}  // namespace maxrs
+
+#endif  // MAXRS_CORE_EXACT_MAXRS_H_

@@ -1,0 +1,39 @@
+// MergeSweep (Algorithm 1): merges the slab-files of m child slabs and the
+// spanning-rectangle file of the parent into the parent's slab-file, in one
+// synchronized bottom-to-top sweep costing O(K/B) I/Os (Lemma 3).
+//
+// State per child i: the base sum and max-interval from its latest tuple,
+// plus upSum[i] — the total weight of spanning rectangles currently covering
+// child i. A tuple is emitted at *every* event y (child tuples and spanning
+// bottoms/tops), carrying the best eff[i] = base[i] + upSum[i]; tied
+// max-intervals of adjacent children that touch at the boundary are merged
+// into one extended interval (GetMaxInterval).
+//
+// Spanning tops need no separate sort: pieces are never clipped in y, so all
+// spans share the original rectangle height d2 and the y_lo-sorted span file
+// is also y_hi-sorted — a second sequential reader delivers top events.
+#ifndef MAXRS_CORE_MERGE_SWEEP_H_
+#define MAXRS_CORE_MERGE_SWEEP_H_
+
+#include <string>
+#include <vector>
+
+#include "core/division.h"
+#include "core/plane_sweep.h"
+#include "core/records.h"
+#include "io/env.h"
+#include "util/status.h"
+
+namespace maxrs {
+
+/// Merges `child_slab_files[i]` (the slab-file of children[i]) plus the
+/// spanning file into the slab-file `output_file` for the union slab.
+/// The objective must match the one the child slab-files were built with.
+Status MergeSweep(Env& env, const std::vector<ChildSlab>& children,
+                  const std::vector<std::string>& child_slab_files,
+                  const std::string& span_file, const std::string& output_file,
+                  SweepObjective objective = SweepObjective::kMaximize);
+
+}  // namespace maxrs
+
+#endif  // MAXRS_CORE_MERGE_SWEEP_H_

@@ -1,0 +1,38 @@
+// In-memory plane sweep (the PlaneSweep base case of Algorithm 2).
+//
+// Given the pieces of one slab (guaranteed to fit in memory), sweeps a
+// horizontal line bottom-to-top, maintaining location-weights over the
+// slab's x-extent in a segment tree, and emits one slab-file tuple
+// <y, [x1,x2), sum> per distinct event y — the max-interval of the slab for
+// the stratum starting at y (Def. 6). This is the external counterpart of
+// Imai & Asano's optimal in-memory algorithm [11] restricted to a slab.
+#ifndef MAXRS_CORE_PLANE_SWEEP_H_
+#define MAXRS_CORE_PLANE_SWEEP_H_
+
+#include <vector>
+
+#include "core/records.h"
+#include "geom/geometry.h"
+
+namespace maxrs {
+
+/// Objective of a sweep: the paper's MaxRS (maximize the covered weight) or
+/// the MinRS extension (minimize it; see core/extensions.h).
+enum class SweepObjective { kMaximize, kMinimize };
+
+/// Computes the slab-file of `slab` for the given pieces (all x-extents must
+/// lie within `slab`). Returns tuples sorted by strictly increasing y; each
+/// tuple carries the extremal (max or min, per `objective`) interval of its
+/// stratum. Pieces may arrive in any order. Purely in-memory: no I/O.
+std::vector<SlabTuple> PlaneSweep(
+    const std::vector<PieceRecord>& pieces, const Interval& slab,
+    SweepObjective objective = SweepObjective::kMaximize);
+
+/// Convenience for standalone use and tests: the best tuple of a slab-file,
+/// i.e. the tuple opening the stratum that contains the max-region.
+/// Returns tuple index, or SIZE_MAX for an empty file.
+size_t BestTupleIndex(const std::vector<SlabTuple>& tuples);
+
+}  // namespace maxrs
+
+#endif  // MAXRS_CORE_PLANE_SWEEP_H_

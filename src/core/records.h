@@ -1,0 +1,57 @@
+// On-disk record types used by the ExactMaxRS distribution sweep.
+// All are fixed-size and trivially copyable (see io/record_io.h).
+#ifndef MAXRS_CORE_RECORDS_H_
+#define MAXRS_CORE_RECORDS_H_
+
+#include <cstdint>
+
+#include "geom/geometry.h"
+
+namespace maxrs {
+
+/// A (possibly x-clipped) transformed rectangle: the d1 x d2 rectangle
+/// centered at an object (Sec. 5.1), restricted to the current slab.
+/// Half-open extents [x_lo, x_hi) x [y_lo, y_hi); weight w(o).
+/// Pieces are only ever clipped in x, so every piece keeps the original
+/// height d2 — which is why both bottom (y_lo) and top (y_hi) event orders
+/// coincide with the file order of a y_lo-sorted file.
+struct PieceRecord {
+  double x_lo;
+  double x_hi;
+  double y_lo;
+  double y_hi;
+  double w;
+};
+
+/// One vertical-edge x-coordinate of an original rectangle. The edge file
+/// (x-sorted) provides the exact edge-count quantiles that the division
+/// phase cuts on (Lemma 1 partitions edges, not rectangles).
+struct EdgeRecord {
+  double x;
+};
+
+/// The spanning part of a rectangle: covers children [child_lo, child_hi]
+/// (inclusive) fully in x, contributing weight w on y in [y_lo, y_hi).
+/// These do not descend into the recursion (Sec. 5.2.1); they are merged
+/// back in MergeSweep via the upSum counters.
+struct SpanRecord {
+  double y_lo;
+  double y_hi;
+  double w;
+  int32_t child_lo;
+  int32_t child_hi;
+};
+
+/// One slab-file tuple t = <y, [x1, x2], sum> (Def. 6 / Sec. 5.2.2): on any
+/// horizontal line with y-coordinate in [t.y, next tuple's y), the
+/// max-interval of the slab is [x_lo, x_hi) with location-weight `sum`.
+struct SlabTuple {
+  double y;
+  double x_lo;
+  double x_hi;
+  double sum;
+};
+
+}  // namespace maxrs
+
+#endif  // MAXRS_CORE_RECORDS_H_

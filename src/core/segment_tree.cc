@@ -1,0 +1,90 @@
+#include "core/segment_tree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace maxrs {
+
+SegmentTree::SegmentTree(size_t num_leaves) : num_leaves_(num_leaves) {
+  MAXRS_CHECK(num_leaves_ >= 1);
+  nodes_.resize(4 * num_leaves_);
+}
+
+void SegmentTree::RangeAdd(size_t first, size_t last, double w) {
+  MAXRS_DCHECK(first <= last && last < num_leaves_);
+  Add(1, 0, num_leaves_ - 1, first, last, w);
+}
+
+void SegmentTree::Add(size_t node, size_t lo, size_t hi, size_t first,
+                      size_t last, double w) {
+  if (first <= lo && hi <= last) {
+    nodes_[node].add += w;
+    nodes_[node].max += w;
+    nodes_[node].min += w;
+    return;
+  }
+  const size_t mid = lo + (hi - lo) / 2;
+  if (first <= mid) Add(2 * node, lo, mid, first, std::min(last, mid), w);
+  if (last > mid) Add(2 * node + 1, mid + 1, hi, std::max(first, mid + 1), last, w);
+  nodes_[node].max =
+      std::max(nodes_[2 * node].max, nodes_[2 * node + 1].max) + nodes_[node].add;
+  nodes_[node].min =
+      std::min(nodes_[2 * node].min, nodes_[2 * node + 1].min) + nodes_[node].add;
+}
+
+double SegmentTree::Max() const { return nodes_[1].max; }
+double SegmentTree::Min() const { return nodes_[1].min; }
+
+MaxRun SegmentTree::MaxInterval() const { return ExtremalInterval(true); }
+MaxRun SegmentTree::MinInterval() const { return ExtremalInterval(false); }
+
+MaxRun SegmentTree::ExtremalInterval(bool want_max) const {
+  const double target = want_max ? nodes_[1].max : nodes_[1].min;
+  const size_t first = FindLeftmost(1, 0, num_leaves_ - 1, 0.0, want_max);
+  const size_t end = first + 1 >= num_leaves_
+                         ? num_leaves_
+                         : FindFirstOutside(1, 0, num_leaves_ - 1, 0.0,
+                                            first + 1, target, want_max);
+  return MaxRun{target, first, end - 1};
+}
+
+size_t SegmentTree::FindLeftmost(size_t node, size_t lo, size_t hi, double acc,
+                                 bool want_max) const {
+  if (lo == hi) return lo;
+  // Descend by argmax/argmin comparison of the two children (ties go left)
+  // rather than equality against a root-computed target: per-path floating
+  // accumulation orders differ, so equality can fail on real-valued weights
+  // while the comparison always lands on the true extremal leaf.
+  const size_t mid = lo + (hi - lo) / 2;
+  const double child_acc = acc + nodes_[node].add;
+  const double left = (want_max ? nodes_[2 * node].max : nodes_[2 * node].min);
+  const double right =
+      (want_max ? nodes_[2 * node + 1].max : nodes_[2 * node + 1].min);
+  const bool go_left = want_max ? (left >= right) : (left <= right);
+  if (go_left) return FindLeftmost(2 * node, lo, mid, child_acc, want_max);
+  return FindLeftmost(2 * node + 1, mid + 1, hi, child_acc, want_max);
+}
+
+size_t SegmentTree::FindFirstOutside(size_t node, size_t lo, size_t hi,
+                                     double acc, size_t from, double target,
+                                     bool want_max) const {
+  if (hi < from) return num_leaves_;
+  // A subtree can contain an "outside" leaf only if its min dips below the
+  // target (max objective) or its max rises above it (min objective).
+  if (want_max) {
+    if (nodes_[node].min + acc >= target) return num_leaves_;
+  } else {
+    if (nodes_[node].max + acc <= target) return num_leaves_;
+  }
+  if (lo == hi) return lo;
+  const size_t mid = lo + (hi - lo) / 2;
+  const double child_acc = acc + nodes_[node].add;
+  size_t res =
+      FindFirstOutside(2 * node, lo, mid, child_acc, from, target, want_max);
+  if (res != num_leaves_) return res;
+  return FindFirstOutside(2 * node + 1, mid + 1, hi, child_acc, from, target,
+                          want_max);
+}
+
+}  // namespace maxrs

@@ -1,0 +1,75 @@
+// Augmented segment tree over a fixed set of elementary x-intervals,
+// supporting range-add of weights and extraction of one maximal run of
+// elementary intervals achieving the global maximum location-weight.
+//
+// This is the in-memory sweep structure of the PlaneSweep base case
+// (the role played by the binary interval tree in Imai & Asano [11]):
+// inserting a rectangle's x-extent is a range-add of +w, removing it -w,
+// and after each batch of events the tree reports the max-interval tuple.
+#ifndef MAXRS_CORE_SEGMENT_TREE_H_
+#define MAXRS_CORE_SEGMENT_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace maxrs {
+
+/// A maximal run of elementary intervals with the maximum value.
+struct MaxRun {
+  double value = 0.0;     ///< The maximum location-weight.
+  size_t first = 0;       ///< First elementary interval index of the run.
+  size_t last = 0;        ///< Last elementary interval index (inclusive).
+};
+
+class SegmentTree {
+ public:
+  /// Builds a tree over `num_leaves` elementary intervals, all with value 0.
+  explicit SegmentTree(size_t num_leaves);
+
+  /// Adds `w` to every elementary interval in [first, last] (inclusive).
+  void RangeAdd(size_t first, size_t last, double w);
+
+  /// Global maximum value.
+  double Max() const;
+
+  /// Global minimum value.
+  double Min() const;
+
+  /// Returns the leftmost maximal run of elementary intervals achieving
+  /// Max(). "Maximal" means it cannot be extended right without dropping
+  /// below the maximum.
+  MaxRun MaxInterval() const;
+
+  /// Symmetric: the leftmost maximal run achieving Min(). Used by the MinRS
+  /// extension's min-objective sweep.
+  MaxRun MinInterval() const;
+
+  size_t num_leaves() const { return num_leaves_; }
+
+ private:
+  struct Node {
+    double max = 0.0;  ///< Max over subtree, including this node's `add`.
+    double min = 0.0;  ///< Min over subtree, including this node's `add`.
+    double add = 0.0;  ///< Lazy addition applied to the whole subtree.
+  };
+
+  void Add(size_t node, size_t lo, size_t hi, size_t first, size_t last, double w);
+  /// Leftmost leaf attaining the subtree max (want_max) or min (!want_max).
+  size_t FindLeftmost(size_t node, size_t lo, size_t hi, double acc,
+                      bool want_max) const;
+  /// Smallest leaf index >= from whose value is below (want_max) or above
+  /// (!want_max) the target, or num_leaves_ if none.
+  size_t FindFirstOutside(size_t node, size_t lo, size_t hi, double acc,
+                          size_t from, double target, bool want_max) const;
+
+  MaxRun ExtremalInterval(bool want_max) const;
+
+  size_t num_leaves_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace maxrs
+
+#endif  // MAXRS_CORE_SEGMENT_TREE_H_

@@ -1,0 +1,56 @@
+#include "datagen/dataset_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "io/record_io.h"
+
+namespace maxrs {
+
+Status WriteDataset(Env& env, const std::string& name,
+                    const std::vector<SpatialObject>& objects) {
+  return WriteRecordFile(env, name, objects);
+}
+
+Result<std::vector<SpatialObject>> ReadDataset(Env& env,
+                                               const std::string& name) {
+  return ReadRecordFile<SpatialObject>(env, name);
+}
+
+Result<std::vector<SpatialObject>> LoadCsv(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return {Status::NotFound("cannot open " + path)};
+  std::vector<SpatialObject> objects;
+  char line[512];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    char* cursor = line;
+    char* end = nullptr;
+    const double x = std::strtod(cursor, &end);
+    if (end == cursor) continue;  // header or blank line
+    cursor = end;
+    while (*cursor == ',' || *cursor == ' ' || *cursor == '\t') ++cursor;
+    const double y = std::strtod(cursor, &end);
+    if (end == cursor) continue;  // malformed: no y column
+    cursor = end;
+    while (*cursor == ',' || *cursor == ' ' || *cursor == '\t') ++cursor;
+    double w = std::strtod(cursor, &end);
+    if (end == cursor) w = 1.0;
+    objects.push_back({x, y, w});
+  }
+  std::fclose(f);
+  return {std::move(objects)};
+}
+
+Status SaveCsv(const std::string& path, const std::vector<SpatialObject>& objects) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot create " + path);
+  std::fprintf(f, "x,y,w\n");
+  for (const SpatialObject& o : objects) {
+    std::fprintf(f, "%.17g,%.17g,%.17g\n", o.x, o.y, o.w);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace maxrs

@@ -1,0 +1,32 @@
+// Dataset persistence: record files inside an Env (the algorithms' input
+// format) and CSV interchange on the host filesystem (for bringing real
+// data in and out of the library).
+#ifndef MAXRS_DATAGEN_DATASET_IO_H_
+#define MAXRS_DATAGEN_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/geometry.h"
+#include "io/env.h"
+#include "util/status.h"
+
+namespace maxrs {
+
+/// Stores objects as a SpatialObject record file named `name` in `env`.
+Status WriteDataset(Env& env, const std::string& name,
+                    const std::vector<SpatialObject>& objects);
+
+/// Loads a SpatialObject record file.
+Result<std::vector<SpatialObject>> ReadDataset(Env& env, const std::string& name);
+
+/// Reads "x,y[,w]" lines from a host CSV file (header line optional; w
+/// defaults to 1). Not part of the counted I/O model.
+Result<std::vector<SpatialObject>> LoadCsv(const std::string& path);
+
+/// Writes "x,y,w" lines (with header) to a host CSV file.
+Status SaveCsv(const std::string& path, const std::vector<SpatialObject>& objects);
+
+}  // namespace maxrs
+
+#endif  // MAXRS_DATAGEN_DATASET_IO_H_

@@ -1,0 +1,128 @@
+#include "datagen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace maxrs {
+namespace {
+
+double DomainOf(const SyntheticOptions& options) {
+  if (options.domain_size > 0.0) return options.domain_size;
+  return 4.0 * static_cast<double>(options.cardinality);  // Table 3
+}
+
+double DrawWeight(Rng& rng, WeightMode mode) {
+  switch (mode) {
+    case WeightMode::kUnit:
+      return 1.0;
+    case WeightMode::kUniformRandom:
+      return rng.Uniform(0.5, 2.0);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+std::vector<SpatialObject> MakeUniform(const SyntheticOptions& options) {
+  Rng rng(options.seed);
+  const double s = DomainOf(options);
+  std::vector<SpatialObject> objects;
+  objects.reserve(options.cardinality);
+  for (uint64_t i = 0; i < options.cardinality; ++i) {
+    objects.push_back(
+        {rng.Uniform(0.0, s), rng.Uniform(0.0, s), DrawWeight(rng, options.weights)});
+  }
+  return objects;
+}
+
+std::vector<SpatialObject> MakeGaussian(const SyntheticOptions& options) {
+  Rng rng(options.seed);
+  const double s = DomainOf(options);
+  const double mu = s / 2.0;
+  const double sigma = s / 8.0;
+  std::vector<SpatialObject> objects;
+  objects.reserve(options.cardinality);
+  while (objects.size() < options.cardinality) {
+    const double x = rng.Normal(mu, sigma);
+    const double y = rng.Normal(mu, sigma);
+    if (x < 0.0 || x >= s || y < 0.0 || y >= s) continue;  // reject outside
+    objects.push_back({x, y, DrawWeight(rng, options.weights)});
+  }
+  return objects;
+}
+
+std::vector<SpatialObject> MakeClustered(const ClusterOptions& options) {
+  Rng rng(options.seed);
+  const double s = options.domain_size;
+  // Cluster centers and relative masses.
+  struct Cluster {
+    double cx, cy, sigma, mass_cdf;
+  };
+  std::vector<Cluster> clusters;
+  clusters.reserve(options.num_clusters);
+  double total_mass = 0.0;
+  for (uint64_t c = 0; c < options.num_clusters; ++c) {
+    // Zipf-ish masses: big cities dominate, like real population data.
+    const double mass = 1.0 / static_cast<double>(c + 1);
+    total_mass += mass;
+    clusters.push_back({rng.Uniform(0.05 * s, 0.95 * s),
+                        rng.Uniform(0.05 * s, 0.95 * s),
+                        s * options.cluster_sigma_fraction *
+                            rng.Uniform(0.5, 1.5),
+                        total_mass});
+  }
+  for (Cluster& c : clusters) c.mass_cdf /= total_mass;
+
+  std::vector<SpatialObject> objects;
+  objects.reserve(options.cardinality);
+  while (objects.size() < options.cardinality) {
+    double x, y;
+    if (rng.NextDouble() < options.background_fraction) {
+      x = rng.Uniform(0.0, s);
+      y = rng.Uniform(0.0, s);
+    } else {
+      const double u = rng.NextDouble();
+      const Cluster* chosen = &clusters.back();
+      for (const Cluster& c : clusters) {
+        if (u <= c.mass_cdf) {
+          chosen = &c;
+          break;
+        }
+      }
+      x = rng.Normal(chosen->cx, chosen->sigma);
+      y = rng.Normal(chosen->cy, chosen->sigma);
+      if (x < 0.0 || x >= s || y < 0.0 || y >= s) continue;
+    }
+    objects.push_back({x, y, DrawWeight(rng, options.weights)});
+  }
+  return objects;
+}
+
+std::vector<SpatialObject> MakeUxLike(uint64_t seed) {
+  // USA + Mexico: sparse, a handful of dominant population centers, wide
+  // empty areas — a "macro view" of NE, as the paper puts it.
+  ClusterOptions options;
+  options.cardinality = kUxCardinality;
+  options.domain_size = 1e6;
+  options.num_clusters = 12;
+  options.cluster_sigma_fraction = 0.06;
+  options.background_fraction = 0.25;
+  options.seed = seed;
+  return MakeClustered(options);
+}
+
+std::vector<SpatialObject> MakeNeLike(uint64_t seed) {
+  // North East USA: dense city clusters along a corridor plus suburbs.
+  ClusterOptions options;
+  options.cardinality = kNeCardinality;
+  options.domain_size = 1e6;
+  options.num_clusters = 48;
+  options.cluster_sigma_fraction = 0.025;
+  options.background_fraction = 0.15;
+  options.seed = seed + 1;
+  return MakeClustered(options);
+}
+
+}  // namespace maxrs

@@ -1,0 +1,72 @@
+// Workload generators for the paper's experiments (Sec. 7.1).
+//
+// Synthetic datasets follow Table 3: cardinality |O| in [100k, 500k]
+// (default 250k), coordinates in [0, 4|O|]^2 (default [0, 10^6]^2), under
+// uniform or Gaussian distribution.
+//
+// The two real datasets (UX: USA + Mexico, 19,499 points; NE: North East
+// USA, 123,593 points; both from the R-tree Portal, normalized to
+// [0, 10^6]^2) are no longer distributed. MakeUxLike/MakeNeLike generate
+// clustered stand-ins with the exact cardinalities and domain: UX is sparse
+// with a few large clusters (a macro view), NE is dense with many city-like
+// clusters plus background noise. The experiments that use them (Figs. 15,
+// 16) depend only on cardinality, domain and clustering, both of which the
+// stand-ins preserve; see DESIGN.md for the substitution rationale.
+#ifndef MAXRS_DATAGEN_GENERATORS_H_
+#define MAXRS_DATAGEN_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace maxrs {
+
+enum class WeightMode {
+  kUnit,            ///< w(o) = 1 for all objects (the paper's experiments).
+  kUniformRandom,   ///< w(o) uniform in [0.5, 2).
+};
+
+struct SyntheticOptions {
+  uint64_t cardinality = 250000;
+  /// Domain is [0, domain_size]^2; 0 derives the paper's 4*|O|.
+  double domain_size = 0.0;
+  WeightMode weights = WeightMode::kUnit;
+  uint64_t seed = 42;
+};
+
+/// Uniform distribution over the domain.
+std::vector<SpatialObject> MakeUniform(const SyntheticOptions& options);
+
+/// Gaussian distribution centered at the domain center with sigma =
+/// domain/8 per axis, rejected into the domain.
+std::vector<SpatialObject> MakeGaussian(const SyntheticOptions& options);
+
+/// Clustered stand-in for the UX real dataset (19,499 points, [0, 10^6]^2).
+std::vector<SpatialObject> MakeUxLike(uint64_t seed = 42);
+
+/// Clustered stand-in for the NE real dataset (123,593 points, [0, 10^6]^2).
+std::vector<SpatialObject> MakeNeLike(uint64_t seed = 42);
+
+/// Generic cluster-mixture generator used by the stand-ins and examples.
+struct ClusterOptions {
+  uint64_t cardinality = 100000;
+  double domain_size = 1e6;
+  uint64_t num_clusters = 32;
+  /// Per-cluster Gaussian sigma as a fraction of the domain size.
+  double cluster_sigma_fraction = 0.02;
+  /// Fraction of points drawn uniformly as background noise.
+  double background_fraction = 0.1;
+  WeightMode weights = WeightMode::kUnit;
+  uint64_t seed = 42;
+};
+
+std::vector<SpatialObject> MakeClustered(const ClusterOptions& options);
+
+/// The paper's real-dataset cardinalities (Table 2).
+inline constexpr uint64_t kUxCardinality = 19499;
+inline constexpr uint64_t kNeCardinality = 123593;
+
+}  // namespace maxrs
+
+#endif  // MAXRS_DATAGEN_GENERATORS_H_

@@ -1,0 +1,161 @@
+// Planar geometry primitives shared by all algorithms.
+//
+// Cover semantics: the paper excludes objects on the boundary of the query
+// rectangle/circle. We realize this with half-open rectangles
+// [x_lo, x_hi) x [y_lo, y_hi) and strict circle interiors, which coincide
+// with the open-boundary rule for the purpose of maximization (placements
+// where a point sits exactly on a boundary are measure-zero and never
+// uniquely optimal) and are exact on integer test data.
+#ifndef MAXRS_GEOM_GEOMETRY_H_
+#define MAXRS_GEOM_GEOMETRY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace maxrs {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Point& other) const {
+    return x == other.x && y == other.y;
+  }
+};
+
+/// A weighted spatial object (paper: o in O with weight w(o)).
+struct SpatialObject {
+  double x = 0.0;
+  double y = 0.0;
+  double w = 1.0;
+};
+
+/// Closed-on-low, open-on-high interval [lo, hi).
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double length() const { return hi - lo; }
+  bool Contains(double v) const { return v >= lo && v < hi; }
+  bool Overlaps(const Interval& other) const {
+    return lo < other.hi && other.lo < hi;
+  }
+  bool operator==(const Interval& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+};
+
+/// Axis-aligned rectangle [x_lo, x_hi) x [y_lo, y_hi).
+struct Rect {
+  double x_lo = 0.0;
+  double x_hi = 0.0;
+  double y_lo = 0.0;
+  double y_hi = 0.0;
+
+  /// The rectangle of size w x h centered at p (paper: r(p)).
+  static Rect Centered(Point p, double w, double h) {
+    return {p.x - w / 2.0, p.x + w / 2.0, p.y - h / 2.0, p.y + h / 2.0};
+  }
+
+  double width() const { return x_hi - x_lo; }
+  double height() const { return y_hi - y_lo; }
+  Point center() const { return {(x_lo + x_hi) / 2.0, (y_lo + y_hi) / 2.0}; }
+
+  bool Contains(Point p) const {
+    return p.x >= x_lo && p.x < x_hi && p.y >= y_lo && p.y < y_hi;
+  }
+  bool Contains(const SpatialObject& o) const {
+    return Contains(Point{o.x, o.y});
+  }
+
+  bool Overlaps(const Rect& other) const {
+    return x_lo < other.x_hi && other.x_lo < x_hi && y_lo < other.y_hi &&
+           other.y_lo < y_hi;
+  }
+
+  /// Intersection; empty (width/height <= 0) if disjoint.
+  Rect Intersect(const Rect& other) const {
+    return {std::max(x_lo, other.x_lo), std::min(x_hi, other.x_hi),
+            std::max(y_lo, other.y_lo), std::min(y_hi, other.y_hi)};
+  }
+
+  bool empty() const { return x_lo >= x_hi || y_lo >= y_hi; }
+
+  bool operator==(const Rect& other) const {
+    return x_lo == other.x_lo && x_hi == other.x_hi && y_lo == other.y_lo &&
+           y_hi == other.y_hi;
+  }
+};
+
+/// Circle given by center and diameter (the paper parameterizes MaxCRS by
+/// diameter d). Cover is the strict interior.
+struct Circle {
+  Point center;
+  double diameter = 0.0;
+
+  double radius() const { return diameter / 2.0; }
+
+  bool Contains(Point p) const {
+    const double dx = p.x - center.x;
+    const double dy = p.y - center.y;
+    return dx * dx + dy * dy < radius() * radius();
+  }
+  bool Contains(const SpatialObject& o) const {
+    return Contains(Point{o.x, o.y});
+  }
+
+  /// Minimum bounding rectangle: the d x d square centered at the center.
+  Rect Mbr() const { return Rect::Centered(center, diameter, diameter); }
+};
+
+inline double DistanceSquared(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double Distance(Point a, Point b) { return std::sqrt(DistanceSquared(a, b)); }
+
+/// Total weight of objects covered by `rect` (linear scan; test oracle and
+/// candidate evaluation helper).
+template <typename Container>
+double CoveredWeight(const Container& objects, const Rect& rect) {
+  double sum = 0.0;
+  for (const auto& o : objects) {
+    if (rect.Contains(o)) sum += o.w;
+  }
+  return sum;
+}
+
+/// Total weight of objects covered by `circle`.
+template <typename Container>
+double CoveredWeight(const Container& objects, const Circle& circle) {
+  double sum = 0.0;
+  for (const auto& o : objects) {
+    if (circle.Contains(o)) sum += o.w;
+  }
+  return sum;
+}
+
+/// Bounding box of a set of objects; returns an empty Rect for no objects.
+template <typename Container>
+Rect BoundingBox(const Container& objects) {
+  Rect box{kInf, -kInf, kInf, -kInf};
+  bool any = false;
+  for (const auto& o : objects) {
+    any = true;
+    box.x_lo = std::min(box.x_lo, o.x);
+    box.x_hi = std::max(box.x_hi, o.x);
+    box.y_lo = std::min(box.y_lo, o.y);
+    box.y_hi = std::max(box.y_hi, o.y);
+  }
+  if (!any) return Rect{};
+  return box;
+}
+
+}  // namespace maxrs
+
+#endif  // MAXRS_GEOM_GEOMETRY_H_

@@ -1,0 +1,253 @@
+#include "index/agg_rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace maxrs {
+namespace {
+
+// Block 0 holds the tree header; nodes follow.
+struct TreeHeader {
+  uint64_t magic;
+  uint64_t root_block;
+  uint64_t num_blocks;
+  uint64_t height;
+  uint64_t num_objects;
+};
+constexpr uint64_t kTreeMagic = 0x52747265654d5253ULL;  // "RtreeMRS"
+
+struct NodeHeader {
+  int32_t is_leaf;
+  int32_t num_entries;
+};
+
+struct LeafEntry {  // one object
+  double x;
+  double y;
+  double w;
+};
+
+struct InternalEntry {
+  Rect mbr;        // 4 doubles
+  double agg_sum;  // SUM over the child subtree
+  uint32_t child;
+  uint32_t pad = 0;
+};
+
+constexpr size_t kNodeHeaderSize = sizeof(NodeHeader);
+
+size_t LeafCapacity(size_t block_size) {
+  return (block_size - kNodeHeaderSize) / sizeof(LeafEntry);
+}
+size_t InternalCapacity(size_t block_size) {
+  return (block_size - kNodeHeaderSize) / sizeof(InternalEntry);
+}
+
+NodeHeader* HeaderOf(char* data) { return reinterpret_cast<NodeHeader*>(data); }
+LeafEntry* LeafEntriesOf(char* data) {
+  return reinterpret_cast<LeafEntry*>(data + kNodeHeaderSize);
+}
+InternalEntry* InternalEntriesOf(char* data) {
+  return reinterpret_cast<InternalEntry*>(data + kNodeHeaderSize);
+}
+
+/// Point MBR containment for build-time aggregation: objects are points, so
+/// MBRs here are closed point boxes [min,max] in both axes.
+Rect PointBox(const SpatialObject& o) { return Rect{o.x, o.x, o.y, o.y}; }
+
+Rect Union(const Rect& a, const Rect& b) {
+  return Rect{std::min(a.x_lo, b.x_lo), std::max(a.x_hi, b.x_hi),
+              std::min(a.y_lo, b.y_lo), std::max(a.y_hi, b.y_hi)};
+}
+
+/// Closed-box versus half-open-query predicates. Node MBRs are closed point
+/// boxes; the query is half-open [x_lo,x_hi) x [y_lo,y_hi).
+bool BoxInsideQuery(const Rect& box, const Rect& query) {
+  return box.x_lo >= query.x_lo && box.x_hi < query.x_hi &&
+         box.y_lo >= query.y_lo && box.y_hi < query.y_hi;
+}
+bool BoxIntersectsQuery(const Rect& box, const Rect& query) {
+  return box.x_lo < query.x_hi && box.x_hi >= query.x_lo &&
+         box.y_lo < query.y_hi && box.y_hi >= query.y_lo;
+}
+
+}  // namespace
+
+Result<AggRTree> AggRTree::BulkLoad(Env& env, const std::string& tree_file,
+                                    std::vector<SpatialObject> objects) {
+  const size_t block_size = env.block_size();
+  const size_t leaf_cap = LeafCapacity(block_size);
+  const size_t internal_cap = InternalCapacity(block_size);
+
+  AggRTree tree;
+  tree.num_objects_ = objects.size();
+  MAXRS_ASSIGN_OR_RETURN(std::unique_ptr<BlockFile> file, env.Create(tree_file));
+
+  std::vector<char> buf(block_size, 0);
+  // Reserve block 0 for the header (written last).
+  MAXRS_RETURN_IF_ERROR(file->WriteBlock(0, buf.data()));
+  uint64_t next_block = 1;
+
+  struct NodeMeta {
+    uint64_t block;
+    Rect mbr;
+    double sum;
+  };
+  std::vector<NodeMeta> level;
+
+  if (!objects.empty()) {
+    // --- STR leaf packing: x-sort, tile into vertical slices, y-sort. ---
+    const size_t num_leaves = (objects.size() + leaf_cap - 1) / leaf_cap;
+    const size_t num_slices =
+        std::max<size_t>(1, static_cast<size_t>(std::ceil(std::sqrt(
+                                static_cast<double>(num_leaves)))));
+    const size_t slice_records =
+        (objects.size() + num_slices - 1) / num_slices;
+    std::sort(objects.begin(), objects.end(),
+              [](const SpatialObject& a, const SpatialObject& b) {
+                return a.x < b.x;
+              });
+    for (size_t s = 0; s < objects.size(); s += slice_records) {
+      const size_t end = std::min(objects.size(), s + slice_records);
+      std::sort(objects.begin() + s, objects.begin() + end,
+                [](const SpatialObject& a, const SpatialObject& b) {
+                  return a.y < b.y;
+                });
+    }
+
+    for (size_t i = 0; i < objects.size(); i += leaf_cap) {
+      const size_t here = std::min(leaf_cap, objects.size() - i);
+      std::memset(buf.data(), 0, buf.size());
+      *HeaderOf(buf.data()) = NodeHeader{1, static_cast<int32_t>(here)};
+      LeafEntry* entries = LeafEntriesOf(buf.data());
+      Rect mbr = PointBox(objects[i]);
+      double sum = 0.0;
+      for (size_t k = 0; k < here; ++k) {
+        const SpatialObject& o = objects[i + k];
+        entries[k] = LeafEntry{o.x, o.y, o.w};
+        mbr = Union(mbr, PointBox(o));
+        sum += o.w;
+      }
+      MAXRS_RETURN_IF_ERROR(file->WriteBlock(next_block, buf.data()));
+      level.push_back(NodeMeta{next_block, mbr, sum});
+      ++next_block;
+    }
+    tree.height_ = 1;
+
+    // --- Internal levels. ---
+    while (level.size() > 1) {
+      std::vector<NodeMeta> upper;
+      for (size_t i = 0; i < level.size(); i += internal_cap) {
+        const size_t here = std::min(internal_cap, level.size() - i);
+        std::memset(buf.data(), 0, buf.size());
+        *HeaderOf(buf.data()) = NodeHeader{0, static_cast<int32_t>(here)};
+        InternalEntry* entries = InternalEntriesOf(buf.data());
+        Rect mbr = level[i].mbr;
+        double sum = 0.0;
+        for (size_t k = 0; k < here; ++k) {
+          const NodeMeta& child = level[i + k];
+          entries[k] = InternalEntry{child.mbr, child.sum,
+                                     static_cast<uint32_t>(child.block)};
+          mbr = Union(mbr, child.mbr);
+          sum += child.sum;
+        }
+        MAXRS_RETURN_IF_ERROR(file->WriteBlock(next_block, buf.data()));
+        upper.push_back(NodeMeta{next_block, mbr, sum});
+        ++next_block;
+      }
+      level = std::move(upper);
+      ++tree.height_;
+    }
+    tree.root_block_ = level.front().block;
+  }
+
+  tree.num_blocks_ = next_block;
+  // Header block.
+  std::memset(buf.data(), 0, buf.size());
+  TreeHeader header{kTreeMagic, tree.root_block_, tree.num_blocks_,
+                    tree.height_, tree.num_objects_};
+  std::memcpy(buf.data(), &header, sizeof(header));
+  MAXRS_RETURN_IF_ERROR(file->WriteBlock(0, buf.data()));
+
+  tree.file_ = std::move(file);
+  return {std::move(tree)};
+}
+
+Result<AggRTree> AggRTree::Open(Env& env, const std::string& tree_file) {
+  MAXRS_ASSIGN_OR_RETURN(std::unique_ptr<BlockFile> file, env.Open(tree_file));
+  std::vector<char> buf(file->block_size());
+  MAXRS_RETURN_IF_ERROR(file->ReadBlock(0, buf.data()));
+  TreeHeader header;
+  std::memcpy(&header, buf.data(), sizeof(header));
+  if (header.magic != kTreeMagic) {
+    return {Status::Corruption("not an AggRTree file: " + tree_file)};
+  }
+  AggRTree tree;
+  tree.root_block_ = header.root_block;
+  tree.num_blocks_ = header.num_blocks;
+  tree.height_ = header.height;
+  tree.num_objects_ = header.num_objects;
+  tree.file_ = std::move(file);
+  return {std::move(tree)};
+}
+
+Result<double> AggRTree::RangeSum(BufferPool& pool, const Rect& query,
+                                  RangeSumStats* stats) const {
+  if (empty() || num_objects_ == 0 || query.empty()) return {0.0};
+  double sum = 0.0;
+  MAXRS_RETURN_IF_ERROR(SumRec(pool, root_block_, query, &sum, stats));
+  return {sum};
+}
+
+Result<double> AggRTree::TotalSum(BufferPool& pool) const {
+  if (empty() || num_objects_ == 0) return {0.0};
+  MAXRS_ASSIGN_OR_RETURN(PageHandle page, pool.Fetch(*file_, root_block_));
+  const NodeHeader* header = HeaderOf(page.data());
+  double sum = 0.0;
+  if (header->is_leaf != 0) {
+    const LeafEntry* entries = LeafEntriesOf(page.data());
+    for (int32_t k = 0; k < header->num_entries; ++k) sum += entries[k].w;
+  } else {
+    const InternalEntry* entries = InternalEntriesOf(page.data());
+    for (int32_t k = 0; k < header->num_entries; ++k) sum += entries[k].agg_sum;
+  }
+  return {sum};
+}
+
+Status AggRTree::SumRec(BufferPool& pool, uint64_t block, const Rect& query,
+                        double* sum, RangeSumStats* stats) const {
+  MAXRS_ASSIGN_OR_RETURN(PageHandle page, pool.Fetch(*file_, block));
+  if (stats != nullptr) ++stats->nodes_visited;
+  const NodeHeader* header = HeaderOf(page.data());
+
+  if (header->is_leaf != 0) {
+    const LeafEntry* entries = LeafEntriesOf(page.data());
+    for (int32_t k = 0; k < header->num_entries; ++k) {
+      if (stats != nullptr) ++stats->objects_scanned;
+      if (query.Contains(Point{entries[k].x, entries[k].y})) {
+        *sum += entries[k].w;
+      }
+    }
+    return Status::OK();
+  }
+
+  const InternalEntry* entries = InternalEntriesOf(page.data());
+  for (int32_t k = 0; k < header->num_entries; ++k) {
+    const InternalEntry& e = entries[k];
+    if (!BoxIntersectsQuery(e.mbr, query)) continue;
+    if (BoxInsideQuery(e.mbr, query)) {
+      // The pre-computed aggregate answers this entry without descending —
+      // the core idea of aggregate indexes (Sec. 3 of the paper).
+      *sum += e.agg_sum;
+      if (stats != nullptr) ++stats->entries_aggregated;
+      continue;
+    }
+    MAXRS_RETURN_IF_ERROR(SumRec(pool, e.child, query, sum, stats));
+  }
+  return Status::OK();
+}
+
+}  // namespace maxrs

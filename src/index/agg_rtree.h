@@ -1,0 +1,76 @@
+// External aggregate R-tree: the access method the paper's Related Work
+// (Sec. 3) describes for range-aggregate (RA) queries — "a pre-calculated
+// value for each entry in the index, which usually indicates the aggregation
+// of the region specified by the entry" [5, 12, 13, 15, 17].
+//
+// Bulk-loaded with Sort-Tile-Recursive packing (x-sorted into vertical
+// tiles, y-sorted within a tile), block-sized nodes, per-entry MBR + SUM
+// aggregate. RangeSum answers a rectangle-sum query in O(log_B N + T/B)
+// node accesses through a BufferPool: entries fully inside the query
+// contribute their aggregate without descending.
+//
+// This substrate exists to reproduce the paper's argument that MaxRS cannot
+// be solved efficiently by RA queries ("a naive solution ... is to issue an
+// infinite number of RA queries, which is prohibitively expensive"): see
+// ra_grid.h and bench_ablation_ra_grid.
+#ifndef MAXRS_INDEX_AGG_RTREE_H_
+#define MAXRS_INDEX_AGG_RTREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/geometry.h"
+#include "io/buffer_pool.h"
+#include "io/env.h"
+#include "util/status.h"
+
+namespace maxrs {
+
+struct RangeSumStats {
+  uint64_t nodes_visited = 0;
+  uint64_t entries_aggregated = 0;  ///< entries answered from their aggregate
+  uint64_t objects_scanned = 0;     ///< leaf objects individually tested
+};
+
+class AggRTree {
+ public:
+  /// Bulk-loads the tree over `objects` into the block file `tree_file`
+  /// (STR packing; build writes each node once, sequentially). The object
+  /// vector is reordered in place during packing.
+  static Result<AggRTree> BulkLoad(Env& env, const std::string& tree_file,
+                                   std::vector<SpatialObject> objects);
+
+  /// Re-opens a previously bulk-loaded tree.
+  static Result<AggRTree> Open(Env& env, const std::string& tree_file);
+
+  /// Total weight of objects covered by `query` (half-open cover semantics,
+  /// consistent with the rest of the library). Node accesses go through
+  /// `pool`; `stats`, if non-null, accumulates traversal counters.
+  Result<double> RangeSum(BufferPool& pool, const Rect& query,
+                          RangeSumStats* stats = nullptr) const;
+
+  /// Total weight of the whole dataset (root aggregate; O(1) node access).
+  Result<double> TotalSum(BufferPool& pool) const;
+
+  uint64_t num_blocks() const { return num_blocks_; }
+  uint64_t height() const { return height_; }
+  uint64_t num_objects() const { return num_objects_; }
+  bool empty() const { return file_ == nullptr; }
+
+ private:
+  AggRTree() = default;
+
+  Status SumRec(BufferPool& pool, uint64_t block, const Rect& query,
+                double* sum, RangeSumStats* stats) const;
+
+  std::unique_ptr<BlockFile> file_;
+  uint64_t root_block_ = 0;
+  uint64_t num_blocks_ = 0;
+  uint64_t height_ = 0;
+  uint64_t num_objects_ = 0;
+};
+
+}  // namespace maxrs
+
+#endif  // MAXRS_INDEX_AGG_RTREE_H_

@@ -1,0 +1,33 @@
+#include "index/ra_grid.h"
+
+#include "util/check.h"
+
+namespace maxrs {
+
+Result<RaGridResult> RaGridMaxRS(const AggRTree& tree, BufferPool& pool,
+                                 const Rect& domain, double rect_w,
+                                 double rect_h, uint32_t grid_size) {
+  if (grid_size == 0 || domain.empty()) {
+    return {Status::InvalidArgument("grid_size and domain must be non-empty")};
+  }
+  RaGridResult result;
+  const double step_x = domain.width() / grid_size;
+  const double step_y = domain.height() / grid_size;
+  for (uint32_t gy = 0; gy < grid_size; ++gy) {
+    for (uint32_t gx = 0; gx < grid_size; ++gx) {
+      const Point center{domain.x_lo + (gx + 0.5) * step_x,
+                         domain.y_lo + (gy + 0.5) * step_y};
+      const Rect query = Rect::Centered(center, rect_w, rect_h);
+      MAXRS_ASSIGN_OR_RETURN(double sum,
+                             tree.RangeSum(pool, query, &result.traversal));
+      ++result.queries;
+      if (sum > result.total_weight) {
+        result.total_weight = sum;
+        result.location = center;
+      }
+    }
+  }
+  return {std::move(result)};
+}
+
+}  // namespace maxrs

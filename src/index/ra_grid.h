@@ -1,0 +1,39 @@
+// MaxRS via RA queries on a candidate grid — the strawman the paper
+// dismisses in Sec. 3: "A naive solution to the MaxRS problem is to issue an
+// infinite number of RA queries, which is prohibitively expensive."
+//
+// This is the finite version of that idea: evaluate the range sum of the
+// query rectangle centered at each point of a G x G grid over the data
+// bounding box, using an aggregate R-tree, and return the best candidate.
+// It is (a) approximate — the optimum can fall between grid points — and
+// (b) expensive — G^2 RA queries, each O(log_B N + boundary leaves) I/Os.
+// bench_ablation_ra_grid quantifies both against ExactMaxRS, turning the
+// paper's remark into a measured experiment.
+#ifndef MAXRS_INDEX_RA_GRID_H_
+#define MAXRS_INDEX_RA_GRID_H_
+
+#include <cstdint>
+
+#include "geom/geometry.h"
+#include "index/agg_rtree.h"
+#include "io/buffer_pool.h"
+#include "util/status.h"
+
+namespace maxrs {
+
+struct RaGridResult {
+  Point location;
+  double total_weight = 0.0;  ///< best grid candidate (<= true optimum)
+  uint64_t queries = 0;
+  RangeSumStats traversal;
+};
+
+/// Evaluates rect_w x rect_h placements centered on a grid_size x grid_size
+/// lattice over `domain` and returns the best one.
+Result<RaGridResult> RaGridMaxRS(const AggRTree& tree, BufferPool& pool,
+                                 const Rect& domain, double rect_w,
+                                 double rect_h, uint32_t grid_size);
+
+}  // namespace maxrs
+
+#endif  // MAXRS_INDEX_RA_GRID_H_

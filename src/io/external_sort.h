@@ -1,0 +1,184 @@
+// External k-way merge sort: the textbook O((N/B) log_{M/B}(N/B)) algorithm.
+// Run formation sorts M-byte chunks in memory; merging proceeds with fan-in
+// M/B - 1 (one block of buffer per input run plus one output block) until a
+// single sorted file remains. Both ExactMaxRS pre-sorts (by y for the piece
+// file, by x for the edge file) and the baselines' event sorts use this.
+#ifndef MAXRS_IO_EXTERNAL_SORT_H_
+#define MAXRS_IO_EXTERNAL_SORT_H_
+
+#include <algorithm>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "io/record_io.h"
+#include "io/temp_manager.h"
+#include "util/check.h"
+#include "util/status.h"
+
+namespace maxrs {
+
+struct ExternalSortOptions {
+  /// Memory budget M in bytes: bounds both the in-memory run size and the
+  /// merge fan-in (M/B - 1 input buffers).
+  size_t memory_bytes = 1 << 20;
+};
+
+namespace sort_internal {
+
+/// Statistics of one sort execution, exposed for the complexity tests.
+struct SortRunInfo {
+  uint64_t initial_runs = 0;
+  uint64_t merge_passes = 0;
+};
+
+}  // namespace sort_internal
+
+template <typename T, typename Less>
+Status MergeRuns(Env& env, const std::vector<std::string>& run_names,
+                 const std::string& output_name, Less less);
+
+template <typename T>
+Status CopyRecordFile(Env& env, const std::string& from, const std::string& to);
+
+/// Sorts the record file `input_name` into `output_name` using Less.
+/// The input file is left untouched. `info`, if non-null, receives run/pass
+/// counts for complexity verification.
+template <typename T, typename Less>
+Status ExternalSort(Env& env, const std::string& input_name,
+                    const std::string& output_name, Less less,
+                    const ExternalSortOptions& options = {},
+                    sort_internal::SortRunInfo* info = nullptr) {
+  TempFileManager temps(env, "sort_tmp");
+  const size_t block_size = env.block_size();
+  // Keep at least two records' worth of run memory so progress is guaranteed.
+  const size_t run_records =
+      std::max<size_t>(2, options.memory_bytes / sizeof(T));
+  const size_t fan_in = std::max<size_t>(2, options.memory_bytes / block_size - 1);
+
+  // --- Run formation ---
+  std::vector<std::string> runs;
+  {
+    MAXRS_ASSIGN_OR_RETURN(RecordReader<T> reader,
+                           RecordReader<T>::Make(env, input_name));
+    std::vector<T> chunk;
+    chunk.reserve(std::min<uint64_t>(run_records, reader.total()));
+    T rec{};
+    bool more = true;
+    while (more) {
+      chunk.clear();
+      while (chunk.size() < run_records) {
+        Status st = reader.Read(&rec);
+        if (st.code() == Status::Code::kNotFound) {
+          more = false;
+          break;
+        }
+        MAXRS_RETURN_IF_ERROR(st);
+        chunk.push_back(rec);
+      }
+      if (chunk.empty()) break;
+      std::stable_sort(chunk.begin(), chunk.end(), less);
+      std::string run_name = temps.NewName("run");
+      MAXRS_RETURN_IF_ERROR(WriteRecordFile(env, run_name, chunk));
+      runs.push_back(std::move(run_name));
+    }
+  }
+  if (info != nullptr) info->initial_runs = runs.size();
+
+  if (runs.empty()) {
+    // Empty input: emit an empty (but valid) output file.
+    MAXRS_ASSIGN_OR_RETURN(RecordWriter<T> writer,
+                           RecordWriter<T>::Make(env, output_name));
+    return writer.Finish();
+  }
+
+  // --- Merge passes ---
+  uint64_t passes = 0;
+  while (runs.size() > 1) {
+    ++passes;
+    std::vector<std::string> next_runs;
+    for (size_t group = 0; group < runs.size(); group += fan_in) {
+      size_t end = std::min(runs.size(), group + fan_in);
+      std::vector<std::string> group_runs(runs.begin() + group, runs.begin() + end);
+      const bool is_final = (runs.size() <= fan_in);
+      std::string out_name = is_final ? output_name : temps.NewName("merge");
+      MAXRS_RETURN_IF_ERROR(
+          MergeRuns<T>(env, group_runs, out_name, less));
+      for (const std::string& r : group_runs) temps.Release(r);
+      next_runs.push_back(std::move(out_name));
+    }
+    runs = std::move(next_runs);
+  }
+
+  if (info != nullptr) info->merge_passes = passes;
+
+  // Single run and no merge happened: rename by copy (one linear pass).
+  if (passes == 0) {
+    MAXRS_RETURN_IF_ERROR(CopyRecordFile<T>(env, runs[0], output_name));
+    temps.Release(runs[0]);
+  }
+  return Status::OK();
+}
+
+/// Merges already-sorted record files into `output_name` (k-way, one block
+/// of memory per input).
+template <typename T, typename Less>
+Status MergeRuns(Env& env, const std::vector<std::string>& run_names,
+                 const std::string& output_name, Less less) {
+  struct Source {
+    RecordReader<T> reader;
+    T head;
+  };
+  std::vector<Source> sources;
+  sources.reserve(run_names.size());
+  for (const std::string& name : run_names) {
+    MAXRS_ASSIGN_OR_RETURN(RecordReader<T> reader, RecordReader<T>::Make(env, name));
+    Source src{std::move(reader), T{}};
+    Status st = src.reader.Read(&src.head);
+    if (st.code() == Status::Code::kNotFound) continue;  // empty run
+    MAXRS_RETURN_IF_ERROR(st);
+    sources.push_back(std::move(src));
+  }
+
+  // Index-based heap over sources; stable w.r.t. source order for equal keys
+  // (ties broken by source index, preserving run formation stability).
+  auto cmp = [&](size_t a, size_t b) {
+    if (less(sources[b].head, sources[a].head)) return true;
+    if (less(sources[a].head, sources[b].head)) return false;
+    return a > b;
+  };
+  std::priority_queue<size_t, std::vector<size_t>, decltype(cmp)> heap(cmp);
+  for (size_t i = 0; i < sources.size(); ++i) heap.push(i);
+
+  MAXRS_ASSIGN_OR_RETURN(RecordWriter<T> writer,
+                         RecordWriter<T>::Make(env, output_name));
+  while (!heap.empty()) {
+    size_t i = heap.top();
+    heap.pop();
+    MAXRS_RETURN_IF_ERROR(writer.Append(sources[i].head));
+    Status st = sources[i].reader.Read(&sources[i].head);
+    if (st.code() == Status::Code::kNotFound) continue;
+    MAXRS_RETURN_IF_ERROR(st);
+    heap.push(i);
+  }
+  return writer.Finish();
+}
+
+/// Copies a record file (one linear pass).
+template <typename T>
+Status CopyRecordFile(Env& env, const std::string& from, const std::string& to) {
+  MAXRS_ASSIGN_OR_RETURN(RecordReader<T> reader, RecordReader<T>::Make(env, from));
+  MAXRS_ASSIGN_OR_RETURN(RecordWriter<T> writer, RecordWriter<T>::Make(env, to));
+  T rec{};
+  while (true) {
+    Status st = reader.Read(&rec);
+    if (st.code() == Status::Code::kNotFound) break;
+    MAXRS_RETURN_IF_ERROR(st);
+    MAXRS_RETURN_IF_ERROR(writer.Append(rec));
+  }
+  return writer.Finish();
+}
+
+}  // namespace maxrs
+
+#endif  // MAXRS_IO_EXTERNAL_SORT_H_

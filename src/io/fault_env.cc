@@ -1,0 +1,53 @@
+#include "io/fault_env.h"
+
+namespace maxrs {
+namespace {
+
+class FaultBlockFile : public BlockFile {
+ public:
+  FaultBlockFile(std::unique_ptr<BlockFile> base, FaultEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status ReadBlock(uint64_t index, void* buf) override {
+    if (env_->ShouldFail()) {
+      return Status::IOError("injected read fault on " + base_->name());
+    }
+    return base_->ReadBlock(index, buf);
+  }
+
+  Status WriteBlock(uint64_t index, const void* buf) override {
+    if (env_->ShouldFail()) {
+      return Status::IOError("injected write fault on " + base_->name());
+    }
+    return base_->WriteBlock(index, buf);
+  }
+
+  uint64_t NumBlocks() const override { return base_->NumBlocks(); }
+  Status Truncate(uint64_t num_blocks) override {
+    return base_->Truncate(num_blocks);
+  }
+  size_t block_size() const override { return base_->block_size(); }
+  const std::string& name() const override { return base_->name(); }
+
+ private:
+  std::unique_ptr<BlockFile> base_;
+  FaultEnv* env_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<BlockFile>> FaultEnv::Create(const std::string& name) {
+  auto base_or = base_->Create(name);
+  if (!base_or.ok()) return base_or;
+  return {std::unique_ptr<BlockFile>(
+      new FaultBlockFile(std::move(base_or).value(), this))};
+}
+
+Result<std::unique_ptr<BlockFile>> FaultEnv::Open(const std::string& name) {
+  auto base_or = base_->Open(name);
+  if (!base_or.ok()) return base_or;
+  return {std::unique_ptr<BlockFile>(
+      new FaultBlockFile(std::move(base_or).value(), this))};
+}
+
+}  // namespace maxrs

@@ -1,0 +1,61 @@
+// Fault-injecting Env wrapper for failure-path testing: fails the K-th block
+// read or write (counting from the wrapper's construction or last Arm call)
+// with an IOError. Used by tests to verify Status propagation through every
+// layer (streams, sorts, sweeps, public API).
+#ifndef MAXRS_IO_FAULT_ENV_H_
+#define MAXRS_IO_FAULT_ENV_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "io/env.h"
+
+namespace maxrs {
+
+class FaultEnv : public Env {
+ public:
+  explicit FaultEnv(Env& base) : base_(&base) {}
+
+  /// Fails the `k`-th counted operation from now (1-based). Reads and writes
+  /// share the countdown.
+  void ArmAfter(uint64_t k) { remaining_ = k; }
+  void Disarm() { remaining_ = std::numeric_limits<uint64_t>::max(); }
+
+  /// Number of faults actually delivered.
+  uint64_t faults_delivered() const { return faults_delivered_; }
+
+  Result<std::unique_ptr<BlockFile>> Create(const std::string& name) override;
+  Result<std::unique_ptr<BlockFile>> Open(const std::string& name) override;
+  Status Delete(const std::string& name) override { return base_->Delete(name); }
+  bool Exists(const std::string& name) const override {
+    return base_->Exists(name);
+  }
+  std::vector<std::string> ListFiles() const override {
+    return base_->ListFiles();
+  }
+  size_t block_size() const override { return base_->block_size(); }
+  IoStats& stats() override { return base_->stats(); }
+
+  /// Returns true if the current operation must fail (internal use by the
+  /// wrapped files).
+  bool ShouldFail() {
+    if (remaining_ == std::numeric_limits<uint64_t>::max()) return false;
+    if (remaining_ <= 1) {
+      Disarm();
+      ++faults_delivered_;
+      return true;
+    }
+    --remaining_;
+    return false;
+  }
+
+ private:
+  Env* base_;
+  uint64_t remaining_ = std::numeric_limits<uint64_t>::max();
+  uint64_t faults_delivered_ = 0;
+};
+
+}  // namespace maxrs
+
+#endif  // MAXRS_IO_FAULT_ENV_H_

@@ -1,0 +1,46 @@
+// Block-transfer accounting: the cost metric of the external-memory model.
+// Every block moved between backing storage and memory is counted here; the
+// benchmark harness reports these counters exactly as the paper reports
+// "I/O cost ... the number of transferred blocks during the entire process".
+#ifndef MAXRS_IO_IO_STATS_H_
+#define MAXRS_IO_IO_STATS_H_
+
+#include <cstdint>
+
+namespace maxrs {
+
+/// A point-in-time copy of the counters.
+struct IoStatsSnapshot {
+  uint64_t blocks_read = 0;
+  uint64_t blocks_written = 0;
+
+  uint64_t total() const { return blocks_read + blocks_written; }
+
+  IoStatsSnapshot operator-(const IoStatsSnapshot& other) const {
+    return {blocks_read - other.blocks_read,
+            blocks_written - other.blocks_written};
+  }
+};
+
+/// Mutable counters owned by an Env. Not thread-safe; the library is
+/// single-threaded by design (the EM model measures a serial I/O stream).
+class IoStats {
+ public:
+  void RecordRead(uint64_t blocks) { blocks_read_ += blocks; }
+  void RecordWrite(uint64_t blocks) { blocks_written_ += blocks; }
+
+  IoStatsSnapshot Snapshot() const { return {blocks_read_, blocks_written_}; }
+
+  void Reset() {
+    blocks_read_ = 0;
+    blocks_written_ = 0;
+  }
+
+ private:
+  uint64_t blocks_read_ = 0;
+  uint64_t blocks_written_ = 0;
+};
+
+}  // namespace maxrs
+
+#endif  // MAXRS_IO_IO_STATS_H_

@@ -1,0 +1,116 @@
+#include <cstring>
+#include <map>
+
+#include "io/env.h"
+#include "util/check.h"
+
+namespace maxrs {
+namespace {
+
+// Simulated on-disk contents of one file: a flat vector of blocks.
+struct FileData {
+  std::vector<std::vector<char>> blocks;
+};
+
+class MemEnv;
+
+class MemBlockFile : public BlockFile {
+ public:
+  MemBlockFile(std::string name, std::shared_ptr<FileData> data, size_t block_size,
+               IoStats* stats)
+      : name_(std::move(name)),
+        data_(std::move(data)),
+        block_size_(block_size),
+        stats_(stats) {}
+
+  Status ReadBlock(uint64_t index, void* buf) override {
+    if (index >= data_->blocks.size()) {
+      return Status::IOError("read past end of file " + name_);
+    }
+    std::memcpy(buf, data_->blocks[index].data(), block_size_);
+    stats_->RecordRead(1);
+    return Status::OK();
+  }
+
+  Status WriteBlock(uint64_t index, const void* buf) override {
+    if (index > data_->blocks.size()) {
+      return Status::IOError("write beyond end+1 of file " + name_);
+    }
+    if (index == data_->blocks.size()) {
+      data_->blocks.emplace_back(block_size_);
+    }
+    std::memcpy(data_->blocks[index].data(), buf, block_size_);
+    stats_->RecordWrite(1);
+    return Status::OK();
+  }
+
+  uint64_t NumBlocks() const override { return data_->blocks.size(); }
+
+  Status Truncate(uint64_t num_blocks) override {
+    if (num_blocks < data_->blocks.size()) data_->blocks.resize(num_blocks);
+    return Status::OK();
+  }
+
+  size_t block_size() const override { return block_size_; }
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::shared_ptr<FileData> data_;
+  size_t block_size_;
+  IoStats* stats_;
+};
+
+class MemEnv : public Env {
+ public:
+  explicit MemEnv(size_t block_size) : block_size_(block_size) {
+    MAXRS_CHECK(block_size_ >= 64);
+  }
+
+  Result<std::unique_ptr<BlockFile>> Create(const std::string& name) override {
+    auto data = std::make_shared<FileData>();
+    files_[name] = data;
+    return {std::unique_ptr<BlockFile>(
+        new MemBlockFile(name, std::move(data), block_size_, &stats_))};
+  }
+
+  Result<std::unique_ptr<BlockFile>> Open(const std::string& name) override {
+    auto it = files_.find(name);
+    if (it == files_.end()) return {Status::NotFound("no such file: " + name)};
+    return {std::unique_ptr<BlockFile>(
+        new MemBlockFile(name, it->second, block_size_, &stats_))};
+  }
+
+  Status Delete(const std::string& name) override {
+    // Open handles keep the data alive through their shared_ptr.
+    if (files_.erase(name) == 0) return Status::NotFound("no such file: " + name);
+    return Status::OK();
+  }
+
+  bool Exists(const std::string& name) const override {
+    return files_.count(name) > 0;
+  }
+
+  std::vector<std::string> ListFiles() const override {
+    std::vector<std::string> names;
+    names.reserve(files_.size());
+    for (const auto& [name, data] : files_) names.push_back(name);
+    return names;
+  }
+
+  size_t block_size() const override { return block_size_; }
+  IoStats& stats() override { return stats_; }
+
+ private:
+  size_t block_size_;
+  IoStats stats_;
+  std::map<std::string, std::shared_ptr<FileData>> files_;
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewMemEnv(size_t block_size) {
+  return std::make_unique<MemEnv>(block_size);
+}
+
+}  // namespace maxrs

@@ -1,0 +1,155 @@
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "io/env.h"
+#include "util/check.h"
+
+namespace maxrs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PosixBlockFile : public BlockFile {
+ public:
+  PosixBlockFile(std::string name, int fd, size_t block_size, IoStats* stats)
+      : name_(std::move(name)), fd_(fd), block_size_(block_size), stats_(stats) {
+    off_t size = lseek(fd_, 0, SEEK_END);
+    num_blocks_ = size <= 0 ? 0 : static_cast<uint64_t>(size) / block_size_;
+  }
+
+  ~PosixBlockFile() override {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  Status ReadBlock(uint64_t index, void* buf) override {
+    if (index >= num_blocks_) {
+      return Status::IOError("read past end of file " + name_);
+    }
+    ssize_t n = pread(fd_, buf, block_size_,
+                      static_cast<off_t>(index * block_size_));
+    if (n != static_cast<ssize_t>(block_size_)) {
+      return Status::IOError("short read on " + name_ + ": " +
+                             std::strerror(errno));
+    }
+    stats_->RecordRead(1);
+    return Status::OK();
+  }
+
+  Status WriteBlock(uint64_t index, const void* buf) override {
+    if (index > num_blocks_) {
+      return Status::IOError("write beyond end+1 of file " + name_);
+    }
+    ssize_t n = pwrite(fd_, buf, block_size_,
+                       static_cast<off_t>(index * block_size_));
+    if (n != static_cast<ssize_t>(block_size_)) {
+      return Status::IOError("short write on " + name_ + ": " +
+                             std::strerror(errno));
+    }
+    if (index == num_blocks_) ++num_blocks_;
+    stats_->RecordWrite(1);
+    return Status::OK();
+  }
+
+  uint64_t NumBlocks() const override { return num_blocks_; }
+
+  Status Truncate(uint64_t num_blocks) override {
+    if (num_blocks < num_blocks_) {
+      if (ftruncate(fd_, static_cast<off_t>(num_blocks * block_size_)) != 0) {
+        return Status::IOError("ftruncate failed on " + name_);
+      }
+      num_blocks_ = num_blocks;
+    }
+    return Status::OK();
+  }
+
+  size_t block_size() const override { return block_size_; }
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  int fd_;
+  size_t block_size_;
+  IoStats* stats_;
+  uint64_t num_blocks_;
+};
+
+class PosixEnv : public Env {
+ public:
+  PosixEnv(std::string root, size_t block_size)
+      : root_(std::move(root)), block_size_(block_size) {
+    std::error_code ec;
+    fs::create_directories(root_, ec);
+  }
+
+  Result<std::unique_ptr<BlockFile>> Create(const std::string& name) override {
+    const std::string path = PathFor(name);
+    int fd = open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      return {Status::IOError("cannot create " + path + ": " +
+                              std::strerror(errno))};
+    }
+    return {std::unique_ptr<BlockFile>(
+        new PosixBlockFile(name, fd, block_size_, &stats_))};
+  }
+
+  Result<std::unique_ptr<BlockFile>> Open(const std::string& name) override {
+    const std::string path = PathFor(name);
+    int fd = open(path.c_str(), O_RDWR, 0644);
+    if (fd < 0) return {Status::NotFound("no such file: " + path)};
+    return {std::unique_ptr<BlockFile>(
+        new PosixBlockFile(name, fd, block_size_, &stats_))};
+  }
+
+  Status Delete(const std::string& name) override {
+    if (unlink(PathFor(name).c_str()) != 0) {
+      return Status::NotFound("no such file: " + name);
+    }
+    return Status::OK();
+  }
+
+  bool Exists(const std::string& name) const override {
+    struct stat st;
+    return stat(PathFor(name).c_str(), &st) == 0;
+  }
+
+  std::vector<std::string> ListFiles() const override {
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(root_, ec)) {
+      if (entry.is_regular_file()) names.push_back(entry.path().filename());
+    }
+    return names;
+  }
+
+  size_t block_size() const override { return block_size_; }
+  IoStats& stats() override { return stats_; }
+
+ private:
+  // File names may contain '/'-separated logical paths; flatten them so the
+  // whole namespace lives in one directory.
+  std::string PathFor(const std::string& name) const {
+    std::string flat = name;
+    for (char& c : flat) {
+      if (c == '/') c = '_';
+    }
+    return root_ + "/" + flat;
+  }
+
+  std::string root_;
+  size_t block_size_;
+  IoStats stats_;
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewPosixEnv(const std::string& root_dir, size_t block_size) {
+  return std::make_unique<PosixEnv>(root_dir, block_size);
+}
+
+}  // namespace maxrs

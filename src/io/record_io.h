@@ -1,0 +1,217 @@
+// Typed sequential record streams over BlockFiles.
+//
+// Layout: block 0 is a header {magic, record_size, record_count}; blocks 1..n
+// hold `block_size / sizeof(T)` records each. A stream holds exactly one
+// block of buffer memory, so a reader or writer costs one block of the
+// memory budget M — the standard EM-model streaming primitive with O(1/B)
+// amortized I/O per record.
+//
+// T must be trivially copyable and fit in one block.
+#ifndef MAXRS_IO_RECORD_IO_H_
+#define MAXRS_IO_RECORD_IO_H_
+
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "io/env.h"
+#include "util/check.h"
+#include "util/status.h"
+
+namespace maxrs {
+
+namespace record_internal {
+constexpr uint64_t kMagic = 0x4d61785253f11eULL;  // "MaxRS file"
+
+struct Header {
+  uint64_t magic;
+  uint64_t record_size;
+  uint64_t record_count;
+};
+}  // namespace record_internal
+
+/// Appends records of type T to a fresh file. Call Finish() to persist the
+/// header; a stream that is not finished is not a valid record file.
+template <typename T>
+class RecordWriter {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  /// Creates the file `name` in `env` and returns a writer for it.
+  static Result<RecordWriter<T>> Make(Env& env, const std::string& name) {
+    auto file_or = env.Create(name);
+    if (!file_or.ok()) return {file_or.status()};
+    return {RecordWriter<T>(std::move(file_or).value())};
+  }
+
+  explicit RecordWriter(std::unique_ptr<BlockFile> file)
+      : file_(std::move(file)),
+        per_block_(file_->block_size() / sizeof(T)),
+        buf_(file_->block_size()) {
+    MAXRS_CHECK_MSG(per_block_ > 0, "record does not fit in a block");
+  }
+
+  RecordWriter(RecordWriter&&) noexcept = default;
+  RecordWriter& operator=(RecordWriter&&) noexcept = default;
+
+  Status Append(const T& record) {
+    MAXRS_DCHECK(!finished_);
+    std::memcpy(buf_.data() + in_buf_ * sizeof(T), &record, sizeof(T));
+    ++in_buf_;
+    ++count_;
+    if (in_buf_ == per_block_) return FlushBlock();
+    return Status::OK();
+  }
+
+  /// Flushes buffered records and writes the header. Idempotent.
+  Status Finish() {
+    if (finished_) return Status::OK();
+    if (in_buf_ > 0) MAXRS_RETURN_IF_ERROR(FlushBlock());
+    record_internal::Header header{record_internal::kMagic, sizeof(T), count_};
+    std::vector<char> hbuf(file_->block_size(), 0);
+    std::memcpy(hbuf.data(), &header, sizeof(header));
+    MAXRS_RETURN_IF_ERROR(file_->WriteBlock(0, hbuf.data()));
+    finished_ = true;
+    return Status::OK();
+  }
+
+  uint64_t count() const { return count_; }
+  const std::string& name() const { return file_->name(); }
+
+ private:
+  Status FlushBlock() {
+    // Data blocks start at 1; block 0 is reserved for the header. Reserve it
+    // lazily (uncounted zero-fill would be wrong: header write is a real I/O
+    // performed in Finish, so here we only ensure the index exists).
+    if (file_->NumBlocks() == 0) {
+      std::vector<char> zero(file_->block_size(), 0);
+      MAXRS_RETURN_IF_ERROR(file_->WriteBlock(0, zero.data()));
+    }
+    MAXRS_RETURN_IF_ERROR(file_->WriteBlock(next_block_, buf_.data()));
+    ++next_block_;
+    in_buf_ = 0;
+    return Status::OK();
+  }
+
+  std::unique_ptr<BlockFile> file_;
+  size_t per_block_;
+  std::vector<char> buf_;
+  size_t in_buf_ = 0;
+  uint64_t count_ = 0;
+  uint64_t next_block_ = 1;
+  bool finished_ = false;
+};
+
+/// Sequentially reads records of type T from a finished record file.
+template <typename T>
+class RecordReader {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  static Result<RecordReader<T>> Make(Env& env, const std::string& name) {
+    auto file_or = env.Open(name);
+    if (!file_or.ok()) return {file_or.status()};
+    RecordReader<T> reader(std::move(file_or).value());
+    MAXRS_RETURN_IF_ERROR(reader.ReadHeader());
+    return {std::move(reader)};
+  }
+
+  explicit RecordReader(std::unique_ptr<BlockFile> file)
+      : file_(std::move(file)),
+        per_block_(file_->block_size() / sizeof(T)),
+        buf_(file_->block_size()) {}
+
+  RecordReader(RecordReader&&) noexcept = default;
+  RecordReader& operator=(RecordReader&&) noexcept = default;
+
+  /// Reads the next record into *out; returns false at end of stream OR on
+  /// an I/O error. In the error case the status is sticky: callers iterating
+  /// with Next() must check final_status() when the loop ends (the RocksDB
+  /// iterator idiom). Alternatively use the Status-returning Read().
+  bool Next(T* out) {
+    Status st = Read(out);
+    if (st.code() == Status::Code::kNotFound) return false;
+    if (!st.ok()) {
+      final_status_ = st;
+      return false;
+    }
+    return true;
+  }
+
+  /// OK unless a Next() iteration ended early due to an I/O error.
+  const Status& final_status() const { return final_status_; }
+
+  /// Status-returning variant: NotFound signals end-of-stream.
+  Status Read(T* out) {
+    if (consumed_ == total_) return Status::NotFound("end of stream");
+    if (in_buf_ == buffered_) {
+      MAXRS_RETURN_IF_ERROR(file_->ReadBlock(next_block_, buf_.data()));
+      ++next_block_;
+      in_buf_ = 0;
+      buffered_ = std::min<uint64_t>(per_block_, total_ - consumed_);
+    }
+    std::memcpy(out, buf_.data() + in_buf_ * sizeof(T), sizeof(T));
+    ++in_buf_;
+    ++consumed_;
+    return Status::OK();
+  }
+
+  uint64_t total() const { return total_; }
+  uint64_t remaining() const { return total_ - consumed_; }
+
+ private:
+  Status ReadHeader() {
+    if (file_->NumBlocks() == 0) {
+      total_ = 0;  // Empty file: treated as zero records.
+      return Status::OK();
+    }
+    std::vector<char> hbuf(file_->block_size());
+    MAXRS_RETURN_IF_ERROR(file_->ReadBlock(0, hbuf.data()));
+    record_internal::Header header;
+    std::memcpy(&header, hbuf.data(), sizeof(header));
+    if (header.magic != record_internal::kMagic) {
+      return Status::Corruption("bad magic in " + file_->name());
+    }
+    if (header.record_size != sizeof(T)) {
+      return Status::Corruption("record size mismatch in " + file_->name());
+    }
+    total_ = header.record_count;
+    return Status::OK();
+  }
+
+  std::unique_ptr<BlockFile> file_;
+  size_t per_block_;
+  std::vector<char> buf_;
+  uint64_t total_ = 0;
+  uint64_t consumed_ = 0;
+  size_t in_buf_ = 0;
+  uint64_t buffered_ = 0;
+  uint64_t next_block_ = 1;
+  Status final_status_;
+};
+
+/// Convenience: writes `records` as a record file. Returns the count written.
+template <typename T>
+Status WriteRecordFile(Env& env, const std::string& name,
+                       const std::vector<T>& records) {
+  MAXRS_ASSIGN_OR_RETURN(RecordWriter<T> writer, RecordWriter<T>::Make(env, name));
+  for (const T& r : records) MAXRS_RETURN_IF_ERROR(writer.Append(r));
+  return writer.Finish();
+}
+
+/// Convenience: reads a whole record file into memory (tests/small inputs).
+template <typename T>
+Result<std::vector<T>> ReadRecordFile(Env& env, const std::string& name) {
+  MAXRS_ASSIGN_OR_RETURN(RecordReader<T> reader, RecordReader<T>::Make(env, name));
+  std::vector<T> records;
+  records.reserve(reader.total());
+  T rec{};
+  while (reader.Next(&rec)) records.push_back(rec);
+  MAXRS_RETURN_IF_ERROR(reader.final_status());
+  return {std::move(records)};
+}
+
+}  // namespace maxrs
+
+#endif  // MAXRS_IO_RECORD_IO_H_

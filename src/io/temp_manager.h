@@ -1,0 +1,40 @@
+// Scratch-file lifecycle management. Algorithms allocate uniquely named
+// temporary files and release them (deleting the backing storage) when a
+// recursion node or sort pass completes.
+#ifndef MAXRS_IO_TEMP_MANAGER_H_
+#define MAXRS_IO_TEMP_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "io/env.h"
+
+namespace maxrs {
+
+class TempFileManager {
+ public:
+  explicit TempFileManager(Env& env, std::string prefix = "tmp")
+      : env_(&env), prefix_(std::move(prefix)) {}
+
+  /// Returns a fresh unique file name; the file itself is not created yet.
+  std::string NewName(const std::string& tag) {
+    return prefix_ + "/" + std::to_string(next_id_++) + "_" + tag;
+  }
+
+  /// Deletes a temp file, ignoring NotFound (double release is harmless).
+  void Release(const std::string& name) {
+    Status st = env_->Delete(name);
+    (void)st;
+  }
+
+  Env& env() { return *env_; }
+
+ private:
+  Env* env_;
+  std::string prefix_;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace maxrs
+
+#endif  // MAXRS_IO_TEMP_MANAGER_H_

@@ -1,0 +1,45 @@
+// CHECK macros for internal invariants. A failed CHECK indicates a bug in the
+// library (not a recoverable condition), so it aborts with a diagnostic.
+#ifndef MAXRS_UTIL_CHECK_H_
+#define MAXRS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define MAXRS_CHECK(cond)                                                \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define MAXRS_CHECK_MSG(cond, msg)                                       \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define MAXRS_CHECK_OK(expr)                                             \
+  do {                                                                   \
+    ::maxrs::Status _st = (expr);                                        \
+    if (!_st.ok()) {                                                     \
+      std::fprintf(stderr, "CHECK_OK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, _st.ToString().c_str());                    \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#ifndef NDEBUG
+#define MAXRS_DCHECK(cond) MAXRS_CHECK(cond)
+#else
+#define MAXRS_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#endif
+
+#endif  // MAXRS_UTIL_CHECK_H_

@@ -1,0 +1,35 @@
+// Minimal command-line flag parser for the bench and example binaries.
+// Supports --name=value, --name value, and boolean --name / --no-name.
+#ifndef MAXRS_UTIL_FLAGS_H_
+#define MAXRS_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace maxrs {
+
+class Flags {
+ public:
+  /// Parses argv. Unrecognized positional arguments are collected in
+  /// positional(). Returns false (and prints to stderr) on malformed input.
+  bool Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string GetString(const std::string& name, const std::string& def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace maxrs
+
+#endif  // MAXRS_UTIL_FLAGS_H_

@@ -1,0 +1,27 @@
+// Lightweight leveled logging to stderr. Benchmarks and examples use this for
+// progress reporting; the library itself only logs at kWarn and above.
+#ifndef MAXRS_UTIL_LOGGING_H_
+#define MAXRS_UTIL_LOGGING_H_
+
+#include <string>
+
+namespace maxrs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// printf-style logging; a newline is appended.
+void Logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace maxrs
+
+#define MAXRS_LOG_DEBUG(...) ::maxrs::Logf(::maxrs::LogLevel::kDebug, __VA_ARGS__)
+#define MAXRS_LOG_INFO(...) ::maxrs::Logf(::maxrs::LogLevel::kInfo, __VA_ARGS__)
+#define MAXRS_LOG_WARN(...) ::maxrs::Logf(::maxrs::LogLevel::kWarn, __VA_ARGS__)
+#define MAXRS_LOG_ERROR(...) ::maxrs::Logf(::maxrs::LogLevel::kError, __VA_ARGS__)
+
+#endif  // MAXRS_UTIL_LOGGING_H_

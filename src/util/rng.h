@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation. We ship our own generators
+// (SplitMix64 seeding + xoshiro256** stream, Box-Muller normals) so that every
+// dataset and every test is bit-reproducible across platforms and standard
+// library versions, unlike std::normal_distribution.
+#ifndef MAXRS_UTIL_RNG_H_
+#define MAXRS_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace maxrs {
+
+/// SplitMix64: used to expand a single user seed into generator state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG with 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    uint64_t sm = seed;
+    for (auto& s : s_) s = SplitMix64(sm);
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double NextDouble() { return (NextU64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t UniformU64(uint64_t n) {
+    // Lemire's multiply-shift rejection method, bias-free.
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = -n % n;
+      while (l < t) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box-Muller (deterministic, platform-independent).
+  double Normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    // Avoid log(0).
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double two_pi = 6.283185307179586476925286766559;
+    spare_ = mag * std::sin(two_pi * u2);
+    have_spare_ = true;
+    return mag * std::cos(two_pi * u2);
+  }
+
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace maxrs
+
+#endif  // MAXRS_UTIL_RNG_H_

@@ -1,0 +1,113 @@
+// Status and Result<T>: exception-free error propagation, in the style of
+// RocksDB/Arrow. All fallible operations in the library return one of these.
+#ifndef MAXRS_UTIL_STATUS_H_
+#define MAXRS_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace maxrs {
+
+/// Outcome of a fallible operation. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kIOError,
+    kNotFound,
+    kCorruption,
+    kNotSupported,
+    kResourceExhausted,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IOError(std::string_view msg) { return Status(Code::kIOError, msg); }
+  static Status NotFound(std::string_view msg) { return Status(Code::kNotFound, msg); }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(Code::kResourceExhausted, msg);
+  }
+  static Status Internal(std::string_view msg) { return Status(Code::kInternal, msg); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable rendering, e.g. "IOError: short read".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), msg_(msg) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or an error Status. Never both.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace maxrs
+
+/// Propagates a non-OK Status out of the current function.
+#define MAXRS_RETURN_IF_ERROR(expr)             \
+  do {                                          \
+    ::maxrs::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates a Result-returning expression; on success binds the value to
+/// `lhs`, otherwise propagates the error Status.
+#define MAXRS_ASSIGN_OR_RETURN(lhs, expr)               \
+  MAXRS_ASSIGN_OR_RETURN_IMPL_(                         \
+      MAXRS_STATUS_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define MAXRS_STATUS_CONCAT_INNER_(a, b) a##b
+#define MAXRS_STATUS_CONCAT_(a, b) MAXRS_STATUS_CONCAT_INNER_(a, b)
+#define MAXRS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)    \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#endif  // MAXRS_UTIL_STATUS_H_

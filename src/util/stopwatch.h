@@ -1,0 +1,28 @@
+// Monotonic wall-clock stopwatch used by the benchmark harness.
+#ifndef MAXRS_UTIL_STOPWATCH_H_
+#define MAXRS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace maxrs {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace maxrs
+
+#endif  // MAXRS_UTIL_STOPWATCH_H_

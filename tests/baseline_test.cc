@@ -1,0 +1,235 @@
+#include "baseline/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/asb_tree.h"
+#include "core/brute_force.h"
+#include "core/exact_maxrs.h"
+#include "datagen/dataset_io.h"
+#include "io/env.h"
+#include "test_util.h"
+
+namespace maxrs {
+namespace {
+
+struct BaselineCase {
+  size_t n;
+  uint64_t extent;
+  double rect;
+  bool weights;
+};
+
+class BaselineOracleTest : public ::testing::TestWithParam<BaselineCase> {};
+
+TEST_P(BaselineOracleTest, NaiveMatchesBruteForce) {
+  const BaselineCase& c = GetParam();
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    auto env = NewMemEnv(512);
+    auto objects = testing::RandomIntObjects(c.n, c.extent, seed, c.weights);
+    ASSERT_TRUE(WriteDataset(*env, "data", objects).ok());
+    BaselineOptions options;
+    options.rect_width = c.rect;
+    options.rect_height = c.rect;
+    options.memory_bytes = 1 << 12;  // force the external path
+    auto got = RunNaivePlaneSweep(*env, "data", options);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    const BruteForceResult want = BruteForceMaxRS(objects, c.rect, c.rect);
+    ASSERT_EQ(got->total_weight, want.total_weight) << "seed=" << seed;
+    // The witness is a point of the transformed (center) space; its y sits on
+    // the stratum's lower edge, so nudge strictly inside (integer-coordinate
+    // data keeps all strata at least 0.5 tall).
+    const Rect r = Rect::Centered(
+        Point{got->location.x, got->location.y + 0.25}, c.rect, c.rect);
+    EXPECT_EQ(CoveredWeight(objects, r), got->total_weight) << "seed=" << seed;
+  }
+}
+
+TEST_P(BaselineOracleTest, ASBTreeMatchesBruteForce) {
+  const BaselineCase& c = GetParam();
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    auto env = NewMemEnv(512);
+    auto objects = testing::RandomIntObjects(c.n, c.extent, seed, c.weights);
+    ASSERT_TRUE(WriteDataset(*env, "data", objects).ok());
+    BaselineOptions options;
+    options.rect_width = c.rect;
+    options.rect_height = c.rect;
+    options.memory_bytes = 1 << 12;
+    auto got = RunASBTreeSweep(*env, "data", options);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    const BruteForceResult want = BruteForceMaxRS(objects, c.rect, c.rect);
+    ASSERT_EQ(got->total_weight, want.total_weight) << "seed=" << seed;
+    // The witness (leaf-cell midpoint in x, stratum lower edge in y) must
+    // realize the optimum after an interior nudge in y.
+    const Rect r = Rect::Centered(
+        Point{got->location.x, got->location.y + 0.25}, c.rect, c.rect);
+    EXPECT_EQ(CoveredWeight(objects, r), got->total_weight) << "seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BaselineOracleTest,
+    ::testing::Values(BaselineCase{50, 40, 8, false},
+                      BaselineCase{120, 100, 10, false},
+                      BaselineCase{120, 100, 10, true},
+                      BaselineCase{200, 60, 6, true},
+                      BaselineCase{80, 2000, 150, false},
+                      BaselineCase{150, 30, 4, false}));
+
+TEST(BaselineAgreementTest, AllThreeAlgorithmsAgreeOnLargerData) {
+  auto env = NewMemEnv(512);
+  auto objects = testing::RandomIntObjects(3000, 2000, 5);
+  ASSERT_TRUE(WriteDataset(*env, "data", objects).ok());
+
+  MaxRSOptions exact_options;
+  exact_options.rect_width = 50;
+  exact_options.rect_height = 50;
+  exact_options.memory_bytes = 1 << 14;
+  auto exact = RunExactMaxRS(*env, "data", exact_options);
+  ASSERT_TRUE(exact.ok());
+
+  BaselineOptions options;
+  options.rect_width = 50;
+  options.rect_height = 50;
+  options.memory_bytes = 1 << 14;
+  auto naive = RunNaivePlaneSweep(*env, "data", options);
+  ASSERT_TRUE(naive.ok());
+  auto asb = RunASBTreeSweep(*env, "data", options);
+  ASSERT_TRUE(asb.ok());
+
+  EXPECT_EQ(naive->total_weight, exact->total_weight);
+  EXPECT_EQ(asb->total_weight, exact->total_weight);
+}
+
+TEST(BaselineIoTest, ExactIsFarCheaperThanBaselines) {
+  // The paper's headline: ExactMaxRS is orders of magnitude cheaper in I/O
+  // than the adapted plane-sweep methods once data exceeds memory.
+  auto env = NewMemEnv(512);
+  auto objects = testing::RandomIntObjects(5000, 20000, 7);
+  ASSERT_TRUE(WriteDataset(*env, "data", objects).ok());
+
+  MaxRSOptions exact_options;
+  exact_options.rect_width = 2000;
+  exact_options.rect_height = 2000;
+  exact_options.memory_bytes = 1 << 13;
+  auto exact = RunExactMaxRS(*env, "data", exact_options);
+  ASSERT_TRUE(exact.ok());
+
+  BaselineOptions options;
+  options.rect_width = 2000;
+  options.rect_height = 2000;
+  options.memory_bytes = 1 << 13;
+  auto naive = RunNaivePlaneSweep(*env, "data", options);
+  ASSERT_TRUE(naive.ok());
+  auto asb = RunASBTreeSweep(*env, "data", options);
+  ASSERT_TRUE(asb.ok());
+
+  EXPECT_EQ(naive->total_weight, exact->total_weight);
+  EXPECT_EQ(asb->total_weight, exact->total_weight);
+  EXPECT_GT(naive->io.total(), 10 * exact->stats.io.total());
+  EXPECT_GT(asb->io.total(), 2 * exact->stats.io.total());
+}
+
+TEST(BaselineShortcutTest, NaiveLoadsDatasetWhenItFits) {
+  // Fig. 15(a): once the dataset fits in the buffer, the naive sweep does
+  // one linear scan and nothing else.
+  auto env = NewMemEnv(512);
+  auto objects = testing::RandomIntObjects(1000, 5000, 3);
+  ASSERT_TRUE(WriteDataset(*env, "data", objects).ok());
+  BaselineOptions options;
+  options.rect_width = 100;
+  options.rect_height = 100;
+  options.memory_bytes = 1 << 20;  // dataset (24KB) fits easily
+  env->stats().Reset();
+  auto got = RunNaivePlaneSweep(*env, "data", options);
+  ASSERT_TRUE(got.ok());
+  const uint64_t data_blocks = (1000 * sizeof(SpatialObject)) / 512 + 2;
+  EXPECT_LE(got->io.total(), data_blocks + 2);
+  // And it is still correct.
+  const BruteForceResult want = BruteForceMaxRS(objects, 100, 100);
+  EXPECT_EQ(got->total_weight, want.total_weight);
+}
+
+TEST(BaselineBufferTest, ASBTreeIoShrinksWithLargerBuffer) {
+  auto env = NewMemEnv(512);
+  auto objects = testing::RandomIntObjects(4000, 30000, 13);
+  ASSERT_TRUE(WriteDataset(*env, "data", objects).ok());
+  BaselineOptions small;
+  small.rect_width = small.rect_height = 300;
+  small.memory_bytes = 1 << 12;
+  BaselineOptions large = small;
+  large.memory_bytes = 1 << 18;
+  auto io_small = RunASBTreeSweep(*env, "data", small);
+  ASSERT_TRUE(io_small.ok());
+  auto io_large = RunASBTreeSweep(*env, "data", large);
+  ASSERT_TRUE(io_large.ok());
+  EXPECT_LT(io_large->io.total(), io_small->io.total());
+  EXPECT_EQ(io_large->total_weight, io_small->total_weight);
+}
+
+TEST(BaselineRangeTest, NaiveIoGrowsWithRangeSize) {
+  auto env = NewMemEnv(512);
+  auto objects = testing::RandomIntObjects(3000, 20000, 21);
+  ASSERT_TRUE(WriteDataset(*env, "data", objects).ok());
+  BaselineOptions narrow;
+  narrow.rect_width = narrow.rect_height = 100;
+  narrow.memory_bytes = 1 << 12;
+  BaselineOptions wide = narrow;
+  wide.rect_width = wide.rect_height = 2000;
+  auto io_narrow = RunNaivePlaneSweep(*env, "data", narrow);
+  ASSERT_TRUE(io_narrow.ok());
+  auto io_wide = RunNaivePlaneSweep(*env, "data", wide);
+  ASSERT_TRUE(io_wide.ok());
+  EXPECT_GT(io_wide->io.total(), io_narrow->io.total());
+}
+
+TEST(ExternalAggTreeTest, EmptyTreeBehaves) {
+  auto env = NewMemEnv(512);
+  ASSERT_TRUE(
+      WriteRecordFile(*env, "edges", std::vector<EdgeRecord>{{5.0}, {5.0}}).ok());
+  auto reader = RecordReader<EdgeRecord>::Make(*env, "edges");
+  ASSERT_TRUE(reader.ok());
+  auto tree = ExternalAggTree::Build(*env, "tree", *reader);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->empty());
+  BufferPool pool(*env, 1 << 12);
+  EXPECT_TRUE(tree->RangeAdd(pool, 0, 10, 1.0).ok());
+  auto max = tree->MaxValue(pool);
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(*max, 0.0);
+}
+
+TEST(ExternalAggTreeTest, MultiLevelTreeMatchesReference) {
+  // Enough distinct coordinates to force >= 2 levels with 512B blocks
+  // (leaf fanout = (512-24)/16 = 30).
+  auto env = NewMemEnv(512);
+  const size_t num_coords = 500;
+  std::vector<EdgeRecord> edges;
+  for (size_t i = 0; i < num_coords; ++i) {
+    edges.push_back({static_cast<double>(i * 3)});
+  }
+  ASSERT_TRUE(WriteRecordFile(*env, "edges", edges).ok());
+  auto reader = RecordReader<EdgeRecord>::Make(*env, "edges");
+  ASSERT_TRUE(reader.ok());
+  auto tree = ExternalAggTree::Build(*env, "tree", *reader);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GE(tree->height(), 2u);
+
+  BufferPool pool(*env, 1 << 13);
+  std::vector<double> reference(num_coords - 1, 0.0);
+  Rng rng(99);
+  for (int step = 0; step < 300; ++step) {
+    size_t a = rng.UniformU64(num_coords - 1);
+    size_t b = a + 1 + rng.UniformU64(num_coords - 1 - a);
+    const double w = static_cast<double>(1 + rng.UniformU64(4)) *
+                     (rng.NextDouble() < 0.3 ? -1.0 : 1.0);
+    ASSERT_TRUE(tree->RangeAdd(pool, a * 3.0, b * 3.0, w).ok());
+    for (size_t i = a; i < b; ++i) reference[i] += w;
+    auto got = tree->MaxValue(pool);
+    ASSERT_TRUE(got.ok());
+    const double want = *std::max_element(reference.begin(), reference.end());
+    ASSERT_EQ(*got, want) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace maxrs

@@ -1,0 +1,149 @@
+#include "io/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "io/env.h"
+
+namespace maxrs {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv(4096);
+    auto file_or = env_->Create("f");
+    ASSERT_TRUE(file_or.ok());
+    file_ = std::move(file_or).value();
+    std::vector<char> buf(4096);
+    for (int b = 0; b < 16; ++b) {
+      std::memset(buf.data(), 'a' + b, buf.size());
+      ASSERT_TRUE(file_->WriteBlock(b, buf.data()).ok());
+    }
+    env_->stats().Reset();
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<BlockFile> file_;
+};
+
+TEST_F(BufferPoolTest, HitsAreFree) {
+  BufferPool pool(*env_, 4 * 4096);
+  {
+    auto p = pool.Fetch(*file_, 0);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p->data()[0], 'a');
+  }
+  EXPECT_EQ(env_->stats().Snapshot().blocks_read, 1u);
+  {
+    auto p = pool.Fetch(*file_, 0);
+    ASSERT_TRUE(p.ok());
+  }
+  EXPECT_EQ(env_->stats().Snapshot().blocks_read, 1u);  // second fetch: hit
+  EXPECT_EQ(pool.pool_stats().hits, 1u);
+  EXPECT_EQ(pool.pool_stats().misses, 1u);
+}
+
+TEST_F(BufferPoolTest, LruEvictionOrder) {
+  BufferPool pool(*env_, 2 * 4096);
+  ASSERT_TRUE(pool.Fetch(*file_, 0).ok());
+  ASSERT_TRUE(pool.Fetch(*file_, 1).ok());
+  ASSERT_TRUE(pool.Fetch(*file_, 0).ok());  // 0 becomes MRU
+  ASSERT_TRUE(pool.Fetch(*file_, 2).ok());  // evicts 1 (LRU)
+  env_->stats().Reset();
+  ASSERT_TRUE(pool.Fetch(*file_, 0).ok());  // still cached
+  EXPECT_EQ(env_->stats().Snapshot().blocks_read, 0u);
+  ASSERT_TRUE(pool.Fetch(*file_, 1).ok());  // was evicted: counted read
+  EXPECT_EQ(env_->stats().Snapshot().blocks_read, 1u);
+}
+
+TEST_F(BufferPoolTest, DirtyEvictionWritesBack) {
+  BufferPool pool(*env_, 1 * 4096);
+  {
+    auto p = pool.Fetch(*file_, 3);
+    ASSERT_TRUE(p.ok());
+    p->data()[0] = 'Z';
+    p->MarkDirty();
+  }
+  EXPECT_EQ(env_->stats().Snapshot().blocks_written, 0u);  // not yet
+  ASSERT_TRUE(pool.Fetch(*file_, 4).ok());  // evicts dirty block 3
+  EXPECT_EQ(env_->stats().Snapshot().blocks_written, 1u);
+  // Verify persisted content.
+  std::vector<char> buf(4096);
+  ASSERT_TRUE(file_->ReadBlock(3, buf.data()).ok());
+  EXPECT_EQ(buf[0], 'Z');
+}
+
+TEST_F(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  BufferPool pool(*env_, 2 * 4096);
+  auto p0 = pool.Fetch(*file_, 0);
+  ASSERT_TRUE(p0.ok());
+  auto p1 = pool.Fetch(*file_, 1);
+  ASSERT_TRUE(p1.ok());
+  // Both frames pinned: a third fetch must fail, not evict.
+  auto p2 = pool.Fetch(*file_, 2);
+  EXPECT_FALSE(p2.ok());
+  EXPECT_EQ(p2.status().code(), Status::Code::kResourceExhausted);
+  p0->Release();
+  auto p3 = pool.Fetch(*file_, 2);  // now frame 0 is evictable
+  EXPECT_TRUE(p3.ok());
+}
+
+TEST_F(BufferPoolTest, FlushAllWritesDirtyPages) {
+  BufferPool pool(*env_, 4 * 4096);
+  {
+    auto p = pool.Fetch(*file_, 5);
+    ASSERT_TRUE(p.ok());
+    p->data()[1] = 'Q';
+    p->MarkDirty();
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  std::vector<char> buf(4096);
+  ASSERT_TRUE(file_->ReadBlock(5, buf.data()).ok());
+  EXPECT_EQ(buf[1], 'Q');
+  // Flushing twice does not double-write.
+  env_->stats().Reset();
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(env_->stats().Snapshot().blocks_written, 0u);
+}
+
+TEST_F(BufferPoolTest, ZeroFillNewAppendsWithoutRead) {
+  BufferPool pool(*env_, 4 * 4096);
+  env_->stats().Reset();
+  {
+    auto p = pool.Fetch(*file_, 16, /*zero_fill_new=*/true);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p->data()[0], 0);
+  }
+  EXPECT_EQ(env_->stats().Snapshot().blocks_read, 0u);
+  EXPECT_EQ(env_->stats().Snapshot().blocks_written, 1u);  // allocation write
+}
+
+TEST_F(BufferPoolTest, EvictDropsFileBlocks) {
+  BufferPool pool(*env_, 4 * 4096);
+  {
+    auto p = pool.Fetch(*file_, 0);
+    ASSERT_TRUE(p.ok());
+    p->MarkDirty();
+  }
+  ASSERT_TRUE(pool.Evict(*file_).ok());
+  env_->stats().Reset();
+  ASSERT_TRUE(pool.Fetch(*file_, 0).ok());
+  EXPECT_EQ(env_->stats().Snapshot().blocks_read, 1u);  // re-fetched
+}
+
+TEST_F(BufferPoolTest, MoveHandleTransfersPin) {
+  BufferPool pool(*env_, 1 * 4096);
+  auto p0 = pool.Fetch(*file_, 0);
+  ASSERT_TRUE(p0.ok());
+  PageHandle moved = std::move(p0).value();
+  EXPECT_TRUE(moved.valid());
+  // Still pinned: fetch of a different block cannot evict.
+  EXPECT_FALSE(pool.Fetch(*file_, 1).ok());
+  moved.Release();
+  EXPECT_TRUE(pool.Fetch(*file_, 1).ok());
+}
+
+}  // namespace
+}  // namespace maxrs

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circle/approx_maxcrs.h"
+#include "circle/exact_maxcrs.h"
+#include "circle/grid_index.h"
+#include "core/brute_force.h"
+#include "datagen/dataset_io.h"
+#include "io/env.h"
+#include "test_util.h"
+
+namespace maxrs {
+namespace {
+
+// --- GridIndex -------------------------------------------------------------
+
+TEST(GridIndexTest, FindsAllNeighborsWithinRadius) {
+  auto objects = testing::RandomIntObjects(500, 1000, 3);
+  GridIndex grid(objects, 50.0);
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point c{static_cast<double>(rng.UniformU64(1000)),
+                  static_cast<double>(rng.UniformU64(1000))};
+    const double r = 30.0 + rng.NextDouble() * 200.0;
+    double got = 0;
+    grid.ForEachWithin(c, r, [&](const SpatialObject& o) { got += o.w; });
+    double want = 0;
+    for (const auto& o : objects) {
+      if (DistanceSquared({o.x, o.y}, c) <= r * r) want += o.w;
+    }
+    ASSERT_EQ(got, want) << "trial " << trial;
+  }
+}
+
+TEST(GridIndexTest, WeightInsideUsesStrictPredicate) {
+  std::vector<SpatialObject> objects = {{0, 0, 1}, {5, 0, 1}, {10, 0, 1}};
+  GridIndex grid(objects, 5.0);
+  // Circle centered at 5,0 with radius 5: endpoints on the boundary excluded.
+  EXPECT_EQ(grid.WeightInside(Circle{{5, 0}, 10}), 1.0);
+}
+
+TEST(GridIndexTest, EmptySet) {
+  GridIndex grid({}, 10.0);
+  EXPECT_EQ(grid.WeightInside(Circle{{0, 0}, 100}), 0.0);
+  EXPECT_EQ(grid.size(), 0u);
+}
+
+// --- Shifted points / Lemma 5 ----------------------------------------------
+
+TEST(ShiftedPointsTest, Lemma5MbrCoveredByShiftedCircles) {
+  // For any sigma in ((sqrt(2)-1) d/2, d/2), the MBR of the circle at p0 is
+  // covered by the union of the four shifted circles. Verify on a dense
+  // point lattice for several sigma values.
+  const double d = 100.0;
+  const Point p0{0, 0};
+  for (double fraction : {0.45, 0.7, 0.99}) {
+    const double sigma = fraction * d / 2.0;
+    const auto shifted = circle_internal::ShiftedPoints(p0, sigma);
+    const Rect mbr = Rect::Centered(p0, d, d);
+    for (double x = mbr.x_lo + 0.25; x < mbr.x_hi; x += 0.5) {
+      for (double y = mbr.y_lo + 0.25; y < mbr.y_hi; y += 0.5) {
+        bool covered = false;
+        for (const Point& p : shifted) {
+          covered |= Circle{p, d}.Contains(Point{x, y});
+        }
+        ASSERT_TRUE(covered) << "uncovered at (" << x << "," << y
+                             << ") sigma=" << sigma;
+      }
+    }
+  }
+}
+
+TEST(ShiftedPointsTest, SigmaOutsideRangeLeavesGaps) {
+  // Below the lower bound the MBR corners escape the union: the bound in
+  // Sec. 6.1 is not slack.
+  const double d = 100.0;
+  const double sigma = 0.25 * d / 2.0;  // < (sqrt(2)-1) d/2
+  const auto shifted = circle_internal::ShiftedPoints({0, 0}, sigma);
+  const Point corner{-d / 2 + 0.01, -d / 2 + 0.01};
+  bool covered = false;
+  for (const Point& p : shifted) covered |= Circle{p, d}.Contains(corner);
+  EXPECT_FALSE(covered);
+}
+
+// --- Exact MaxCRS reference -------------------------------------------------
+
+struct CircleCase {
+  size_t n;
+  uint64_t extent;
+  double diameter;
+  bool weights;
+};
+
+class ExactMaxCRSTest : public ::testing::TestWithParam<CircleCase> {};
+
+TEST_P(ExactMaxCRSTest, MatchesBruteForce) {
+  const CircleCase& c = GetParam();
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    auto objects = testing::RandomIntObjects(c.n, c.extent, seed, c.weights);
+    const ExactMaxCRSResult got = ExactMaxCRS(objects, c.diameter);
+    const BruteForceResult want = BruteForceMaxCRS(objects, c.diameter);
+    ASSERT_EQ(got.total_weight, want.total_weight)
+        << "n=" << c.n << " d=" << c.diameter << " seed=" << seed;
+    // The witness center realizes the weight.
+    EXPECT_EQ(CoveredWeight(objects, Circle{got.location, c.diameter}),
+              got.total_weight);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, ExactMaxCRSTest,
+                         ::testing::Values(CircleCase{20, 50, 20, false},
+                                           CircleCase{60, 100, 30, false},
+                                           CircleCase{60, 100, 30, true},
+                                           CircleCase{100, 60, 15, true},
+                                           CircleCase{40, 400, 80, false}));
+
+TEST(ExactMaxCRSBasicTest, SinglePoint) {
+  std::vector<SpatialObject> objects = {{10, 10, 3.0}};
+  const ExactMaxCRSResult r = ExactMaxCRS(objects, 5.0);
+  EXPECT_EQ(r.total_weight, 3.0);
+}
+
+TEST(ExactMaxCRSBasicTest, EmptyInput) {
+  EXPECT_EQ(ExactMaxCRS({}, 5.0).total_weight, 0.0);
+}
+
+TEST(ExactMaxCRSBasicTest, TwoPointsJustWithinDiameter) {
+  std::vector<SpatialObject> objects = {{0, 0, 1}, {9, 0, 1}};
+  EXPECT_EQ(ExactMaxCRS(objects, 10.0).total_weight, 2.0);
+  // At distance >= d they cannot share an open circle.
+  objects[1].x = 10.5;
+  EXPECT_EQ(ExactMaxCRS(objects, 10.0).total_weight, 1.0);
+}
+
+// --- ApproxMaxCRS ------------------------------------------------------------
+
+class ApproxBoundTest : public ::testing::TestWithParam<CircleCase> {};
+
+TEST_P(ApproxBoundTest, AtLeastQuarterOfOptimal) {
+  const CircleCase& c = GetParam();
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    auto objects = testing::RandomIntObjects(c.n, c.extent, seed, c.weights);
+    const MaxCRSResult approx = ApproxMaxCRSInMemory(objects, c.diameter);
+    const ExactMaxCRSResult opt = ExactMaxCRS(objects, c.diameter);
+    ASSERT_GE(approx.total_weight, 0.25 * opt.total_weight - 1e-9)
+        << "n=" << c.n << " seed=" << seed;
+    ASSERT_LE(approx.total_weight, opt.total_weight + 1e-9)
+        << "approx cannot beat the optimum";
+    // Reported weight matches an independent recount at the location.
+    EXPECT_EQ(CoveredWeight(objects, Circle{approx.location, c.diameter}),
+              approx.total_weight);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, ApproxBoundTest,
+                         ::testing::Values(CircleCase{30, 60, 20, false},
+                                           CircleCase{100, 100, 25, false},
+                                           CircleCase{100, 100, 25, true},
+                                           CircleCase{200, 80, 12, true},
+                                           CircleCase{50, 500, 100, false}));
+
+TEST(ApproxMaxCRSTest, RejectsInvalidSigma) {
+  auto env = NewMemEnv(512);
+  ASSERT_TRUE(WriteDataset(*env, "data", {{1, 1, 1}}).ok());
+  MaxCRSOptions options;
+  options.sigma_fraction = 0.3;  // below sqrt(2)-1
+  EXPECT_EQ(RunApproxMaxCRS(*env, "data", options).status().code(),
+            Status::Code::kInvalidArgument);
+  options.sigma_fraction = 1.0;
+  EXPECT_EQ(RunApproxMaxCRS(*env, "data", options).status().code(),
+            Status::Code::kInvalidArgument);
+  options.sigma_fraction = 0.7;
+  options.diameter = -1;
+  EXPECT_EQ(RunApproxMaxCRS(*env, "data", options).status().code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(ApproxMaxCRSTest, ExternalMatchesInMemory) {
+  auto env = NewMemEnv(512);
+  auto objects = testing::RandomIntObjects(2000, 1500, 11);
+  ASSERT_TRUE(WriteDataset(*env, "data", objects).ok());
+  MaxCRSOptions options;
+  options.diameter = 60;
+  options.memory_bytes = 1 << 14;
+  auto external = RunApproxMaxCRS(*env, "data", options);
+  ASSERT_TRUE(external.ok()) << external.status().ToString();
+  const MaxCRSResult internal = ApproxMaxCRSInMemory(objects, 60);
+  EXPECT_EQ(external->total_weight, internal.total_weight);
+  EXPECT_EQ(external->chosen, internal.chosen);
+}
+
+TEST(ApproxMaxCRSTest, CandidateWeightsAreConsistent) {
+  auto objects = testing::RandomIntObjects(300, 200, 13);
+  const MaxCRSResult r = ApproxMaxCRSInMemory(objects, 40);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(CoveredWeight(objects, Circle{r.candidates[i], 40.0}),
+              r.candidate_weights[i])
+        << "candidate " << i;
+    EXPECT_LE(r.candidate_weights[i], r.total_weight);
+  }
+  // Worst-case structure of Theorem 4: p1..p4 are at distance sigma from p0.
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_NEAR(Distance(r.candidates[0], r.candidates[i]), 0.7 * 20.0, 1e-9);
+  }
+}
+
+TEST(ApproxMaxCRSTest, PaperWorstCaseStaysAboveBound) {
+  // Theorem 4's tightness construction: four unit-weight circles arranged so
+  // the MBR max-region center sees nothing, and each shifted point covers
+  // one circle. The approximation must still deliver >= 1/4 of OPT.
+  const double d = 100.0;
+  std::vector<SpatialObject> objects = {
+      {-45, 45, 1}, {45, 45, 1}, {45, -45, 1}, {-45, -45, 1}};
+  const MaxCRSResult approx = ApproxMaxCRSInMemory(objects, d);
+  const ExactMaxCRSResult opt = ExactMaxCRS(objects, d);
+  EXPECT_GE(approx.total_weight, 0.25 * opt.total_weight - 1e-12);
+}
+
+}  // namespace
+}  // namespace maxrs

@@ -1,0 +1,172 @@
+#include "datagen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/dataset_io.h"
+#include "io/env.h"
+
+namespace maxrs {
+namespace {
+
+TEST(GeneratorsTest, UniformRespectsCardinalityAndDomain) {
+  SyntheticOptions options;
+  options.cardinality = 10000;
+  auto objects = MakeUniform(options);
+  ASSERT_EQ(objects.size(), 10000u);
+  const double domain = 4.0 * 10000;
+  for (const auto& o : objects) {
+    ASSERT_GE(o.x, 0.0);
+    ASSERT_LT(o.x, domain);
+    ASSERT_GE(o.y, 0.0);
+    ASSERT_LT(o.y, domain);
+    ASSERT_EQ(o.w, 1.0);
+  }
+}
+
+TEST(GeneratorsTest, UniformIsRoughlyUniform) {
+  SyntheticOptions options;
+  options.cardinality = 40000;
+  options.domain_size = 1000;
+  auto objects = MakeUniform(options);
+  // Quadrant counts should be near 10000 each.
+  int q[4] = {0, 0, 0, 0};
+  for (const auto& o : objects) {
+    q[(o.x >= 500) + 2 * (o.y >= 500)]++;
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(q[i], 10000, 500) << "quadrant " << i;
+  }
+}
+
+TEST(GeneratorsTest, GaussianConcentratesInCenter) {
+  SyntheticOptions options;
+  options.cardinality = 20000;
+  options.domain_size = 1000;
+  auto objects = MakeGaussian(options);
+  ASSERT_EQ(objects.size(), 20000u);
+  // Central half-box should hold the vast majority (sigma = domain/8).
+  int center = 0;
+  for (const auto& o : objects) {
+    ASSERT_GE(o.x, 0.0);
+    ASSERT_LT(o.x, 1000.0);
+    if (o.x > 250 && o.x < 750 && o.y > 250 && o.y < 750) ++center;
+  }
+  // P(|X - mu| < 2 sigma)^2 ~ 0.911 for the accepted points.
+  EXPECT_GT(center, 17500);
+}
+
+TEST(GeneratorsTest, DeterministicForSameSeedDistinctAcrossSeeds) {
+  SyntheticOptions options;
+  options.cardinality = 100;
+  auto a = MakeUniform(options);
+  auto b = MakeUniform(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x);
+    EXPECT_EQ(a[i].y, b[i].y);
+  }
+  options.seed = 43;
+  auto c = MakeUniform(options);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) any_diff |= (a[i].x != c[i].x);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorsTest, RandomWeightsInRange) {
+  SyntheticOptions options;
+  options.cardinality = 1000;
+  options.weights = WeightMode::kUniformRandom;
+  auto objects = MakeUniform(options);
+  for (const auto& o : objects) {
+    ASSERT_GE(o.w, 0.5);
+    ASSERT_LT(o.w, 2.0);
+  }
+}
+
+TEST(GeneratorsTest, UxAndNeLikeMatchPaperCardinalities) {
+  auto ux = MakeUxLike();
+  auto ne = MakeNeLike();
+  EXPECT_EQ(ux.size(), kUxCardinality);
+  EXPECT_EQ(ne.size(), kNeCardinality);
+  // Both normalized to [0, 1M]^2 (Table 2 discussion).
+  for (const auto& o : ux) {
+    ASSERT_GE(o.x, 0.0);
+    ASSERT_LT(o.x, 1e6);
+  }
+  const Rect ne_box = BoundingBox(ne);
+  EXPECT_LT(ne_box.x_hi, 1e6);
+}
+
+TEST(GeneratorsTest, ClusteredIsMoreConcentratedThanUniform) {
+  // Compare max local density on a coarse grid: clustered data must have a
+  // much denser hotspot than uniform data of the same cardinality.
+  auto clustered = MakeNeLike();
+  SyntheticOptions options;
+  options.cardinality = clustered.size();
+  options.domain_size = 1e6;
+  auto uniform = MakeUniform(options);
+  auto max_cell = [](const std::vector<SpatialObject>& objects) {
+    std::vector<int> cells(100, 0);
+    int best = 0;
+    for (const auto& o : objects) {
+      const int cx = std::min(9, static_cast<int>(o.x / 1e5));
+      const int cy = std::min(9, static_cast<int>(o.y / 1e5));
+      best = std::max(best, ++cells[cy * 10 + cx]);
+    }
+    return best;
+  };
+  EXPECT_GT(max_cell(clustered), 2 * max_cell(uniform));
+}
+
+TEST(DatasetIoTest, EnvRoundTrip) {
+  auto env = NewMemEnv(4096);
+  SyntheticOptions options;
+  options.cardinality = 5000;
+  auto objects = MakeUniform(options);
+  ASSERT_TRUE(WriteDataset(*env, "d", objects).ok());
+  auto back = ReadDataset(*env, "d");
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), objects.size());
+  EXPECT_EQ((*back)[123].x, objects[123].x);
+  EXPECT_EQ((*back)[4999].w, objects[4999].w);
+}
+
+TEST(DatasetIoTest, CsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/maxrs_csv_test.csv";
+  std::vector<SpatialObject> objects = {
+      {1.5, 2.5, 3.0}, {-7.25, 0.125, 1.0}, {1e6, 999999.5, 0.25}};
+  ASSERT_TRUE(SaveCsv(path, objects).ok());
+  auto back = LoadCsv(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), objects.size());
+  for (size_t i = 0; i < objects.size(); ++i) {
+    EXPECT_EQ((*back)[i].x, objects[i].x);
+    EXPECT_EQ((*back)[i].y, objects[i].y);
+    EXPECT_EQ((*back)[i].w, objects[i].w);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, CsvDefaultsWeightToOne) {
+  const std::string path = ::testing::TempDir() + "/maxrs_csv_now.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "x,y\n3.5,4.5\n10,20\n");
+  std::fclose(f);
+  auto back = LoadCsv(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].w, 1.0);
+  EXPECT_EQ((*back)[1].x, 10.0);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, CsvMissingFileIsNotFound) {
+  EXPECT_EQ(LoadCsv("/definitely/not/here.csv").status().code(),
+            Status::Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace maxrs

@@ -1,0 +1,216 @@
+#include "core/exact_maxrs.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "datagen/dataset_io.h"
+#include "io/env.h"
+#include "test_util.h"
+
+namespace maxrs {
+namespace {
+
+MaxRSOptions SmallExternalOptions() {
+  // Force deep recursion on small inputs: tiny base case and fan-out.
+  MaxRSOptions options;
+  options.rect_width = 8;
+  options.rect_height = 8;
+  options.memory_bytes = 1 << 14;
+  options.fanout = 3;
+  options.base_case_max_pieces = 16;
+  return options;
+}
+
+TEST(ExactMaxRSTest, EmptyDataset) {
+  auto env = NewMemEnv(512);
+  ASSERT_TRUE(WriteDataset(*env, "data", {}).ok());
+  MaxRSOptions options;
+  options.memory_bytes = 1 << 14;
+  auto result = RunExactMaxRS(*env, "data", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->total_weight, 0.0);
+}
+
+TEST(ExactMaxRSTest, RejectsBadOptions) {
+  auto env = NewMemEnv(512);
+  ASSERT_TRUE(WriteDataset(*env, "data", {{1, 1, 1}}).ok());
+  MaxRSOptions options;
+  options.rect_width = 0;
+  EXPECT_EQ(RunExactMaxRS(*env, "data", options).status().code(),
+            Status::Code::kInvalidArgument);
+  options.rect_width = 10;
+  options.memory_bytes = 256;  // less than 4 blocks
+  EXPECT_EQ(RunExactMaxRS(*env, "data", options).status().code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(ExactMaxRSTest, MissingDatasetIsNotFound) {
+  auto env = NewMemEnv(512);
+  MaxRSOptions options;
+  options.memory_bytes = 1 << 14;
+  EXPECT_EQ(RunExactMaxRS(*env, "absent", options).status().code(),
+            Status::Code::kNotFound);
+}
+
+TEST(ExactMaxRSTest, MatchesInMemoryOnModerateData) {
+  auto env = NewMemEnv(512);
+  auto objects = testing::RandomIntObjects(2000, 500, 23);
+  const MaxRSOptions options = SmallExternalOptions();
+  auto external = RunExactMaxRS(*env, objects, options);
+  ASSERT_TRUE(external.ok());
+  const MaxRSResult internal =
+      ExactMaxRSInMemory(objects, options.rect_width, options.rect_height);
+  EXPECT_EQ(external->total_weight, internal.total_weight);
+  EXPECT_GT(external->stats.recursion_levels, 0u);
+  // The returned location must realize the weight.
+  const Rect r =
+      Rect::Centered(external->location, options.rect_width, options.rect_height);
+  EXPECT_EQ(CoveredWeight(objects, r), external->total_weight);
+}
+
+struct ExternalCase {
+  size_t n;
+  uint64_t extent;
+  double rect;
+  size_t fanout;
+  uint64_t base_max;
+  bool weights;
+};
+
+class ExactMaxRSOracleTest : public ::testing::TestWithParam<ExternalCase> {};
+
+TEST_P(ExactMaxRSOracleTest, MatchesBruteForceThroughRecursion) {
+  const ExternalCase& c = GetParam();
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    auto env = NewMemEnv(512);
+    auto objects = testing::RandomIntObjects(c.n, c.extent, seed, c.weights);
+    MaxRSOptions options;
+    options.rect_width = c.rect;
+    options.rect_height = c.rect;
+    options.memory_bytes = 1 << 14;
+    options.fanout = c.fanout;
+    options.base_case_max_pieces = c.base_max;
+    auto got = RunExactMaxRS(*env, objects, options);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    const BruteForceResult want = BruteForceMaxRS(objects, c.rect, c.rect);
+    ASSERT_EQ(got->total_weight, want.total_weight)
+        << "n=" << c.n << " seed=" << seed << " fanout=" << c.fanout;
+    const Rect r = Rect::Centered(got->location, c.rect, c.rect);
+    ASSERT_EQ(CoveredWeight(objects, r), got->total_weight) << "seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ExactMaxRSOracleTest,
+    ::testing::Values(
+        // Wide rectangles relative to the domain force many spanning parts.
+        ExternalCase{100, 50, 20, 2, 8, false},
+        ExternalCase{100, 50, 20, 3, 8, true},
+        ExternalCase{200, 100, 10, 4, 16, false},
+        ExternalCase{200, 100, 40, 4, 16, false},   // very wide: heavy spans
+        ExternalCase{300, 60, 6, 5, 12, true},      // dense duplicates
+        ExternalCase{150, 2000, 100, 3, 10, false}, // sparse
+        ExternalCase{250, 30, 4, 2, 6, true},       // deep recursion
+        ExternalCase{64, 16, 8, 8, 4, false}));     // rect = half the domain
+
+TEST(ExactMaxRSTest, DegenerateAllSameXFallsBackToBaseCase) {
+  auto env = NewMemEnv(512);
+  std::vector<SpatialObject> objects;
+  for (int i = 0; i < 200; ++i) objects.push_back({42, static_cast<double>(i), 1});
+  MaxRSOptions options = SmallExternalOptions();
+  options.rect_width = 4;
+  options.rect_height = 10;
+  auto result = RunExactMaxRS(*env, objects, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->total_weight, 10.0);
+}
+
+TEST(ExactMaxRSTest, CleansUpAllScratchFiles) {
+  auto env = NewMemEnv(512);
+  auto objects = testing::RandomIntObjects(500, 200, 5);
+  auto result = RunExactMaxRS(*env, objects, SmallExternalOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(env->ListFiles().empty())
+      << "leftover scratch files after a run";
+}
+
+TEST(ExactMaxRSTest, DeterministicAcrossRuns) {
+  auto objects = testing::RandomIntObjects(1500, 400, 77);
+  MaxRSOptions options = SmallExternalOptions();
+  auto env1 = NewMemEnv(512);
+  auto env2 = NewMemEnv(512);
+  auto r1 = RunExactMaxRS(*env1, objects, options);
+  auto r2 = RunExactMaxRS(*env2, objects, options);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->total_weight, r2->total_weight);
+  EXPECT_EQ(r1->location.x, r2->location.x);
+  EXPECT_EQ(r1->location.y, r2->location.y);
+  EXPECT_EQ(r1->stats.io.total(), r2->stats.io.total());
+}
+
+TEST(ExactMaxRSTest, InMemoryShortcutDoesMinimalIo) {
+  auto env = NewMemEnv(512);
+  auto objects = testing::RandomIntObjects(100, 100, 9);
+  ASSERT_TRUE(WriteDataset(*env, "data", objects).ok());
+  env->stats().Reset();
+  MaxRSOptions options;
+  options.rect_width = 10;
+  options.rect_height = 10;
+  options.memory_bytes = 1 << 20;  // plenty: base case at the top level
+  auto result = RunExactMaxRS(*env, "data", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.base_cases, 1u);
+  EXPECT_EQ(result->stats.recursion_levels, 0u);
+  // Only the linear dataset read is allowed.
+  const uint64_t data_blocks =
+      (objects.size() * sizeof(SpatialObject) + 511) / 512 + 1;
+  EXPECT_LE(result->stats.io.total(), data_blocks + 2);
+}
+
+TEST(ExactMaxRSTest, RegionIsConsistentWithLocationAndWeight) {
+  auto env = NewMemEnv(512);
+  auto objects = testing::RandomIntObjects(800, 300, 31);
+  MaxRSOptions options = SmallExternalOptions();
+  auto result = RunExactMaxRS(*env, objects, options);
+  ASSERT_TRUE(result.ok());
+  // Any point of the reported max-region must achieve the same weight.
+  const Rect region = result->region;
+  const Point probes[] = {
+      result->location,
+      {region.x_lo + 1e-9, region.y_lo + 1e-9},
+      {(region.x_lo + region.x_hi) / 2, region.y_lo + 1e-9},
+  };
+  for (const Point& p : probes) {
+    const Rect r = Rect::Centered(p, options.rect_width, options.rect_height);
+    EXPECT_EQ(CoveredWeight(objects, r), result->total_weight);
+  }
+}
+
+TEST(ExactMaxRSTest, IoScalesNearLinearly) {
+  // Doubling N should not much more than double the I/O (the log factor is
+  // tiny): checks the O((N/B) log_{M/B}(N/B)) envelope empirically.
+  MaxRSOptions options;
+  options.rect_width = 100;
+  options.rect_height = 100;
+  options.memory_bytes = 1 << 14;  // 32 blocks of 512B
+  uint64_t io_small = 0, io_large = 0;
+  {
+    auto env = NewMemEnv(512);
+    auto objects = testing::RandomIntObjects(4000, 100000, 1);
+    auto r = RunExactMaxRS(*env, objects, options);
+    ASSERT_TRUE(r.ok());
+    io_small = r->stats.io.total();
+  }
+  {
+    auto env = NewMemEnv(512);
+    auto objects = testing::RandomIntObjects(8000, 200000, 1);
+    auto r = RunExactMaxRS(*env, objects, options);
+    ASSERT_TRUE(r.ok());
+    io_large = r->stats.io.total();
+  }
+  EXPECT_LT(io_large, 3 * io_small);
+  EXPECT_GT(io_large, io_small);
+}
+
+}  // namespace
+}  // namespace maxrs

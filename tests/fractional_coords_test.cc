@@ -1,0 +1,101 @@
+// Differential tests on continuous (double) coordinates: the integer-grid
+// oracle suites exercise exact tie handling; these verify nothing depends on
+// integer alignment. With random doubles, coincidences are measure-zero, so
+// the half-open sweep and the anchored brute force agree exactly.
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.h"
+#include "circle/approx_maxcrs.h"
+#include "circle/exact_maxcrs.h"
+#include "core/brute_force.h"
+#include "core/exact_maxrs.h"
+#include "datagen/dataset_io.h"
+#include "io/env.h"
+#include "util/rng.h"
+
+namespace maxrs {
+namespace {
+
+std::vector<SpatialObject> RandomRealObjects(size_t n, double extent,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SpatialObject> objects;
+  objects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    objects.push_back({rng.Uniform(0, extent), rng.Uniform(0, extent),
+                       rng.Uniform(0.1, 5.0)});
+  }
+  return objects;
+}
+
+class FractionalMaxRSTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FractionalMaxRSTest, SweepAgreesWithBruteForceOnReals) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 31 + 5);
+  const size_t n = 50 + rng.UniformU64(150);
+  const double extent = rng.Uniform(50, 500);
+  const double w = rng.Uniform(extent / 20, extent / 3);
+  const double h = rng.Uniform(extent / 20, extent / 3);
+  auto objects = RandomRealObjects(n, extent, seed);
+
+  const BruteForceResult oracle = BruteForceMaxRS(objects, w, h);
+  const MaxRSResult mem = ExactMaxRSInMemory(objects, w, h);
+  ASSERT_DOUBLE_EQ(mem.total_weight, oracle.total_weight) << "seed " << seed;
+  ASSERT_DOUBLE_EQ(CoveredWeight(objects, Rect::Centered(mem.location, w, h)),
+                   mem.total_weight);
+
+  auto env = NewMemEnv(512);
+  MaxRSOptions options;
+  options.rect_width = w;
+  options.rect_height = h;
+  options.memory_bytes = 1 << 13;
+  options.fanout = 3;
+  options.base_case_max_pieces = 24;
+  auto external = RunExactMaxRS(*env, objects, options);
+  ASSERT_TRUE(external.ok());
+  ASSERT_DOUBLE_EQ(external->total_weight, oracle.total_weight)
+      << "seed " << seed;
+
+  ASSERT_TRUE(WriteDataset(*env, "data", objects).ok());
+  BaselineOptions baseline_options;
+  baseline_options.rect_width = w;
+  baseline_options.rect_height = h;
+  baseline_options.memory_bytes = 1 << 12;
+  auto naive = RunNaivePlaneSweep(*env, "data", baseline_options);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_DOUBLE_EQ(naive->total_weight, oracle.total_weight) << "seed " << seed;
+  auto asb = RunASBTreeSweep(*env, "data", baseline_options);
+  ASSERT_TRUE(asb.ok());
+  EXPECT_DOUBLE_EQ(asb->total_weight, oracle.total_weight) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FractionalMaxRSTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+class FractionalCircleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FractionalCircleTest, CirclePipelineOnReals) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 131 + 7);
+  const size_t n = 30 + rng.UniformU64(80);
+  const double extent = rng.Uniform(50, 300);
+  const double d = rng.Uniform(extent / 10, extent / 2);
+  auto objects = RandomRealObjects(n, extent, seed + 1000);
+
+  const ExactMaxCRSResult opt = ExactMaxCRS(objects, d);
+  const BruteForceResult oracle = BruteForceMaxCRS(objects, d);
+  ASSERT_DOUBLE_EQ(opt.total_weight, oracle.total_weight) << "seed " << seed;
+
+  const MaxCRSResult approx = ApproxMaxCRSInMemory(objects, d);
+  EXPECT_GE(approx.total_weight, 0.25 * opt.total_weight - 1e-9);
+  EXPECT_LE(approx.total_weight, opt.total_weight + 1e-9);
+  EXPECT_DOUBLE_EQ(CoveredWeight(objects, Circle{approx.location, d}),
+                   approx.total_weight);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FractionalCircleTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace maxrs

@@ -1,0 +1,100 @@
+// Differential fuzzing: many randomized configurations, each checking that
+// every implementation of the same problem agrees. Configurations are
+// generated deterministically from the fuzz index so failures reproduce.
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.h"
+#include "core/brute_force.h"
+#include "core/exact_maxrs.h"
+#include "datagen/dataset_io.h"
+#include "io/env.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace maxrs {
+namespace {
+
+struct FuzzConfig {
+  size_t n;
+  uint64_t extent;
+  double rect_w;
+  double rect_h;
+  bool weights;
+  size_t memory_bytes;
+  size_t fanout;
+  uint64_t base_max;
+  uint64_t data_seed;
+};
+
+FuzzConfig MakeConfig(uint64_t index) {
+  Rng rng(0xF0220000 + index);
+  FuzzConfig c;
+  c.n = 20 + rng.UniformU64(280);
+  c.extent = 8 + rng.UniformU64(400);
+  // Rect sizes: even integers, occasionally huge relative to the domain.
+  c.rect_w = 2.0 * static_cast<double>(1 + rng.UniformU64(
+                       std::max<uint64_t>(2, c.extent / 3)));
+  c.rect_h = 2.0 * static_cast<double>(1 + rng.UniformU64(
+                       std::max<uint64_t>(2, c.extent / 3)));
+  c.weights = rng.NextDouble() < 0.5;
+  c.memory_bytes = (4 + rng.UniformU64(28)) << 10;
+  c.fanout = 2 + rng.UniformU64(7);
+  c.base_max = 4 + rng.UniformU64(60);
+  c.data_seed = rng.NextU64();
+  return c;
+}
+
+class MaxRSFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MaxRSFuzzTest, AllImplementationsAgree) {
+  const FuzzConfig c = MakeConfig(GetParam());
+  auto objects = testing::RandomIntObjects(c.n, c.extent, c.data_seed, c.weights);
+
+  // Ground truth.
+  const BruteForceResult oracle = BruteForceMaxRS(objects, c.rect_w, c.rect_h);
+
+  // In-memory sweep.
+  const MaxRSResult mem = ExactMaxRSInMemory(objects, c.rect_w, c.rect_h);
+  ASSERT_EQ(mem.total_weight, oracle.total_weight)
+      << "in-memory sweep diverged, fuzz index " << GetParam();
+
+  // External pipeline under the fuzzed memory/fan-out knobs.
+  auto env = NewMemEnv(512);
+  MaxRSOptions options;
+  options.rect_width = c.rect_w;
+  options.rect_height = c.rect_h;
+  options.memory_bytes = c.memory_bytes;
+  options.fanout = c.fanout;
+  options.base_case_max_pieces = c.base_max;
+  auto external = RunExactMaxRS(*env, objects, options);
+  ASSERT_TRUE(external.ok()) << external.status().ToString();
+  ASSERT_EQ(external->total_weight, oracle.total_weight)
+      << "external pipeline diverged, fuzz index " << GetParam()
+      << " (n=" << c.n << " extent=" << c.extent << " rect=" << c.rect_w << "x"
+      << c.rect_h << " fanout=" << c.fanout << " base=" << c.base_max << ")";
+  // Witness realizes the optimum.
+  ASSERT_EQ(CoveredWeight(objects,
+                          Rect::Centered(external->location, c.rect_w, c.rect_h)),
+            oracle.total_weight)
+      << "external witness wrong, fuzz index " << GetParam();
+
+  // Baselines (cheap enough at fuzz sizes).
+  ASSERT_TRUE(WriteDataset(*env, "fuzz_data", objects).ok());
+  BaselineOptions baseline_options;
+  baseline_options.rect_width = c.rect_w;
+  baseline_options.rect_height = c.rect_h;
+  baseline_options.memory_bytes = c.memory_bytes;
+  auto naive = RunNaivePlaneSweep(*env, "fuzz_data", baseline_options);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_EQ(naive->total_weight, oracle.total_weight)
+      << "naive diverged, fuzz index " << GetParam();
+  auto asb = RunASBTreeSweep(*env, "fuzz_data", baseline_options);
+  ASSERT_TRUE(asb.ok());
+  ASSERT_EQ(asb->total_weight, oracle.total_weight)
+      << "aSB-tree diverged, fuzz index " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, MaxRSFuzzTest, ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace maxrs

@@ -1,0 +1,91 @@
+#include "geom/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace maxrs {
+namespace {
+
+TEST(RectTest, CenteredConstruction) {
+  Rect r = Rect::Centered({10, 20}, 4, 6);
+  EXPECT_DOUBLE_EQ(r.x_lo, 8);
+  EXPECT_DOUBLE_EQ(r.x_hi, 12);
+  EXPECT_DOUBLE_EQ(r.y_lo, 17);
+  EXPECT_DOUBLE_EQ(r.y_hi, 23);
+  EXPECT_EQ(r.center().x, 10);
+  EXPECT_EQ(r.center().y, 20);
+}
+
+TEST(RectTest, HalfOpenCoverSemantics) {
+  Rect r{0, 10, 0, 10};
+  EXPECT_TRUE(r.Contains(Point{0, 0}));    // low edges inclusive
+  EXPECT_TRUE(r.Contains(Point{9.999, 9.999}));
+  EXPECT_FALSE(r.Contains(Point{10, 5}));  // high edges exclusive
+  EXPECT_FALSE(r.Contains(Point{5, 10}));
+  EXPECT_FALSE(r.Contains(Point{-0.001, 5}));
+}
+
+TEST(RectTest, OverlapAndIntersect) {
+  Rect a{0, 10, 0, 10};
+  Rect b{5, 15, 5, 15};
+  Rect c{10, 20, 0, 10};  // touches a at x=10: half-open => no overlap
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_FALSE(a.Overlaps(c));
+  Rect i = a.Intersect(b);
+  EXPECT_EQ(i, (Rect{5, 10, 5, 10}));
+  EXPECT_FALSE(i.empty());
+  EXPECT_TRUE(a.Intersect(c).empty());
+}
+
+TEST(IntervalTest, ContainsAndOverlaps) {
+  Interval v{1, 5};
+  EXPECT_TRUE(v.Contains(1));
+  EXPECT_FALSE(v.Contains(5));
+  EXPECT_TRUE(v.Overlaps({4, 6}));
+  EXPECT_FALSE(v.Overlaps({5, 6}));
+  EXPECT_DOUBLE_EQ(v.length(), 4);
+}
+
+TEST(CircleTest, StrictInteriorCover) {
+  Circle c{{0, 0}, 10};  // radius 5
+  EXPECT_TRUE(c.Contains(Point{0, 0}));
+  EXPECT_TRUE(c.Contains(Point{4.9, 0}));
+  EXPECT_FALSE(c.Contains(Point{5, 0}));  // boundary excluded
+  EXPECT_FALSE(c.Contains(Point{3.6, 3.6}));
+}
+
+TEST(CircleTest, MbrIsSquareOfSideDiameter) {
+  Circle c{{3, 4}, 10};
+  Rect mbr = c.Mbr();
+  EXPECT_EQ(mbr, (Rect{-2, 8, -1, 9}));
+  EXPECT_DOUBLE_EQ(mbr.width(), 10);
+  EXPECT_DOUBLE_EQ(mbr.height(), 10);
+}
+
+TEST(CoveredWeightTest, SumsOnlyCoveredObjects) {
+  std::vector<SpatialObject> objects = {
+      {1, 1, 2.0}, {5, 5, 3.0}, {10, 10, 7.0}, {9.99, 9.99, 1.0}};
+  EXPECT_DOUBLE_EQ(CoveredWeight(objects, Rect{0, 10, 0, 10}), 6.0);
+  EXPECT_DOUBLE_EQ(CoveredWeight(objects, Circle{{5, 5}, 2}), 3.0);
+}
+
+TEST(BoundingBoxTest, ComputesExtremes) {
+  std::vector<SpatialObject> objects = {{1, 7, 1}, {-3, 2, 1}, {9, 5, 1}};
+  Rect box = BoundingBox(objects);
+  EXPECT_EQ(box.x_lo, -3);
+  EXPECT_EQ(box.x_hi, 9);
+  EXPECT_EQ(box.y_lo, 2);
+  EXPECT_EQ(box.y_hi, 7);
+}
+
+TEST(BoundingBoxTest, EmptyInput) {
+  std::vector<SpatialObject> none;
+  EXPECT_TRUE(BoundingBox(none) == Rect{});
+}
+
+TEST(DistanceTest, Basics) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared({1, 1}, {1, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace maxrs

@@ -1,0 +1,176 @@
+#include "index/agg_rtree.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_maxrs.h"
+#include "index/ra_grid.h"
+#include "io/env.h"
+#include "test_util.h"
+
+namespace maxrs {
+namespace {
+
+struct TreeCase {
+  size_t n;
+  uint64_t extent;
+  bool weights;
+};
+
+class AggRTreeOracleTest : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(AggRTreeOracleTest, RangeSumMatchesLinearScan) {
+  const TreeCase& c = GetParam();
+  auto env = NewMemEnv(512);
+  auto objects = testing::RandomIntObjects(c.n, c.extent, 3, c.weights);
+  auto tree = AggRTree::BulkLoad(*env, "tree", objects);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  BufferPool pool(*env, 1 << 14);
+
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    const double x = static_cast<double>(rng.UniformU64(c.extent + 1));
+    const double y = static_cast<double>(rng.UniformU64(c.extent + 1));
+    const double w = 1.0 + static_cast<double>(rng.UniformU64(c.extent));
+    const double h = 1.0 + static_cast<double>(rng.UniformU64(c.extent));
+    const Rect query{x, x + w, y, y + h};
+    auto got = tree->RangeSum(pool, query);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(*got, CoveredWeight(objects, query)) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, AggRTreeOracleTest,
+                         ::testing::Values(TreeCase{1, 10, false},
+                                           TreeCase{50, 100, false},
+                                           TreeCase{500, 300, true},
+                                           TreeCase{5000, 1000, false},
+                                           TreeCase{5000, 50, true}));
+
+TEST(AggRTreeTest, EmptyTree) {
+  auto env = NewMemEnv(512);
+  auto tree = AggRTree::BulkLoad(*env, "tree", {});
+  ASSERT_TRUE(tree.ok());
+  BufferPool pool(*env, 1 << 12);
+  auto sum = tree->RangeSum(pool, Rect{0, 100, 0, 100});
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, 0.0);
+  auto total = tree->TotalSum(pool);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 0.0);
+}
+
+TEST(AggRTreeTest, TotalSumEqualsRootAggregate) {
+  auto env = NewMemEnv(512);
+  auto objects = testing::RandomIntObjects(2000, 500, 5, /*weights=*/true);
+  double want = 0;
+  for (const auto& o : objects) want += o.w;
+  auto tree = AggRTree::BulkLoad(*env, "tree", objects);
+  ASSERT_TRUE(tree.ok());
+  BufferPool pool(*env, 1 << 13);
+  auto total = tree->TotalSum(pool);
+  ASSERT_TRUE(total.ok());
+  EXPECT_NEAR(*total, want, 1e-9);
+  // A query covering everything agrees too.
+  auto all = tree->RangeSum(pool, Rect{-1, 501, -1, 501});
+  ASSERT_TRUE(all.ok());
+  EXPECT_NEAR(*all, want, 1e-9);
+}
+
+TEST(AggRTreeTest, MultiLevelStructure) {
+  auto env = NewMemEnv(512);  // leaf capacity (512-8)/24 = 21
+  auto objects = testing::RandomIntObjects(5000, 2000, 7);
+  auto tree = AggRTree::BulkLoad(*env, "tree", objects);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GE(tree->height(), 2u);
+  EXPECT_GT(tree->num_blocks(), 200u);
+  EXPECT_EQ(tree->num_objects(), 5000u);
+}
+
+TEST(AggRTreeTest, AggregateEntriesShortCircuitLargeQueries) {
+  auto env = NewMemEnv(512);
+  auto objects = testing::RandomIntObjects(5000, 1000, 9);
+  auto tree = AggRTree::BulkLoad(*env, "tree", objects);
+  ASSERT_TRUE(tree.ok());
+  BufferPool pool(*env, 1 << 14);
+  RangeSumStats big_stats, small_stats;
+  ASSERT_TRUE(tree->RangeSum(pool, Rect{-1, 1001, -1, 1001}, &big_stats).ok());
+  ASSERT_TRUE(tree->RangeSum(pool, Rect{10, 30, 10, 30}, &small_stats).ok());
+  // A query containing everything is answered near the root.
+  EXPECT_LT(big_stats.nodes_visited, 5u);
+  EXPECT_GT(big_stats.entries_aggregated, 0u);
+  // A tiny query touches few leaves.
+  EXPECT_LT(small_stats.objects_scanned, 200u);
+}
+
+TEST(AggRTreeTest, OpenRoundTrip) {
+  auto env = NewMemEnv(512);
+  auto objects = testing::RandomIntObjects(1000, 300, 11, /*weights=*/true);
+  {
+    auto built = AggRTree::BulkLoad(*env, "tree", objects);
+    ASSERT_TRUE(built.ok());
+  }
+  auto tree = AggRTree::Open(*env, "tree");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_objects(), 1000u);
+  BufferPool pool(*env, 1 << 13);
+  const Rect query{50, 150, 100, 280};
+  auto got = tree->RangeSum(pool, query);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, CoveredWeight(objects, query));
+}
+
+TEST(AggRTreeTest, OpenRejectsForeignFiles) {
+  auto env = NewMemEnv(512);
+  auto file = env->Create("junk");
+  ASSERT_TRUE(file.ok());
+  std::vector<char> buf(512, 42);
+  ASSERT_TRUE((*file)->WriteBlock(0, buf.data()).ok());
+  EXPECT_EQ(AggRTree::Open(*env, "junk").status().code(),
+            Status::Code::kCorruption);
+}
+
+// --- RA-grid MaxRS ----------------------------------------------------------
+
+TEST(RaGridTest, NeverExceedsAndConvergesToOptimum) {
+  auto env = NewMemEnv(512);
+  auto objects = testing::RandomIntObjects(2000, 1000, 13);
+  const double rect = 100;
+  const MaxRSResult exact = ExactMaxRSInMemory(objects, rect, rect);
+
+  auto tree = AggRTree::BulkLoad(*env, "tree", objects);
+  ASSERT_TRUE(tree.ok());
+  BufferPool pool(*env, 1 << 15);
+  const Rect domain{0, 1000, 0, 1000};
+
+  double prev_best = -1.0;
+  for (uint32_t grid : {4u, 16u, 64u}) {
+    auto got = RaGridMaxRS(*tree, pool, domain, rect, rect, grid);
+    ASSERT_TRUE(got.ok());
+    EXPECT_LE(got->total_weight, exact.total_weight);
+    EXPECT_EQ(got->queries, static_cast<uint64_t>(grid) * grid);
+    // The grid answer is realizable.
+    EXPECT_EQ(CoveredWeight(objects, Rect::Centered(got->location, rect, rect)),
+              got->total_weight);
+    // Monotone improvement is not guaranteed point-wise, but coarse-to-fine
+    // must not get dramatically worse; track it loosely.
+    EXPECT_GE(got->total_weight, prev_best * 0.5);
+    prev_best = got->total_weight;
+  }
+  // At fine resolution the grid should get close (within 25%) but typically
+  // still below the exact optimum.
+  auto fine = RaGridMaxRS(*tree, pool, domain, rect, rect, 128);
+  ASSERT_TRUE(fine.ok());
+  EXPECT_GE(fine->total_weight, 0.75 * exact.total_weight);
+}
+
+TEST(RaGridTest, RejectsBadArguments) {
+  auto env = NewMemEnv(512);
+  auto tree = AggRTree::BulkLoad(*env, "tree", {{1, 1, 1}});
+  ASSERT_TRUE(tree.ok());
+  BufferPool pool(*env, 1 << 12);
+  EXPECT_FALSE(RaGridMaxRS(*tree, pool, Rect{0, 10, 0, 10}, 1, 1, 0).ok());
+  EXPECT_FALSE(RaGridMaxRS(*tree, pool, Rect{10, 0, 0, 10}, 1, 1, 4).ok());
+}
+
+}  // namespace
+}  // namespace maxrs

@@ -1,0 +1,213 @@
+// End-to-end integration: realistic clustered datasets, every public entry
+// point, cross-algorithm agreement, and both Env backends.
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.h"
+#include "circle/approx_maxcrs.h"
+#include "circle/exact_maxcrs.h"
+#include "core/exact_maxrs.h"
+#include "core/extensions.h"
+#include "datagen/dataset_io.h"
+#include "datagen/generators.h"
+#include "index/agg_rtree.h"
+#include "index/ra_grid.h"
+#include "io/env.h"
+
+namespace maxrs {
+namespace {
+
+/// A scaled-down NE-like city dataset shared across the scenarios.
+std::vector<SpatialObject> CityDataset() {
+  ClusterOptions options;
+  options.cardinality = 8000;
+  options.domain_size = 100000.0;
+  options.num_clusters = 12;
+  options.cluster_sigma_fraction = 0.03;
+  options.background_fraction = 0.15;
+  options.seed = 2026;
+  return MakeClustered(options);
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { city_ = new std::vector<SpatialObject>(CityDataset()); }
+  static void TearDownTestSuite() {
+    delete city_;
+    city_ = nullptr;
+  }
+
+  static std::vector<SpatialObject>* city_;
+};
+
+std::vector<SpatialObject>* IntegrationTest::city_ = nullptr;
+
+TEST_F(IntegrationTest, AllMaxRSAlgorithmsAgreeOnClusteredData) {
+  auto env = NewMemEnv(4096);
+  ASSERT_TRUE(WriteDataset(*env, "city", *city_).ok());
+
+  MaxRSOptions exact_options;
+  exact_options.rect_width = 4000;
+  exact_options.rect_height = 4000;
+  exact_options.memory_bytes = 64 << 10;  // force external machinery
+  auto exact = RunExactMaxRS(*env, "city", exact_options);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  EXPECT_GT(exact->total_weight, 0.0);
+  EXPECT_GT(exact->stats.recursion_levels, 0u);
+
+  BaselineOptions baseline_options;
+  baseline_options.rect_width = 4000;
+  baseline_options.rect_height = 4000;
+  baseline_options.memory_bytes = 64 << 10;
+  auto naive = RunNaivePlaneSweep(*env, "city", baseline_options);
+  ASSERT_TRUE(naive.ok());
+  auto asb = RunASBTreeSweep(*env, "city", baseline_options);
+  ASSERT_TRUE(asb.ok());
+  EXPECT_EQ(naive->total_weight, exact->total_weight);
+  EXPECT_EQ(asb->total_weight, exact->total_weight);
+
+  // In-memory agrees as well.
+  const MaxRSResult mem = ExactMaxRSInMemory(*city_, 4000, 4000);
+  EXPECT_EQ(mem.total_weight, exact->total_weight);
+
+  // The reported location realizes the optimum.
+  EXPECT_EQ(CoveredWeight(*city_, Rect::Centered(exact->location, 4000, 4000)),
+            exact->total_weight);
+}
+
+TEST_F(IntegrationTest, PosixEnvProducesIdenticalResults) {
+  const std::string dir = ::testing::TempDir() + "/maxrs_integration";
+  auto posix = NewPosixEnv(dir, 4096);
+  auto mem = NewMemEnv(4096);
+  ASSERT_TRUE(WriteDataset(*posix, "city", *city_).ok());
+  ASSERT_TRUE(WriteDataset(*mem, "city", *city_).ok());
+
+  MaxRSOptions options;
+  options.rect_width = 3000;
+  options.rect_height = 3000;
+  options.memory_bytes = 64 << 10;
+  auto on_posix = RunExactMaxRS(*posix, "city", options);
+  auto on_mem = RunExactMaxRS(*mem, "city", options);
+  ASSERT_TRUE(on_posix.ok()) << on_posix.status().ToString();
+  ASSERT_TRUE(on_mem.ok());
+  EXPECT_EQ(on_posix->total_weight, on_mem->total_weight);
+  EXPECT_EQ(on_posix->location.x, on_mem->location.x);
+  EXPECT_EQ(on_posix->location.y, on_mem->location.y);
+  // Identical I/O counts: the simulator and the real filesystem execute the
+  // same block schedule.
+  EXPECT_EQ(on_posix->stats.io.total(), on_mem->stats.io.total());
+}
+
+TEST_F(IntegrationTest, CircularPipelineOnClusteredData) {
+  auto env = NewMemEnv(4096);
+  ASSERT_TRUE(WriteDataset(*env, "city", *city_).ok());
+  MaxCRSOptions options;
+  options.diameter = 5000;
+  options.memory_bytes = 128 << 10;
+  auto approx = RunApproxMaxCRS(*env, "city", options);
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+
+  const ExactMaxCRSResult opt = ExactMaxCRS(*city_, 5000);
+  ASSERT_GT(opt.total_weight, 0.0);
+  EXPECT_GE(approx->total_weight, 0.25 * opt.total_weight);
+  EXPECT_LE(approx->total_weight, opt.total_weight);
+  // Quality on clustered data should in practice be far better than 1/4.
+  EXPECT_GE(approx->total_weight, 0.5 * opt.total_weight);
+}
+
+TEST_F(IntegrationTest, ExtensionsAreMutuallyConsistent) {
+  auto env = NewMemEnv(4096);
+  ASSERT_TRUE(WriteDataset(*env, "city", *city_).ok());
+  MaxRSOptions options;
+  options.rect_width = 4000;
+  options.rect_height = 4000;
+  options.memory_bytes = 64 << 10;
+
+  auto exact = RunExactMaxRS(*env, "city", options);
+  ASSERT_TRUE(exact.ok());
+
+  auto top3 = RunTopKMaxRS(*env, "city", options, 3);
+  ASSERT_TRUE(top3.ok());
+  ASSERT_EQ(top3->size(), 3u);
+  EXPECT_EQ((*top3)[0].total_weight, exact->total_weight);
+  EXPECT_GE((*top3)[1].total_weight, (*top3)[2].total_weight);
+
+  auto greedy = RunGreedyKMaxRS(*env, "city", options, 3);
+  ASSERT_TRUE(greedy.ok());
+  ASSERT_EQ(greedy->size(), 3u);
+  EXPECT_EQ((*greedy)[0].total_weight, exact->total_weight);
+  // Greedy round 2 can never beat the unconstrained second stratum... but it
+  // can never beat round 1 either.
+  EXPECT_LE((*greedy)[1].total_weight, (*greedy)[0].total_weight);
+
+  auto min_rs = RunMinRS(*env, "city", options);
+  ASSERT_TRUE(min_rs.ok());
+  EXPECT_LE(min_rs->total_weight, exact->total_weight);
+  EXPECT_GE(min_rs->total_weight, 0.0);
+}
+
+TEST_F(IntegrationTest, RaGridIsBoundedByExact) {
+  auto env = NewMemEnv(4096);
+  auto tree = AggRTree::BulkLoad(*env, "tree", *city_);
+  ASSERT_TRUE(tree.ok());
+  BufferPool pool(*env, 256 << 10);
+  const MaxRSResult exact = ExactMaxRSInMemory(*city_, 4000, 4000);
+  auto grid = RaGridMaxRS(*tree, pool, Rect{0, 100000, 0, 100000}, 4000, 4000,
+                          64);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_LE(grid->total_weight, exact.total_weight);
+  EXPECT_GE(grid->total_weight, 0.5 * exact.total_weight)
+      << "64x64 grid should find a decent candidate on clustered data";
+}
+
+TEST_F(IntegrationTest, CsvRoundTripThroughSolver) {
+  // The maxrs_cli flow as a library sequence: CSV -> dataset -> solve.
+  const std::string path = ::testing::TempDir() + "/maxrs_city.csv";
+  ASSERT_TRUE(SaveCsv(path, *city_).ok());
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), city_->size());
+  const MaxRSResult from_csv = ExactMaxRSInMemory(*loaded, 4000, 4000);
+  const MaxRSResult direct = ExactMaxRSInMemory(*city_, 4000, 4000);
+  EXPECT_EQ(from_csv.total_weight, direct.total_weight);
+  std::remove(path.c_str());
+}
+
+TEST_F(IntegrationTest, RepeatedRunsLeaveEnvClean) {
+  auto env = NewMemEnv(4096);
+  ASSERT_TRUE(WriteDataset(*env, "city", *city_).ok());
+  MaxRSOptions options;
+  options.rect_width = 2000;
+  options.rect_height = 2000;
+  options.memory_bytes = 64 << 10;
+  for (int round = 0; round < 3; ++round) {
+    auto result = RunExactMaxRS(*env, "city", options);
+    ASSERT_TRUE(result.ok());
+  }
+  // Only the dataset remains.
+  EXPECT_EQ(env->ListFiles().size(), 1u);
+}
+
+TEST_F(IntegrationTest, BufferBudgetChangesIoNotAnswers) {
+  auto env = NewMemEnv(4096);
+  ASSERT_TRUE(WriteDataset(*env, "city", *city_).ok());
+  double weight = -1;
+  uint64_t io_small = 0, io_large = 0;
+  for (size_t memory : {32u << 10, 512u << 10}) {
+    MaxRSOptions options;
+    options.rect_width = 4000;
+    options.rect_height = 4000;
+    options.memory_bytes = memory;
+    auto result = RunExactMaxRS(*env, "city", options);
+    ASSERT_TRUE(result.ok());
+    if (weight < 0) {
+      weight = result->total_weight;
+    } else {
+      EXPECT_EQ(result->total_weight, weight);
+    }
+    (memory == (32u << 10) ? io_small : io_large) = result->stats.io.total();
+  }
+  EXPECT_LT(io_large, io_small);  // more memory, fewer transfers
+}
+
+}  // namespace
+}  // namespace maxrs

@@ -1,0 +1,31 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace maxrs {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, EmitBelowAndAboveThresholdDoesNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kWarn);
+  // Suppressed (below threshold) and emitted (at/above threshold) paths.
+  MAXRS_LOG_DEBUG("suppressed %d", 1);
+  MAXRS_LOG_INFO("suppressed %s", "too");
+  MAXRS_LOG_WARN("emitted %d", 2);
+  MAXRS_LOG_ERROR("emitted %s", "as well");
+  SetLogLevel(LogLevel::kOff);
+  MAXRS_LOG_ERROR("suppressed at kOff");
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace maxrs

@@ -1,0 +1,217 @@
+#include "core/merge_sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "core/plane_sweep.h"
+#include "core/records.h"
+#include "io/env.h"
+#include "io/record_io.h"
+#include "test_util.h"
+
+namespace maxrs {
+namespace {
+
+/// End-to-end white-box check: manually divide pieces into two slabs plus a
+/// spanning set, produce slab-files via PlaneSweep, merge, and compare with
+/// a single global PlaneSweep.
+class MergeSweepTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Env> env_ = NewMemEnv(512);
+
+  /// Returns the best (sum, y) over a tuple stream.
+  static std::pair<double, double> Best(const std::vector<SlabTuple>& tuples) {
+    double best = 0, y = 0;
+    for (const SlabTuple& t : tuples) {
+      if (t.sum > best) {
+        best = t.sum;
+        y = t.y;
+      }
+    }
+    return {best, y};
+  }
+};
+
+TEST_F(MergeSweepTest, TwoSlabsNoSpans) {
+  // Slab 0: x in [0, 100); slab 1: x in [100, 200).
+  std::vector<PieceRecord> left = {{10, 60, 0, 10, 1.0}, {30, 90, 5, 15, 1.0}};
+  std::vector<PieceRecord> right = {{110, 160, 2, 12, 1.0}};
+  std::vector<ChildSlab> children(2);
+  children[0].x_range = {0, 100};
+  children[1].x_range = {100, 200};
+
+  ASSERT_TRUE(
+      WriteRecordFile(*env_, "s0", PlaneSweep(left, children[0].x_range)).ok());
+  ASSERT_TRUE(
+      WriteRecordFile(*env_, "s1", PlaneSweep(right, children[1].x_range)).ok());
+  ASSERT_TRUE(WriteRecordFile(*env_, "spans", std::vector<SpanRecord>{}).ok());
+
+  ASSERT_TRUE(MergeSweep(*env_, children, {"s0", "s1"}, "spans", "out").ok());
+  auto merged = ReadRecordFile<SlabTuple>(*env_, "out");
+  ASSERT_TRUE(merged.ok());
+
+  // Global reference.
+  auto all = left;
+  all.insert(all.end(), right.begin(), right.end());
+  auto global = PlaneSweep(all, Interval{0, 200});
+  EXPECT_EQ(Best(*merged).first, Best(global).first);
+  // Overlap of the two left pieces gives sum 2 in stratum [5,10).
+  EXPECT_EQ(Best(*merged).first, 2.0);
+  EXPECT_EQ(Best(*merged).second, 5.0);
+}
+
+TEST_F(MergeSweepTest, SpanningWeightLiftsAChild) {
+  // A span over child 1 must raise its tuples by the span weight while
+  // active, including at span-only event ys.
+  std::vector<PieceRecord> in_child = {{120, 150, 10, 20, 1.0}};
+  std::vector<ChildSlab> children(2);
+  children[0].x_range = {0, 100};
+  children[1].x_range = {100, 200};
+  ASSERT_TRUE(WriteRecordFile(
+                  *env_, "s0", PlaneSweep({}, children[0].x_range))
+                  .ok());
+  ASSERT_TRUE(WriteRecordFile(*env_, "s1",
+                              PlaneSweep(in_child, children[1].x_range))
+                  .ok());
+  // Span covers child 1 for y in [15, 25): overlaps the piece on [15, 20).
+  std::vector<SpanRecord> spans = {{15, 25, 3.0, 1, 1}};
+  ASSERT_TRUE(WriteRecordFile(*env_, "spans", spans).ok());
+
+  ASSERT_TRUE(MergeSweep(*env_, children, {"s0", "s1"}, "spans", "out").ok());
+  auto merged = ReadRecordFile<SlabTuple>(*env_, "out");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(Best(*merged).first, 4.0);  // 1 (piece) + 3 (span)
+  EXPECT_EQ(Best(*merged).second, 15.0);
+
+  // The span-only bottom event at y=15 must itself produce a tuple.
+  bool has_y15 = false;
+  for (const SlabTuple& t : *merged) has_y15 |= (t.y == 15.0);
+  EXPECT_TRUE(has_y15);
+}
+
+TEST_F(MergeSweepTest, AdjacentEqualIntervalsMerge) {
+  // Two children each fully covered by the same spanning weight and nothing
+  // else: their max-intervals touch at the boundary and merge.
+  std::vector<ChildSlab> children(2);
+  children[0].x_range = {0, 100};
+  children[1].x_range = {100, 200};
+  ASSERT_TRUE(WriteRecordFile(*env_, "s0", PlaneSweep({}, children[0].x_range)).ok());
+  ASSERT_TRUE(WriteRecordFile(*env_, "s1", PlaneSweep({}, children[1].x_range)).ok());
+  std::vector<SpanRecord> spans = {{0, 10, 2.0, 0, 1}};
+  ASSERT_TRUE(WriteRecordFile(*env_, "spans", spans).ok());
+  ASSERT_TRUE(MergeSweep(*env_, children, {"s0", "s1"}, "spans", "out").ok());
+  auto merged = ReadRecordFile<SlabTuple>(*env_, "out");
+  ASSERT_TRUE(merged.ok());
+  ASSERT_FALSE(merged->empty());
+  const SlabTuple& first = (*merged)[0];
+  EXPECT_EQ(first.y, 0.0);
+  EXPECT_EQ(first.sum, 2.0);
+  EXPECT_EQ(first.x_lo, 0.0);
+  EXPECT_EQ(first.x_hi, 200.0);  // extended across the boundary
+}
+
+TEST_F(MergeSweepTest, OutputSortedByYWithOneTuplePerEvent) {
+  auto objects = testing::RandomIntObjects(100, 300, 17);
+  std::vector<PieceRecord> left, right;
+  std::vector<SpanRecord> spans;
+  std::vector<ChildSlab> children(2);
+  children[0].x_range = {0, 150};
+  children[1].x_range = {150, 400};
+  for (const auto& o : objects) {
+    PieceRecord p{o.x, o.x + 20, o.y, o.y + 20, 1.0};
+    if (p.x_hi <= 150) {
+      left.push_back(p);
+    } else if (p.x_lo >= 150) {
+      right.push_back(p);
+    } else {
+      left.push_back({p.x_lo, 150, p.y_lo, p.y_hi, p.w});
+      right.push_back({150, p.x_hi, p.y_lo, p.y_hi, p.w});
+    }
+  }
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.y_lo < b.y_lo;
+                   });
+  ASSERT_TRUE(WriteRecordFile(*env_, "s0", PlaneSweep(left, children[0].x_range)).ok());
+  ASSERT_TRUE(WriteRecordFile(*env_, "s1", PlaneSweep(right, children[1].x_range)).ok());
+  ASSERT_TRUE(WriteRecordFile(*env_, "spans", spans).ok());
+  ASSERT_TRUE(MergeSweep(*env_, children, {"s0", "s1"}, "spans", "out").ok());
+  auto merged = ReadRecordFile<SlabTuple>(*env_, "out");
+  ASSERT_TRUE(merged.ok());
+  for (size_t i = 1; i < merged->size(); ++i) {
+    EXPECT_LT((*merged)[i - 1].y, (*merged)[i].y);
+  }
+  // Result matches the unsplit global sweep (x-splitting at 150 preserves
+  // location-weights).
+  auto all = left;
+  all.insert(all.end(), right.begin(), right.end());
+  auto global = PlaneSweep(all, Interval{0, 400});
+  EXPECT_EQ(Best(*merged).first, Best(global).first);
+}
+
+TEST_F(MergeSweepTest, MinObjectivePicksSmallestEffectiveInterval) {
+  // Child 0 has a piece (weight 5); child 1 is empty; a span of weight 2
+  // covers child 0 only. Under the min objective the merged tuples must
+  // track the *least* covered interval: child 1's zero.
+  std::vector<PieceRecord> left = {{10, 60, 0, 10, 5.0}};
+  std::vector<ChildSlab> children(2);
+  children[0].x_range = {0, 100};
+  children[1].x_range = {100, 200};
+  ASSERT_TRUE(WriteRecordFile(*env_, "s0",
+                              PlaneSweep(left, children[0].x_range,
+                                         SweepObjective::kMinimize))
+                  .ok());
+  ASSERT_TRUE(WriteRecordFile(*env_, "s1",
+                              PlaneSweep({}, children[1].x_range,
+                                         SweepObjective::kMinimize))
+                  .ok());
+  std::vector<SpanRecord> spans = {{2, 8, 2.0, 0, 0}};
+  ASSERT_TRUE(WriteRecordFile(*env_, "spans", spans).ok());
+  ASSERT_TRUE(MergeSweep(*env_, children, {"s0", "s1"}, "spans", "out",
+                         SweepObjective::kMinimize)
+                  .ok());
+  auto merged = ReadRecordFile<SlabTuple>(*env_, "out");
+  ASSERT_TRUE(merged.ok());
+  // Every stratum's minimum is 0 (child 1 is empty everywhere).
+  for (const SlabTuple& t : *merged) {
+    EXPECT_EQ(t.sum, 0.0) << "y=" << t.y;
+  }
+
+  // Same layout, but now a span covers BOTH children: while it is active,
+  // the minimum must rise to the span weight.
+  std::vector<SpanRecord> wide_spans = {{2, 8, 2.0, 0, 1}};
+  ASSERT_TRUE(WriteRecordFile(*env_, "spans2", wide_spans).ok());
+  ASSERT_TRUE(MergeSweep(*env_, children, {"s0", "s1"}, "spans2", "out2",
+                         SweepObjective::kMinimize)
+                  .ok());
+  auto merged2 = ReadRecordFile<SlabTuple>(*env_, "out2");
+  ASSERT_TRUE(merged2.ok());
+  bool saw_two = false;
+  for (const SlabTuple& t : *merged2) {
+    if (t.y >= 2 && t.y < 8) {
+      EXPECT_EQ(t.sum, 2.0) << "y=" << t.y;
+      saw_two = true;
+    }
+  }
+  EXPECT_TRUE(saw_two);
+}
+
+TEST_F(MergeSweepTest, EmptyEverything) {
+  std::vector<ChildSlab> children(3);
+  children[0].x_range = {0, 10};
+  children[1].x_range = {10, 20};
+  children[2].x_range = {20, 30};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(WriteRecordFile(*env_, "s" + std::to_string(i),
+                                std::vector<SlabTuple>{})
+                    .ok());
+  }
+  ASSERT_TRUE(WriteRecordFile(*env_, "spans", std::vector<SpanRecord>{}).ok());
+  ASSERT_TRUE(
+      MergeSweep(*env_, children, {"s0", "s1", "s2"}, "spans", "out").ok());
+  auto merged = ReadRecordFile<SlabTuple>(*env_, "out");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(merged->empty());
+}
+
+}  // namespace
+}  // namespace maxrs

@@ -1,0 +1,152 @@
+#include "core/plane_sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/exact_maxrs.h"
+#include "geom/geometry.h"
+#include "test_util.h"
+
+namespace maxrs {
+namespace {
+
+TEST(PlaneSweepTest, EmptyInput) {
+  EXPECT_TRUE(PlaneSweep({}, Interval{-kInf, kInf}).empty());
+}
+
+TEST(PlaneSweepTest, SingleRectangle) {
+  std::vector<PieceRecord> pieces = {{0, 10, 0, 5, 2.0}};
+  auto tuples = PlaneSweep(pieces, Interval{-kInf, kInf});
+  // Two h-lines: bottom (opens, sum 2) and top (closes, sum 0).
+  ASSERT_EQ(tuples.size(), 2u);
+  EXPECT_EQ(tuples[0].y, 0);
+  EXPECT_EQ(tuples[0].x_lo, 0);
+  EXPECT_EQ(tuples[0].x_hi, 10);
+  EXPECT_EQ(tuples[0].sum, 2.0);
+  EXPECT_EQ(tuples[1].y, 5);
+  EXPECT_EQ(tuples[1].sum, 0.0);
+}
+
+TEST(PlaneSweepTest, TwoOverlappingRectangles) {
+  std::vector<PieceRecord> pieces = {{0, 10, 0, 10, 1.0}, {5, 15, 5, 15, 1.0}};
+  auto tuples = PlaneSweep(pieces, Interval{-kInf, kInf});
+  // h-lines at y = 0, 5, 10, 15.
+  ASSERT_EQ(tuples.size(), 4u);
+  // Stratum [5,10): both rectangles active; intersection is [5,10).
+  EXPECT_EQ(tuples[1].y, 5);
+  EXPECT_EQ(tuples[1].sum, 2.0);
+  EXPECT_EQ(tuples[1].x_lo, 5);
+  EXPECT_EQ(tuples[1].x_hi, 10);
+  // Stratum [10,15): only the second remains.
+  EXPECT_EQ(tuples[2].sum, 1.0);
+}
+
+TEST(PlaneSweepTest, TuplesSortedStrictlyIncreasingY) {
+  auto objects = testing::RandomIntObjects(200, 100, 11);
+  std::vector<PieceRecord> pieces;
+  for (const auto& o : objects) {
+    pieces.push_back({o.x - 5, o.x + 5, o.y - 5, o.y + 5, o.w});
+  }
+  auto tuples = PlaneSweep(pieces, Interval{-kInf, kInf});
+  for (size_t i = 1; i < tuples.size(); ++i) {
+    EXPECT_LT(tuples[i - 1].y, tuples[i].y);
+  }
+  // One tuple per distinct event y, at most 2 per piece.
+  EXPECT_LE(tuples.size(), 2 * pieces.size());
+  // The sweep ends with everything closed.
+  EXPECT_EQ(tuples.back().sum, 0.0);
+}
+
+TEST(PlaneSweepTest, RespectsSlabBounds) {
+  std::vector<PieceRecord> pieces = {{2, 8, 0, 4, 1.0}};
+  auto tuples = PlaneSweep(pieces, Interval{0, 10});
+  ASSERT_EQ(tuples.size(), 2u);
+  // All zero-sum intervals stay within the slab.
+  EXPECT_GE(tuples[1].x_lo, 0.0);
+  EXPECT_LE(tuples[1].x_hi, 10.0);
+}
+
+TEST(PlaneSweepTest, PaperFigure2Example) {
+  // Four unit-weight objects as in Fig. 2; rectangle 4 x 3 centered at each.
+  // Objects chosen so three rectangles share a region.
+  std::vector<SpatialObject> objects = {
+      {2, 2, 1}, {4, 3, 1}, {3, 4, 1}, {9, 9, 1}};
+  MaxRSResult result = ExactMaxRSInMemory(objects, 4, 3);
+  // The first three objects pairwise fit in a 4 x 3 window.
+  EXPECT_EQ(result.total_weight, 3.0);
+  // Verify the returned location actually covers that weight.
+  const Rect r = Rect::Centered(result.location, 4, 3);
+  EXPECT_EQ(CoveredWeight(objects, r), 3.0);
+}
+
+// --- Oracle comparison sweeps -------------------------------------------
+
+struct OracleCase {
+  size_t n;
+  uint64_t extent;
+  double rect_w;
+  double rect_h;
+  bool random_weights;
+};
+
+class PlaneSweepOracleTest : public ::testing::TestWithParam<OracleCase> {};
+
+TEST_P(PlaneSweepOracleTest, MatchesBruteForce) {
+  const OracleCase& c = GetParam();
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    auto objects =
+        testing::RandomIntObjects(c.n, c.extent, seed, c.random_weights);
+    const MaxRSResult got = ExactMaxRSInMemory(objects, c.rect_w, c.rect_h);
+    const BruteForceResult want = BruteForceMaxRS(objects, c.rect_w, c.rect_h);
+    ASSERT_EQ(got.total_weight, want.total_weight)
+        << "n=" << c.n << " extent=" << c.extent << " seed=" << seed;
+    // The returned location must realize the reported weight.
+    const Rect r = Rect::Centered(got.location, c.rect_w, c.rect_h);
+    ASSERT_EQ(CoveredWeight(objects, r), got.total_weight)
+        << "location not optimal, seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PlaneSweepOracleTest,
+    ::testing::Values(OracleCase{1, 10, 2, 2, false},
+                      OracleCase{10, 20, 4, 4, false},
+                      OracleCase{50, 40, 8, 6, false},
+                      OracleCase{100, 60, 10, 10, false},
+                      OracleCase{100, 30, 10, 10, false},  // dense overlaps
+                      OracleCase{150, 1000, 100, 50, false},
+                      OracleCase{80, 50, 7, 13, true},     // weighted
+                      OracleCase{120, 25, 6, 6, true},     // heavy duplicates
+                      OracleCase{60, 8, 3, 3, true}));     // tiny domain
+
+TEST(PlaneSweepEdgeTest, AllObjectsAtSamePoint) {
+  std::vector<SpatialObject> objects(20, SpatialObject{5, 5, 1});
+  MaxRSResult result = ExactMaxRSInMemory(objects, 2, 2);
+  EXPECT_EQ(result.total_weight, 20.0);
+  const Rect r = Rect::Centered(result.location, 2, 2);
+  EXPECT_EQ(CoveredWeight(objects, r), 20.0);
+}
+
+TEST(PlaneSweepEdgeTest, ObjectsOnAVerticalLine) {
+  std::vector<SpatialObject> objects;
+  for (int i = 0; i < 30; ++i) objects.push_back({7, static_cast<double>(i), 1});
+  MaxRSResult result = ExactMaxRSInMemory(objects, 3, 10);
+  EXPECT_EQ(result.total_weight, 10.0);
+}
+
+TEST(PlaneSweepEdgeTest, ZeroWeightObjectsDoNotCount) {
+  std::vector<SpatialObject> objects = {{0, 0, 0}, {1, 1, 0}, {50, 50, 1}};
+  MaxRSResult result = ExactMaxRSInMemory(objects, 4, 4);
+  EXPECT_EQ(result.total_weight, 1.0);
+}
+
+TEST(PlaneSweepEdgeTest, RectLargerThanDomainCoversEverything) {
+  auto objects = testing::RandomIntObjects(50, 10, 3);
+  MaxRSResult result = ExactMaxRSInMemory(objects, 1000, 1000);
+  double total = 0;
+  for (const auto& o : objects) total += o.w;
+  EXPECT_EQ(result.total_weight, total);
+}
+
+}  // namespace
+}  // namespace maxrs

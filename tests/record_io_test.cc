@@ -1,0 +1,142 @@
+#include "io/record_io.h"
+
+#include <gtest/gtest.h>
+
+#include "io/env.h"
+
+namespace maxrs {
+namespace {
+
+struct Rec {
+  uint64_t id;
+  double value;
+};
+
+TEST(RecordIoTest, RoundTrip) {
+  auto env = NewMemEnv(4096);
+  std::vector<Rec> records;
+  for (uint64_t i = 0; i < 1000; ++i) records.push_back({i, i * 1.5});
+  ASSERT_TRUE(WriteRecordFile(*env, "f", records).ok());
+
+  auto back = ReadRecordFile<Rec>(*env, "f");
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ((*back)[i].id, records[i].id);
+    EXPECT_EQ((*back)[i].value, records[i].value);
+  }
+}
+
+TEST(RecordIoTest, EmptyFile) {
+  auto env = NewMemEnv(4096);
+  ASSERT_TRUE(WriteRecordFile(*env, "empty", std::vector<Rec>{}).ok());
+  auto back = ReadRecordFile<Rec>(*env, "empty");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(RecordIoTest, PartialFinalBlock) {
+  auto env = NewMemEnv(4096);
+  // 4096/16 = 256 per block; 300 records -> one full block + 44 in the next.
+  std::vector<Rec> records;
+  for (uint64_t i = 0; i < 300; ++i) records.push_back({i, 0.0});
+  ASSERT_TRUE(WriteRecordFile(*env, "f", records).ok());
+  auto back = ReadRecordFile<Rec>(*env, "f");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 300u);
+  EXPECT_EQ(back->back().id, 299u);
+}
+
+TEST(RecordIoTest, ReaderReportsTotalsAndEnd) {
+  auto env = NewMemEnv(4096);
+  ASSERT_TRUE(WriteRecordFile(*env, "f", std::vector<Rec>{{1, 1}, {2, 2}}).ok());
+  auto reader_or = RecordReader<Rec>::Make(*env, "f");
+  ASSERT_TRUE(reader_or.ok());
+  RecordReader<Rec> reader = std::move(reader_or).value();
+  EXPECT_EQ(reader.total(), 2u);
+  Rec r;
+  EXPECT_TRUE(reader.Next(&r));
+  EXPECT_EQ(reader.remaining(), 1u);
+  EXPECT_TRUE(reader.Next(&r));
+  EXPECT_FALSE(reader.Next(&r));
+  EXPECT_EQ(reader.Read(&r).code(), Status::Code::kNotFound);
+}
+
+TEST(RecordIoTest, OpenMissingFileIsNotFound) {
+  auto env = NewMemEnv(4096);
+  auto reader_or = RecordReader<Rec>::Make(*env, "nope");
+  EXPECT_FALSE(reader_or.ok());
+  EXPECT_EQ(reader_or.status().code(), Status::Code::kNotFound);
+}
+
+TEST(RecordIoTest, RecordSizeMismatchIsCorruption) {
+  auto env = NewMemEnv(4096);
+  ASSERT_TRUE(WriteRecordFile(*env, "f", std::vector<Rec>{{1, 1}}).ok());
+  struct Other {
+    uint32_t x;
+  };
+  auto reader_or = RecordReader<Other>::Make(*env, "f");
+  EXPECT_FALSE(reader_or.ok());
+  EXPECT_EQ(reader_or.status().code(), Status::Code::kCorruption);
+}
+
+TEST(RecordIoTest, IoIsCountedPerBlock) {
+  auto env = NewMemEnv(4096);
+  std::vector<Rec> records(1024);  // 4 data blocks of 256
+  for (uint64_t i = 0; i < records.size(); ++i) records[i] = {i, 0.0};
+
+  const IoStatsSnapshot before = env->stats().Snapshot();
+  ASSERT_TRUE(WriteRecordFile(*env, "f", records).ok());
+  const IoStatsSnapshot after_write = env->stats().Snapshot();
+  // 4 data blocks + header block reservation + final header write.
+  EXPECT_EQ(after_write.blocks_written - before.blocks_written, 6u);
+  EXPECT_EQ(after_write.blocks_read, before.blocks_read);
+
+  auto back = ReadRecordFile<Rec>(*env, "f");
+  ASSERT_TRUE(back.ok());
+  const IoStatsSnapshot after_read = env->stats().Snapshot();
+  // Header + 4 data blocks.
+  EXPECT_EQ(after_read.blocks_read - after_write.blocks_read, 5u);
+}
+
+TEST(RecordIoTest, WorksOnPosixEnv) {
+  auto env = NewPosixEnv(::testing::TempDir() + "/maxrs_posix_env", 4096);
+  std::vector<Rec> records;
+  for (uint64_t i = 0; i < 500; ++i) records.push_back({i, -1.0 * i});
+  ASSERT_TRUE(WriteRecordFile(*env, "f", records).ok());
+  auto back = ReadRecordFile<Rec>(*env, "f");
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 500u);
+  EXPECT_EQ((*back)[499].id, 499u);
+  ASSERT_TRUE(env->Delete("f").ok());
+  EXPECT_FALSE(env->Exists("f"));
+}
+
+TEST(MemEnvTest, CreateOpenDeleteList) {
+  auto env = NewMemEnv(4096);
+  ASSERT_TRUE(env->Create("a").ok());
+  ASSERT_TRUE(env->Create("b").ok());
+  EXPECT_TRUE(env->Exists("a"));
+  EXPECT_EQ(env->ListFiles().size(), 2u);
+  ASSERT_TRUE(env->Delete("a").ok());
+  EXPECT_FALSE(env->Exists("a"));
+  EXPECT_EQ(env->Delete("a").code(), Status::Code::kNotFound);
+  EXPECT_FALSE(env->Open("a").ok());
+}
+
+TEST(MemEnvTest, ReadPastEndFails) {
+  auto env = NewMemEnv(4096);
+  auto file_or = env->Create("f");
+  ASSERT_TRUE(file_or.ok());
+  std::vector<char> buf(4096);
+  EXPECT_EQ((*file_or)->ReadBlock(0, buf.data()).code(),
+            Status::Code::kIOError);
+  ASSERT_TRUE((*file_or)->WriteBlock(0, buf.data()).ok());
+  EXPECT_TRUE((*file_or)->ReadBlock(0, buf.data()).ok());
+  // Write may extend by exactly one block, not beyond.
+  EXPECT_EQ((*file_or)->WriteBlock(5, buf.data()).code(),
+            Status::Code::kIOError);
+}
+
+}  // namespace
+}  // namespace maxrs

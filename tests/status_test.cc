@@ -1,0 +1,78 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace maxrs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::IOError("disk on fire");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kIOError);
+  EXPECT_EQ(st.message(), "disk on fire");
+  EXPECT_EQ(st.ToString(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, AllConstructorsProduceTheirCode) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::Corruption("x").code(), Status::Code::kCorruption);
+  EXPECT_EQ(Status::NotSupported("x").code(), Status::Code::kNotSupported);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            Status::Code::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Status Fails() { return Status::Corruption("bad"); }
+
+Status PropagatesViaMacro() {
+  MAXRS_RETURN_IF_ERROR(Fails());
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(PropagatesViaMacro().code(), Status::Code::kCorruption);
+}
+
+Result<int> GivesSeven() { return 7; }
+
+Status UsesAssign(int* out) {
+  MAXRS_ASSIGN_OR_RETURN(*out, GivesSeven());
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, AssignOrReturnBinds) {
+  int out = 0;
+  ASSERT_TRUE(UsesAssign(&out).ok());
+  EXPECT_EQ(out, 7);
+}
+
+}  // namespace
+}  // namespace maxrs

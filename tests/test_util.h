@@ -1,0 +1,35 @@
+// Shared helpers for the test suite.
+#ifndef MAXRS_TESTS_TEST_UTIL_H_
+#define MAXRS_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "geom/geometry.h"
+#include "util/rng.h"
+
+namespace maxrs {
+namespace testing {
+
+/// Random objects with integer coordinates in [0, extent] and unit weights.
+/// Integer coordinates make half-open cover decisions exact, so the sweep
+/// and the brute-force oracle agree bit-for-bit.
+inline std::vector<SpatialObject> RandomIntObjects(size_t n, uint64_t extent,
+                                                   uint64_t seed,
+                                                   bool random_weights = false) {
+  Rng rng(seed);
+  std::vector<SpatialObject> objects;
+  objects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(rng.UniformU64(extent + 1));
+    const double y = static_cast<double>(rng.UniformU64(extent + 1));
+    const double w =
+        random_weights ? static_cast<double>(1 + rng.UniformU64(9)) : 1.0;
+    objects.push_back({x, y, w});
+  }
+  return objects;
+}
+
+}  // namespace testing
+}  // namespace maxrs
+
+#endif  // MAXRS_TESTS_TEST_UTIL_H_

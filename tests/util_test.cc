@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "io/temp_manager.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace maxrs {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) differs |= (a2.NextU64() != c.NextU64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(10.0, 20.0);
+    ASSERT_GE(v, 10.0);
+    ASSERT_LT(v, 20.0);
+  }
+}
+
+TEST(RngTest, UniformU64Unbiased) {
+  Rng rng(11);
+  int counts[10] = {};
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.UniformU64(10)];
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_NEAR(counts[b], trials / 10, 500) << "bucket " << b;
+  }
+}
+
+TEST(RngTest, NormalMomentsLookRight) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(FlagsTest, ParsesAllForms) {
+  const char* argv[] = {"prog",       "--alpha=3",  "--beta", "7",
+                        "--gamma",    "--no-delta", "pos1",   "--eps=x y",
+                        "positional2"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(9, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.GetInt("alpha", 0), 3);
+  EXPECT_EQ(flags.GetInt("beta", 0), 7);
+  EXPECT_TRUE(flags.GetBool("gamma", false));
+  EXPECT_FALSE(flags.GetBool("delta", true));
+  EXPECT_EQ(flags.GetString("eps", ""), "x y");
+  EXPECT_EQ(flags.GetDouble("missing", 2.5), 2.5);
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeMonotonicTime) {
+  Stopwatch sw;
+  const double t1 = sw.ElapsedSeconds();
+  const double t2 = sw.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  sw.Reset();
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
+TEST(TempManagerTest, UniqueNamesAndRelease) {
+  auto env = NewMemEnv(512);
+  TempFileManager temps(*env, "t");
+  std::set<std::string> names;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(names.insert(temps.NewName("x")).second);
+  }
+  const std::string name = temps.NewName("y");
+  ASSERT_TRUE(env->Create(name).ok());
+  EXPECT_TRUE(env->Exists(name));
+  temps.Release(name);
+  EXPECT_FALSE(env->Exists(name));
+  temps.Release(name);  // double release is harmless
+}
+
+}  // namespace
+}  // namespace maxrs
