@@ -200,8 +200,11 @@ std::vector<RankedRegion> GreedyKMaxRSInMemory(std::vector<SpatialObject> object
     placements.push_back(
         RankedRegion{result.location, result.total_weight, result.region});
     const Rect served = Rect::Centered(result.location, rect_width, rect_height);
-    std::erase_if(objects,
-                  [&served](const SpatialObject& o) { return served.Contains(o); });
+    objects.erase(
+        std::remove_if(
+            objects.begin(), objects.end(),
+            [&served](const SpatialObject& o) { return served.Contains(o); }),
+        objects.end());
   }
   return placements;
 }

@@ -215,8 +215,11 @@ TEST(GreedyKMaxRSTest, GreedySemanticsReplay) {
   for (const RankedRegion& placement : greedy) {
     const Rect served = Rect::Centered(placement.location, 12, 12);
     EXPECT_EQ(CoveredWeight(remaining, served), placement.total_weight);
-    std::erase_if(remaining,
-                  [&served](const SpatialObject& o) { return served.Contains(o); });
+    remaining.erase(
+        std::remove_if(
+            remaining.begin(), remaining.end(),
+            [&served](const SpatialObject& o) { return served.Contains(o); }),
+        remaining.end());
     total += placement.total_weight;
   }
   // Weights are non-increasing, and total never exceeds the dataset weight.

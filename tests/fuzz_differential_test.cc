@@ -3,6 +3,10 @@
 // generated deterministically from the fuzz index so failures reproduce.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+#include <utility>
+
 #include "baseline/baseline.h"
 #include "core/brute_force.h"
 #include "core/exact_maxrs.h"
@@ -44,19 +48,17 @@ FuzzConfig MakeConfig(uint64_t index) {
   return c;
 }
 
-class MaxRSFuzzTest : public ::testing::TestWithParam<uint64_t> {};
-
-TEST_P(MaxRSFuzzTest, AllImplementationsAgree) {
-  const FuzzConfig c = MakeConfig(GetParam());
-  auto objects = testing::RandomIntObjects(c.n, c.extent, c.data_seed, c.weights);
-
+// Runs every implementation on `objects` and asserts they agree with the
+// brute-force oracle. `tag` names the failing configuration in diagnostics.
+void CheckAllImplementationsAgree(const std::vector<SpatialObject>& objects,
+                                  const FuzzConfig& c, const std::string& tag) {
   // Ground truth.
   const BruteForceResult oracle = BruteForceMaxRS(objects, c.rect_w, c.rect_h);
 
   // In-memory sweep.
   const MaxRSResult mem = ExactMaxRSInMemory(objects, c.rect_w, c.rect_h);
   ASSERT_EQ(mem.total_weight, oracle.total_weight)
-      << "in-memory sweep diverged, fuzz index " << GetParam();
+      << "in-memory sweep diverged, config " << tag;
 
   // External pipeline under the fuzzed memory/fan-out knobs.
   auto env = NewMemEnv(512);
@@ -69,14 +71,14 @@ TEST_P(MaxRSFuzzTest, AllImplementationsAgree) {
   auto external = RunExactMaxRS(*env, objects, options);
   ASSERT_TRUE(external.ok()) << external.status().ToString();
   ASSERT_EQ(external->total_weight, oracle.total_weight)
-      << "external pipeline diverged, fuzz index " << GetParam()
+      << "external pipeline diverged, config " << tag
       << " (n=" << c.n << " extent=" << c.extent << " rect=" << c.rect_w << "x"
       << c.rect_h << " fanout=" << c.fanout << " base=" << c.base_max << ")";
   // Witness realizes the optimum.
   ASSERT_EQ(CoveredWeight(objects,
                           Rect::Centered(external->location, c.rect_w, c.rect_h)),
             oracle.total_weight)
-      << "external witness wrong, fuzz index " << GetParam();
+      << "external witness wrong, config " << tag;
 
   // Baselines (cheap enough at fuzz sizes).
   ASSERT_TRUE(WriteDataset(*env, "fuzz_data", objects).ok());
@@ -87,14 +89,102 @@ TEST_P(MaxRSFuzzTest, AllImplementationsAgree) {
   auto naive = RunNaivePlaneSweep(*env, "fuzz_data", baseline_options);
   ASSERT_TRUE(naive.ok());
   ASSERT_EQ(naive->total_weight, oracle.total_weight)
-      << "naive diverged, fuzz index " << GetParam();
+      << "naive diverged, config " << tag;
   auto asb = RunASBTreeSweep(*env, "fuzz_data", baseline_options);
   ASSERT_TRUE(asb.ok());
   ASSERT_EQ(asb->total_weight, oracle.total_weight)
-      << "aSB-tree diverged, fuzz index " << GetParam();
+      << "aSB-tree diverged, config " << tag;
+}
+
+class MaxRSFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MaxRSFuzzTest, AllImplementationsAgree) {
+  const FuzzConfig c = MakeConfig(GetParam());
+  auto objects = testing::RandomIntObjects(c.n, c.extent, c.data_seed, c.weights);
+  CheckAllImplementationsAgree(objects, c,
+                               "fuzz index " + std::to_string(GetParam()));
 }
 
 INSTANTIATE_TEST_SUITE_P(Configs, MaxRSFuzzTest, ::testing::Range<uint64_t>(0, 40));
+
+// ---------------------------------------------------------------------------
+// Fixed-seed regression corpus.
+//
+// Each entry pins one configuration forever, so a differential failure found
+// by fuzzing (or by hand) reproduces deterministically from its seed alone.
+// The corpus deliberately stresses the two classic sweep edge cases:
+//   - duplicate coordinates: a tiny extent plus a re-appended prefix forces
+//     many objects onto identical points (coincident interval endpoints);
+//   - zero-weight objects: every third object contributes w = 0, which must
+//     not perturb any implementation's optimum.
+// ---------------------------------------------------------------------------
+
+std::vector<SpatialObject> MakeRegressionObjects(uint64_t seed, size_t n,
+                                                 uint64_t extent) {
+  auto objects = testing::RandomIntObjects(n, extent, seed, /*random_weights=*/true);
+  for (size_t i = 2; i < n; i += 3) objects[i].w = 0.0;
+  // Duplicate the first quarter verbatim: exact coordinate collisions.
+  objects.reserve(n + n / 4);
+  for (size_t i = 0; i < n / 4; ++i) objects.push_back(objects[i]);
+  return objects;
+}
+
+struct RegressionCase {
+  uint64_t seed;
+  size_t n;
+  uint64_t extent;
+  double rect_w;
+  double rect_h;
+  size_t fanout;
+  uint64_t base_max;
+};
+
+class MaxRSRegressionTest : public ::testing::TestWithParam<RegressionCase> {};
+
+TEST_P(MaxRSRegressionTest, CorpusReproducesDeterministically) {
+  const RegressionCase rc = GetParam();
+  const auto objects = MakeRegressionObjects(rc.seed, rc.n, rc.extent);
+
+  FuzzConfig c;
+  c.n = objects.size();
+  c.extent = rc.extent;
+  c.rect_w = rc.rect_w;
+  c.rect_h = rc.rect_h;
+  c.weights = true;
+  c.memory_bytes = 8 << 10;
+  c.fanout = rc.fanout;
+  c.base_max = rc.base_max;
+  c.data_seed = rc.seed;
+  CheckAllImplementationsAgree(objects, c,
+                               "regression seed " + std::to_string(rc.seed));
+
+  // The corpus only has value if it actually exercises the edge cases:
+  // assert the generated dataset contains duplicates and zero weights.
+  size_t zero_weight = 0;
+  std::map<std::pair<double, double>, size_t> at;
+  for (const auto& o : objects) {
+    if (o.w == 0.0) ++zero_weight;
+    ++at[{o.x, o.y}];
+  }
+  size_t duplicated_points = 0;
+  for (const auto& [point, count] : at) {
+    (void)point;
+    if (count > 1) ++duplicated_points;
+  }
+  EXPECT_GE(zero_weight, objects.size() / 4) << "seed " << rc.seed;
+  EXPECT_GE(duplicated_points, 5u) << "seed " << rc.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, MaxRSRegressionTest,
+    ::testing::Values(
+        // seed, n, extent, rect_w, rect_h, fanout, base_max
+        RegressionCase{0xC0FFEE01, 120, 12, 4, 4, 2, 8},
+        RegressionCase{0xC0FFEE02, 200, 16, 6, 2, 3, 16},
+        RegressionCase{0xC0FFEE03, 80, 6, 2, 2, 5, 4},     // dense collisions
+        RegressionCase{0xC0FFEE04, 256, 24, 10, 10, 2, 32},
+        RegressionCase{0xC0FFEE05, 150, 10, 30, 30, 4, 8},  // rect covers all
+        RegressionCase{0xC0FFEE06, 60, 4, 3, 5, 7, 6}));    // tiny domain
 
 }  // namespace
 }  // namespace maxrs
