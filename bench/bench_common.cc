@@ -9,7 +9,8 @@ namespace maxrs {
 namespace bench {
 
 RunOutcome RunAlgorithm(Algorithm algo, const std::vector<SpatialObject>& objects,
-                        double range, size_t memory_bytes) {
+                        double range, size_t memory_bytes,
+                        size_t num_threads) {
   auto env = NewMemEnv(kBlockSize);
   MAXRS_CHECK_OK(WriteDataset(*env, "dataset", objects));
   env->stats().Reset();
@@ -21,6 +22,7 @@ RunOutcome RunAlgorithm(Algorithm algo, const std::vector<SpatialObject>& object
       options.rect_width = range;
       options.rect_height = range;
       options.memory_bytes = memory_bytes;
+      options.num_threads = num_threads;
       auto result = RunExactMaxRS(*env, "dataset", options);
       MAXRS_CHECK_OK(result.status());
       outcome.io = result->stats.io.total();
@@ -97,6 +99,37 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
   args.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   args.csv_path = flags.GetString("csv", "");
   return args;
+}
+
+bool WriteBenchJson(const std::string& path,
+                    const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  // Field values are plain identifiers and numbers; no JSON escaping needed.
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "  {\"bench\": \"%s\", \"algo\": \"%s\", \"dataset\": \"%s\","
+                 " \"n\": %" PRIu64 ", \"threads\": %zu,"
+                 " \"memory_bytes\": %zu, \"wall_seconds\": %.6f,"
+                 " \"io_blocks\": %" PRIu64 ", \"total_weight\": %.6f}%s\n",
+                 r.bench.c_str(), r.algo.c_str(), r.dataset.c_str(), r.n,
+                 r.threads, r.memory_bytes, r.wall_seconds, r.io_blocks,
+                 r.total_weight, i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  // A truncated artifact (disk full mid-write) must not report success:
+  // downstream perf tooling consumes this file.
+  const bool write_failed = std::ferror(f) != 0;
+  if (std::fclose(f) != 0 || write_failed) {
+    std::fprintf(stderr, "write to %s failed\n", path.c_str());
+    return false;
+  }
+  return true;
 }
 
 std::vector<SpatialObject> MakeDistribution(const std::string& name, uint64_t n,

@@ -52,8 +52,31 @@ struct RunOutcome {
 };
 
 /// Stages `objects` into a fresh 4KB-block MemEnv and runs `algo`.
+/// `num_threads` feeds the parallel execution engine; the baselines are
+/// serial and ignore it.
 RunOutcome RunAlgorithm(Algorithm algo, const std::vector<SpatialObject>& objects,
-                        double range, size_t memory_bytes);
+                        double range, size_t memory_bytes,
+                        size_t num_threads = 1);
+
+/// One measurement for the machine-readable perf log (--json). The schema is
+/// deliberately flat so downstream tooling can diff runs per
+/// (bench, algo, dataset, n, threads) key.
+struct BenchRecord {
+  std::string bench;
+  std::string algo;
+  std::string dataset;
+  uint64_t n = 0;
+  size_t threads = 1;
+  size_t memory_bytes = 0;
+  double wall_seconds = 0.0;
+  uint64_t io_blocks = 0;
+  double total_weight = 0.0;
+};
+
+/// Writes `records` to `path` as a JSON array (overwrites). Returns false
+/// (and prints to stderr) if the file cannot be written.
+bool WriteBenchJson(const std::string& path,
+                    const std::vector<BenchRecord>& records);
 
 /// Fixed-layout series printer: one row per x value, one column per series.
 class TablePrinter {
@@ -69,7 +92,8 @@ class TablePrinter {
   std::FILE* csv_ = nullptr;
 };
 
-/// Common flags: --quick, --csv=..., --seed=N.
+/// Common flags: --quick, --csv=..., --seed=N. (bench_micro parses its own
+/// richer flag set — CSV lists of cardinalities/thread counts — directly.)
 struct BenchArgs {
   bool quick = false;
   uint64_t seed = 42;

@@ -1,0 +1,154 @@
+// Google-benchmark CPU suite: CPU-level performance of the building
+// blocks (segment tree, plane sweep, external sort, buffer pool, grid
+// index). These are engineering benchmarks, not paper figures; the paper's
+// metric (block I/O) is covered by the bench_fig* binaries.
+#include <benchmark/benchmark.h>
+
+#include "circle/grid_index.h"
+#include "core/exact_maxrs.h"
+#include "core/plane_sweep.h"
+#include "core/segment_tree.h"
+#include "datagen/generators.h"
+#include "io/buffer_pool.h"
+#include "io/external_sort.h"
+#include "io/record_io.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace maxrs {
+namespace {
+
+void BM_SegmentTreeRangeAdd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  SegmentTree tree(n);
+  Rng rng(1);
+  for (auto _ : state) {
+    size_t a = rng.UniformU64(n);
+    size_t b = a + rng.UniformU64(n - a);
+    tree.RangeAdd(a, b, 1.0);
+    benchmark::DoNotOptimize(tree.Max());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SegmentTreeRangeAdd)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SegmentTreeMaxInterval(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  SegmentTree tree(n);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    size_t a = rng.UniformU64(n);
+    size_t b = a + rng.UniformU64(n - a);
+    tree.RangeAdd(a, b, 1.0 + (i % 3));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.MaxInterval());
+  }
+}
+BENCHMARK(BM_SegmentTreeMaxInterval)->Arg(1 << 10)->Arg(1 << 20);
+
+void BM_PlaneSweep(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  SyntheticOptions options;
+  options.cardinality = n;
+  options.domain_size = 1e6;
+  auto objects = MakeUniform(options);
+  std::vector<PieceRecord> pieces;
+  pieces.reserve(n);
+  for (const auto& o : objects) {
+    pieces.push_back({o.x - 500, o.x + 500, o.y - 500, o.y + 500, o.w});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlaneSweep(pieces, Interval{-kInf, kInf}));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PlaneSweep)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExactMaxRSInMemory(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  SyntheticOptions options;
+  options.cardinality = n;
+  options.domain_size = 1e6;
+  auto objects = MakeGaussian(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactMaxRSInMemory(objects, 1000, 1000));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExactMaxRSInMemory)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExternalSort(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto env = NewMemEnv(4096);
+  {
+    Rng rng(3);
+    std::vector<EdgeRecord> records(n);
+    for (auto& r : records) r.x = rng.NextDouble();
+    MAXRS_CHECK_OK(WriteRecordFile(*env, "in", records));
+  }
+  int run = 0;
+  for (auto _ : state) {
+    MAXRS_CHECK_OK((ExternalSort<EdgeRecord>(
+        *env, "in", "out" + std::to_string(run++),
+        [](const EdgeRecord& a, const EdgeRecord& b) { return a.x < b.x; },
+        ExternalSortOptions{256 << 10})));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExternalSort)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  auto env = NewMemEnv(4096);
+  auto file = std::move(env->Create("f")).value();
+  std::vector<char> buf(4096);
+  for (int b = 0; b < 64; ++b) MAXRS_CHECK_OK(file->WriteBlock(b, buf.data()));
+  BufferPool pool(*env, 64 * 4096);
+  Rng rng(4);
+  for (auto _ : state) {
+    auto page = pool.Fetch(*file, rng.UniformU64(64));
+    benchmark::DoNotOptimize(page->data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolHit);
+
+void BM_BufferPoolMissEvict(benchmark::State& state) {
+  auto env = NewMemEnv(4096);
+  auto file = std::move(env->Create("f")).value();
+  std::vector<char> buf(4096);
+  for (int b = 0; b < 4096; ++b) MAXRS_CHECK_OK(file->WriteBlock(b, buf.data()));
+  BufferPool pool(*env, 16 * 4096);  // tiny pool: ~every fetch misses
+  Rng rng(5);
+  for (auto _ : state) {
+    auto page = pool.Fetch(*file, rng.UniformU64(4096));
+    benchmark::DoNotOptimize(page->data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolMissEvict);
+
+void BM_GridIndexQuery(benchmark::State& state) {
+  SyntheticOptions options;
+  options.cardinality = 100000;
+  options.domain_size = 1e6;
+  auto objects = MakeUniform(options);
+  GridIndex grid(objects, 1000.0);
+  Rng rng(6);
+  for (auto _ : state) {
+    const Point c{rng.Uniform(0, 1e6), rng.Uniform(0, 1e6)};
+    double sum = 0;
+    grid.ForEachWithin(c, 2000.0, [&](const SpatialObject& o) { sum += o.w; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GridIndexQuery);
+
+}  // namespace
+}  // namespace maxrs
+
+BENCHMARK_MAIN();

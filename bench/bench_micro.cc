@@ -1,154 +1,123 @@
-// Google-benchmark micro suite: CPU-level performance of the building
-// blocks (segment tree, plane sweep, external sort, buffer pool, grid
-// index). These are engineering benchmarks, not paper figures; the paper's
-// metric (block I/O) is covered by the bench_fig* binaries.
-#include <benchmark/benchmark.h>
+// Perf-trajectory tracker: wall-clock seconds and block I/O of ExactMaxRS
+// (optionally the baselines) per cardinality and thread count, emitted as
+// BENCH_micro.json so CI archives a machine-readable perf history. Unlike
+// the bench_fig* binaries (which reproduce paper figures, I/O only) and
+// bench_cpu (Google-benchmark CPU kernels), this is the one place the
+// repo's end-to-end speed is recorded run over run.
+//
+// Flags:
+//   --n=250000,1000000     comma-separated cardinalities (uniform data)
+//   --threads=1,2,8        comma-separated thread counts for ExactMaxRS
+//   --baselines            also run Naive and aSB-Tree (serial, t=1)
+//   --json=PATH            output path (default BENCH_micro.json)
+//   --quick                small cardinality / thread set for CI smoke
+//   --seed=N               dataset seed
+//
+// The bench also asserts the parallel engine's core contract on real data:
+// identical total_weight for every thread count and identical I/O at every
+// thread count (the engine parallelizes the schedule, never the work).
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
-#include "circle/grid_index.h"
-#include "core/exact_maxrs.h"
-#include "core/plane_sweep.h"
-#include "core/segment_tree.h"
-#include "datagen/generators.h"
-#include "io/buffer_pool.h"
-#include "io/external_sort.h"
-#include "io/record_io.h"
+#include "bench_common.h"
 #include "util/check.h"
-#include "util/rng.h"
+#include "util/flags.h"
 
-namespace maxrs {
+using namespace maxrs;
+using namespace maxrs::bench;
+
 namespace {
 
-void BM_SegmentTreeRangeAdd(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  SegmentTree tree(n);
-  Rng rng(1);
-  for (auto _ : state) {
-    size_t a = rng.UniformU64(n);
-    size_t b = a + rng.UniformU64(n - a);
-    tree.RangeAdd(a, b, 1.0);
-    benchmark::DoNotOptimize(tree.Max());
+std::vector<uint64_t> ParseU64List(const std::string& csv) {
+  std::vector<uint64_t> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string item = csv.substr(pos, comma - pos);
+    if (!item.empty()) out.push_back(std::strtoull(item.c_str(), nullptr, 10));
+    pos = comma + 1;
   }
-  state.SetItemsProcessed(state.iterations());
+  return out;
 }
-BENCHMARK(BM_SegmentTreeRangeAdd)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
-
-void BM_SegmentTreeMaxInterval(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  SegmentTree tree(n);
-  Rng rng(2);
-  for (int i = 0; i < 1000; ++i) {
-    size_t a = rng.UniformU64(n);
-    size_t b = a + rng.UniformU64(n - a);
-    tree.RangeAdd(a, b, 1.0 + (i % 3));
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tree.MaxInterval());
-  }
-}
-BENCHMARK(BM_SegmentTreeMaxInterval)->Arg(1 << 10)->Arg(1 << 20);
-
-void BM_PlaneSweep(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  SyntheticOptions options;
-  options.cardinality = n;
-  options.domain_size = 1e6;
-  auto objects = MakeUniform(options);
-  std::vector<PieceRecord> pieces;
-  pieces.reserve(n);
-  for (const auto& o : objects) {
-    pieces.push_back({o.x - 500, o.x + 500, o.y - 500, o.y + 500, o.w});
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(PlaneSweep(pieces, Interval{-kInf, kInf}));
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_PlaneSweep)->Arg(1000)->Arg(10000)->Arg(100000)
-    ->Unit(benchmark::kMillisecond);
-
-void BM_ExactMaxRSInMemory(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  SyntheticOptions options;
-  options.cardinality = n;
-  options.domain_size = 1e6;
-  auto objects = MakeGaussian(options);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ExactMaxRSInMemory(objects, 1000, 1000));
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_ExactMaxRSInMemory)->Arg(10000)->Arg(100000)
-    ->Unit(benchmark::kMillisecond);
-
-void BM_ExternalSort(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  auto env = NewMemEnv(4096);
-  {
-    Rng rng(3);
-    std::vector<EdgeRecord> records(n);
-    for (auto& r : records) r.x = rng.NextDouble();
-    MAXRS_CHECK_OK(WriteRecordFile(*env, "in", records));
-  }
-  int run = 0;
-  for (auto _ : state) {
-    MAXRS_CHECK_OK((ExternalSort<EdgeRecord>(
-        *env, "in", "out" + std::to_string(run++),
-        [](const EdgeRecord& a, const EdgeRecord& b) { return a.x < b.x; },
-        ExternalSortOptions{256 << 10})));
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_ExternalSort)->Arg(100000)->Arg(1000000)
-    ->Unit(benchmark::kMillisecond);
-
-void BM_BufferPoolHit(benchmark::State& state) {
-  auto env = NewMemEnv(4096);
-  auto file = std::move(env->Create("f")).value();
-  std::vector<char> buf(4096);
-  for (int b = 0; b < 64; ++b) MAXRS_CHECK_OK(file->WriteBlock(b, buf.data()));
-  BufferPool pool(*env, 64 * 4096);
-  Rng rng(4);
-  for (auto _ : state) {
-    auto page = pool.Fetch(*file, rng.UniformU64(64));
-    benchmark::DoNotOptimize(page->data());
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_BufferPoolHit);
-
-void BM_BufferPoolMissEvict(benchmark::State& state) {
-  auto env = NewMemEnv(4096);
-  auto file = std::move(env->Create("f")).value();
-  std::vector<char> buf(4096);
-  for (int b = 0; b < 4096; ++b) MAXRS_CHECK_OK(file->WriteBlock(b, buf.data()));
-  BufferPool pool(*env, 16 * 4096);  // tiny pool: ~every fetch misses
-  Rng rng(5);
-  for (auto _ : state) {
-    auto page = pool.Fetch(*file, rng.UniformU64(4096));
-    benchmark::DoNotOptimize(page->data());
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_BufferPoolMissEvict);
-
-void BM_GridIndexQuery(benchmark::State& state) {
-  SyntheticOptions options;
-  options.cardinality = 100000;
-  options.domain_size = 1e6;
-  auto objects = MakeUniform(options);
-  GridIndex grid(objects, 1000.0);
-  Rng rng(6);
-  for (auto _ : state) {
-    const Point c{rng.Uniform(0, 1e6), rng.Uniform(0, 1e6)};
-    double sum = 0;
-    grid.ForEachWithin(c, 2000.0, [&](const SpatialObject& o) { sum += o.w; });
-    benchmark::DoNotOptimize(sum);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_GridIndexQuery);
 
 }  // namespace
-}  // namespace maxrs
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.Parse(argc, argv);
+  const bool quick = flags.GetBool("quick", false);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const bool baselines = flags.GetBool("baselines", false);
+  const std::string json_path = flags.GetString("json", "BENCH_micro.json");
+  const std::vector<uint64_t> cardinalities = ParseU64List(
+      flags.GetString("n", quick ? "50000" : "250000,1000000"));
+  const std::vector<uint64_t> thread_counts =
+      ParseU64List(flags.GetString("threads", quick ? "1,2" : "1,2,8"));
+  MAXRS_CHECK(!cardinalities.empty());
+  MAXRS_CHECK(!thread_counts.empty());
+
+  std::vector<BenchRecord> records;
+  for (uint64_t n : cardinalities) {
+    const auto objects = MakeDistribution("uniform", n, seed);
+    std::printf("\n=== bench_micro: uniform n=%" PRIu64 " (M=%zuKB) ===\n", n,
+                kBufferSynthetic >> 10);
+    std::printf("%-14s%10s%16s%16s\n", "algo", "threads", "seconds",
+                "I/O (blocks)");
+
+    std::vector<RunOutcome> outcomes(thread_counts.size());
+    for (size_t i = 0; i < thread_counts.size(); ++i) {
+      const size_t t = static_cast<size_t>(thread_counts[i]);
+      const RunOutcome out = RunAlgorithm(Algorithm::kExactMaxRS, objects,
+                                          kDefaultRange, kBufferSynthetic, t);
+      outcomes[i] = out;
+      if (i > 0) {
+        // The parallel engine contract, checked on live data: same answer,
+        // same block transfers, at every thread count.
+        MAXRS_CHECK_MSG(out.total_weight == outcomes[0].total_weight,
+                        "thread count changed the result weight");
+        MAXRS_CHECK_MSG(out.io == outcomes[0].io,
+                        "thread count changed the I/O count");
+      }
+      std::printf("%-14s%10zu%16.4f%16" PRIu64 "\n", "ExactMaxRS", t,
+                  out.seconds, out.io);
+      records.push_back({"bench_micro", "ExactMaxRS", "uniform", n, t,
+                         kBufferSynthetic, out.seconds, out.io,
+                         out.total_weight});
+    }
+    if (thread_counts.size() > 1) {
+      // Headline speedup: fewest vs most threads, independent of the order
+      // the --threads list was given in.
+      size_t lo = 0, hi = 0;
+      for (size_t i = 1; i < thread_counts.size(); ++i) {
+        if (thread_counts[i] < thread_counts[lo]) lo = i;
+        if (thread_counts[i] > thread_counts[hi]) hi = i;
+      }
+      std::printf("%-14s%10s%15.2fx  (%" PRIu64 "t vs %" PRIu64 "t)\n",
+                  "speedup", "",
+                  outcomes[hi].seconds > 0.0
+                      ? outcomes[lo].seconds / outcomes[hi].seconds
+                      : 0.0,
+                  thread_counts[lo], thread_counts[hi]);
+    }
+
+    if (baselines) {
+      for (Algorithm algo : {Algorithm::kNaive, Algorithm::kASBTree}) {
+        const RunOutcome out = RunAlgorithm(algo, objects, kDefaultRange,
+                                            kBufferSynthetic, 1);
+        std::printf("%-14s%10d%16.4f%16" PRIu64 "\n", AlgoName(algo), 1,
+                    out.seconds, out.io);
+        records.push_back({"bench_micro", AlgoName(algo), "uniform", n, 1,
+                           kBufferSynthetic, out.seconds, out.io,
+                           out.total_weight});
+      }
+    }
+  }
+
+  if (!WriteBenchJson(json_path, records)) return 1;
+  std::printf("\nwrote %zu records to %s\n", records.size(), json_path.c_str());
+  return 0;
+}

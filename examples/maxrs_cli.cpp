@@ -9,7 +9,8 @@
 // location, the covered weight, and the I/O cost under the chosen memory
 // budget (--memory-kb, default 1024). --algo selects exact (default),
 // naive, or asb — the paper's comparison methods — for I/O comparisons on
-// your own data.
+// your own data. --threads=T runs the exact solver on the parallel engine
+// (identical answer and I/O count at any thread count).
 #include <cstdio>
 #include <string>
 
@@ -104,6 +105,7 @@ int main(int argc, char** argv) {
     options.rect_width = width;
     options.rect_height = height;
     options.memory_bytes = memory;
+    options.num_threads = static_cast<size_t>(flags.GetInt("threads", 1));
     auto result = RunExactMaxRS(*env, "input", options);
     if (!result.ok()) {
       std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());

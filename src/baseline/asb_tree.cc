@@ -293,8 +293,7 @@ Result<BaselineResult> RunASBTreeSweep(Env& env, const std::string& object_file,
   }
   std::string sorted_edges = temps.NewName("edges_sorted");
   MAXRS_RETURN_IF_ERROR(ExternalSort<EdgeRecord>(
-      env, raw_edges, sorted_edges,
-      [](const EdgeRecord& a, const EdgeRecord& b) { return a.x < b.x; },
+      env, raw_edges, sorted_edges, EdgeXLess,
       ExternalSortOptions{options.memory_bytes}));
   temps.Release(raw_edges);
 

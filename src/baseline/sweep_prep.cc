@@ -29,10 +29,10 @@ Result<std::string> PrepareSortedRectangles(TempFileManager& temps,
     MAXRS_RETURN_IF_ERROR(writer.Finish());
   }
   std::string sorted = temps.NewName("rects_sorted");
+  // PieceYLess is a total order: required for a canonical sorted file now
+  // that run formation uses an unstable sort.
   MAXRS_RETURN_IF_ERROR(ExternalSort<PieceRecord>(
-      env, raw, sorted,
-      [](const PieceRecord& a, const PieceRecord& b) { return a.y_lo < b.y_lo; },
-      ExternalSortOptions{memory_bytes}));
+      env, raw, sorted, PieceYLess, ExternalSortOptions{memory_bytes}));
   temps.Release(raw);
   return {std::move(sorted)};
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <mutex>
 
 #include "core/division.h"
 #include "core/merge_sweep.h"
@@ -11,16 +13,36 @@
 #include "io/temp_manager.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace maxrs {
 namespace {
 
+// Upper bound on num_threads: a request beyond this is a unit mix-up (e.g.
+// bytes passed as threads), not a real machine.
+constexpr size_t kMaxThreads = 1024;
+
 Status ValidateOptions(const MaxRSOptions& options, size_t block_size) {
-  if (!(options.rect_width > 0.0) || !(options.rect_height > 0.0)) {
-    return Status::InvalidArgument("rectangle dimensions must be positive");
+  if (!std::isfinite(options.rect_width) ||
+      !std::isfinite(options.rect_height) || !(options.rect_width > 0.0) ||
+      !(options.rect_height > 0.0)) {
+    return Status::InvalidArgument(
+        "rectangle dimensions must be positive and finite");
   }
   if (options.memory_bytes < 4 * block_size) {
     return Status::InvalidArgument("memory budget must be at least 4 blocks");
+  }
+  if (options.fanout == 1) {
+    return Status::InvalidArgument("fanout must be 0 (derive) or at least 2");
+  }
+  // Each division child needs one block of output buffer, so a fan-out
+  // beyond M/B can never run within the memory budget.
+  if (options.fanout > options.memory_bytes / block_size) {
+    return Status::InvalidArgument(
+        "fanout exceeds the block budget M/B; lower it or raise memory_bytes");
+  }
+  if (options.num_threads > kMaxThreads) {
+    return Status::InvalidArgument("num_threads must be at most 1024");
   }
   return Status::OK();
 }
@@ -39,12 +61,16 @@ double FiniteMid(double lo, double hi) {
   return 0.0;
 }
 
-/// Recursive solver: owns the per-run knobs and statistics.
+/// Recursive solver: owns the per-run knobs and statistics. With a pool,
+/// Solve runs concurrently on sibling sub-slabs — every recursion child owns
+/// its own scratch files, so the only shared mutable state is the stats
+/// block (guarded by stats_mu_) and the thread-safe temp manager.
 class Driver {
  public:
-  Driver(Env& env, const MaxRSOptions& options, MaxRSStats* stats)
+  Driver(Env& env, const MaxRSOptions& options, MaxRSStats* stats,
+         ThreadPool* pool)
       : env_(env), temps_(env, options.work_prefix), options_(options),
-        stats_(stats) {
+        stats_(stats), pool_(pool) {
     const size_t blocks = options.memory_bytes / env.block_size();
     fanout_ = options.fanout != 0
                   ? options.fanout
@@ -63,7 +89,10 @@ class Driver {
   Result<std::string> Solve(const std::string& piece_file,
                             const std::string& edge_file, const Interval& slab,
                             uint64_t num_pieces, uint64_t depth) {
-    stats_->recursion_levels = std::max(stats_->recursion_levels, depth);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_->recursion_levels = std::max(stats_->recursion_levels, depth);
+    }
 
     if (num_pieces > base_max_) {
       auto division_or =
@@ -93,7 +122,10 @@ class Driver {
         PlaneSweep(pieces, slab, options_.objective);
     std::string out = temps_.NewName("slab");
     MAXRS_RETURN_IF_ERROR(WriteRecordFile(env_, out, tuples));
-    ++stats_->base_cases;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_->base_cases;
+    }
     return {std::move(out)};
   }
 
@@ -103,22 +135,31 @@ class Driver {
     temps_.Release(piece_file);
     temps_.Release(edge_file);
 
-    std::vector<std::string> child_slab_files;
-    child_slab_files.reserve(division.children.size());
-    for (const ChildSlab& child : division.children) {
-      MAXRS_ASSIGN_OR_RETURN(
-          std::string slab_file,
-          Solve(child.piece_file, child.edge_file, child.x_range,
-                child.num_pieces, depth + 1));
-      child_slab_files.push_back(std::move(slab_file));
-    }
+    // The m child sub-slabs are independent until MergeSweep combines their
+    // slab-files: each owns its own input files and writes its slab-file
+    // into a distinct pre-sized slot, so solving them concurrently changes
+    // nothing about the result. MergeSweep itself stays serial per node (it
+    // is one ordered sweep over all children).
+    std::vector<std::string> child_slab_files(division.children.size());
+    MAXRS_RETURN_IF_ERROR(ParallelFor(
+        pool_, 0, division.children.size(), [&](size_t k) -> Status {
+          const ChildSlab& child = division.children[k];
+          auto slab_file_or = Solve(child.piece_file, child.edge_file,
+                                    child.x_range, child.num_pieces, depth + 1);
+          if (!slab_file_or.ok()) return slab_file_or.status();
+          child_slab_files[k] = std::move(slab_file_or).value();
+          return Status::OK();
+        }));
 
     std::string out = temps_.NewName("slab");
     MAXRS_RETURN_IF_ERROR(MergeSweep(env_, division.children, child_slab_files,
                                      division.span_file, out,
                                      options_.objective));
-    ++stats_->merges;
-    stats_->total_spans += division.num_spans;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_->merges;
+      stats_->total_spans += division.num_spans;
+    }
     for (const std::string& f : child_slab_files) temps_.Release(f);
     temps_.Release(division.span_file);
     return {std::move(out)};
@@ -128,6 +169,8 @@ class Driver {
   TempFileManager temps_;
   MaxRSOptions options_;
   MaxRSStats* stats_;
+  ThreadPool* pool_;
+  std::mutex stats_mu_;
   size_t fanout_ = 2;
   uint64_t base_max_ = 2;
 };
@@ -199,7 +242,13 @@ Status VisitRootTuples(Env& env, const std::string& object_file,
                        const MaxRSOptions& options, MaxRSStats* stats,
                        const std::function<void(const SlabTuple&)>& visit) {
   MAXRS_RETURN_IF_ERROR(ValidateOptions(options, env.block_size()));
-  Driver driver(env, options, stats);
+  // The pool (if any) lives for the whole run and is threaded through the
+  // sorts and the recursion; num_threads <= 1 keeps the serial code path.
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
+  Driver driver(env, options, stats, pool.get());
   const bool minimize = options.objective == SweepObjective::kMinimize;
 
   MAXRS_ASSIGN_OR_RETURN(RecordReader<SpatialObject> objects,
@@ -287,18 +336,25 @@ Status VisitRootTuples(Env& env, const std::string& object_file,
     num_pieces = piece_writer.count();
   }
 
-  // The two up-front external sorts of Theorem 2.
-  ExternalSortOptions sort_options{options.memory_bytes};
+  // The two up-front external sorts of Theorem 2. They touch disjoint files,
+  // so with a pool they run concurrently (and each parallelizes internally);
+  // both comparators are total orders, making the sorted files — and hence
+  // everything downstream — canonical for any thread count.
+  ExternalSortOptions sort_options{options.memory_bytes, pool.get()};
   std::string sorted_pieces = temps.NewName("pieces");
   std::string sorted_edges = temps.NewName("edges");
-  MAXRS_RETURN_IF_ERROR(ExternalSort<PieceRecord>(
-      env, raw_pieces, sorted_pieces,
-      [](const PieceRecord& a, const PieceRecord& b) { return a.y_lo < b.y_lo; },
-      sort_options));
-  MAXRS_RETURN_IF_ERROR(ExternalSort<EdgeRecord>(
-      env, raw_edges, sorted_edges,
-      [](const EdgeRecord& a, const EdgeRecord& b) { return a.x < b.x; },
-      sort_options));
+  {
+    TaskGroup sorts(pool.get());
+    sorts.Run([&env, &raw_pieces, &sorted_pieces, &sort_options] {
+      return ExternalSort<PieceRecord>(env, raw_pieces, sorted_pieces,
+                                       PieceYLess, sort_options);
+    });
+    sorts.Run([&env, &raw_edges, &sorted_edges, &sort_options] {
+      return ExternalSort<EdgeRecord>(env, raw_edges, sorted_edges, EdgeXLess,
+                                      sort_options);
+    });
+    MAXRS_RETURN_IF_ERROR(sorts.Wait());
+  }
   temps.Release(raw_pieces);
   temps.Release(raw_edges);
 

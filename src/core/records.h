@@ -4,6 +4,7 @@
 #define MAXRS_CORE_RECORDS_H_
 
 #include <cstdint>
+#include <cstring>
 
 #include "geom/geometry.h"
 
@@ -23,12 +24,46 @@ struct PieceRecord {
   double w;
 };
 
+/// Canonical total order on doubles (IEEE-754 totalOrder, minus the
+/// quiet/signaling distinction): numeric order on ordinary values, -0 < +0,
+/// NaNs at the extremes by sign. Plain `<` is not a strict weak ordering
+/// once a NaN sneaks in (NaN compares "equivalent" to everything), which
+/// would make std::sort undefined behavior — and user-supplied weights
+/// (e.g. via maxrs_cli CSVs) are not validated.
+inline uint64_t DoubleOrderKey(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return (bits & (1ULL << 63)) ? ~bits : bits | (1ULL << 63);
+}
+
+/// Total order on pieces for the y pre-sort: y_lo (the sweep key) first,
+/// then every remaining field. A total order makes the unstable run-
+/// formation sort (std::sort) and the external merge produce one canonical
+/// sequence — the basis of bit-identical results at any thread count.
+inline bool PieceYLess(const PieceRecord& a, const PieceRecord& b) {
+  uint64_t ka = DoubleOrderKey(a.y_lo), kb = DoubleOrderKey(b.y_lo);
+  if (ka != kb) return ka < kb;
+  ka = DoubleOrderKey(a.x_lo), kb = DoubleOrderKey(b.x_lo);
+  if (ka != kb) return ka < kb;
+  ka = DoubleOrderKey(a.x_hi), kb = DoubleOrderKey(b.x_hi);
+  if (ka != kb) return ka < kb;
+  ka = DoubleOrderKey(a.y_hi), kb = DoubleOrderKey(b.y_hi);
+  if (ka != kb) return ka < kb;
+  return DoubleOrderKey(a.w) < DoubleOrderKey(b.w);
+}
+
 /// One vertical-edge x-coordinate of an original rectangle. The edge file
 /// (x-sorted) provides the exact edge-count quantiles that the division
 /// phase cuts on (Lemma 1 partitions edges, not rectangles).
 struct EdgeRecord {
   double x;
 };
+
+/// Total order on edges (single field; the total-order key keeps the
+/// comparator a strict weak ordering even for NaN input).
+inline bool EdgeXLess(const EdgeRecord& a, const EdgeRecord& b) {
+  return DoubleOrderKey(a.x) < DoubleOrderKey(b.x);
+}
 
 /// The spanning part of a rectangle: covers children [child_lo, child_hi]
 /// (inclusive) fully in x, contributing weight w on y in [y_lo, y_hi).

@@ -3,6 +3,19 @@
 // M/B - 1 (one block of buffer per input run plus one output block) until a
 // single sorted file remains. Both ExactMaxRS pre-sorts (by y for the piece
 // file, by x for the edge file) and the baselines' event sorts use this.
+//
+// Parallelism: with ExternalSortOptions::pool set, the in-memory sorts and
+// run writes of up to num_threads chunks overlap, and the independent merge
+// groups of one pass run concurrently. Chunk boundaries depend only on the
+// memory budget and runs are merged with a fixed tie-break, so the output
+// file, the run/pass counts, and the total I/O are identical for any thread
+// count. Transient memory grows to ~num_threads x M during a parallel phase.
+//
+// Determinism: run formation uses std::sort (not stable_sort). Supply a
+// comparator that is a *total* order (break ties on every field) and the
+// output is one canonical sequence; with a partial order the output is still
+// deterministic for a given build, but records with equal keys may not keep
+// their input order.
 #ifndef MAXRS_IO_EXTERNAL_SORT_H_
 #define MAXRS_IO_EXTERNAL_SORT_H_
 
@@ -15,6 +28,7 @@
 #include "io/temp_manager.h"
 #include "util/check.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace maxrs {
 
@@ -22,6 +36,10 @@ struct ExternalSortOptions {
   /// Memory budget M in bytes: bounds both the in-memory run size and the
   /// merge fan-in (M/B - 1 input buffers).
   size_t memory_bytes = 1 << 20;
+
+  /// Optional worker pool; null runs fully serial. See the header comment
+  /// for the parallel execution contract.
+  ThreadPool* pool = nullptr;
 };
 
 namespace sort_internal {
@@ -55,32 +73,55 @@ Status ExternalSort(Env& env, const std::string& input_name,
   const size_t run_records =
       std::max<size_t>(2, options.memory_bytes / sizeof(T));
   const size_t fan_in = std::max<size_t>(2, options.memory_bytes / block_size - 1);
+  ThreadPool* pool = options.pool;
+  // Chunks read ahead per wave: bounds transient memory at wave * M.
+  const size_t wave = pool != nullptr ? pool->num_threads() : 1;
 
   // --- Run formation ---
+  // The reader is one serial stream; chunks are cut every `run_records`
+  // records regardless of thread count, then each chunk of a wave is sorted
+  // and written to its (pre-allocated) run file on the pool.
   std::vector<std::string> runs;
   {
     MAXRS_ASSIGN_OR_RETURN(RecordReader<T> reader,
                            RecordReader<T>::Make(env, input_name));
-    std::vector<T> chunk;
-    chunk.reserve(std::min<uint64_t>(run_records, reader.total()));
-    T rec{};
+    // Slots are pre-sized so a chunk's sort/write task can start the moment
+    // the chunk is cut — reading chunk i+1 overlaps sorting chunk i —
+    // without later fills invalidating references held by tasks. The
+    // buffers live across waves (clear() keeps capacity, so the hot loop
+    // does not reallocate M bytes per run), and each wave's group is
+    // declared after them: on an early error return the group joins
+    // (TaskGroup destructor) before the slots are destroyed.
+    std::vector<std::vector<T>> chunks(wave);
+    std::vector<std::string> names(wave);
     bool more = true;
     while (more) {
-      chunk.clear();
-      while (chunk.size() < run_records) {
-        Status st = reader.Read(&rec);
-        if (st.code() == Status::Code::kNotFound) {
-          more = false;
-          break;
+      size_t filled = 0;
+      TaskGroup group(pool);
+      for (size_t i = 0; i < wave && more; ++i) {
+        std::vector<T>& chunk = chunks[i];
+        chunk.clear();
+        chunk.reserve(std::min<uint64_t>(run_records, reader.remaining()));
+        T rec{};
+        while (chunk.size() < run_records) {
+          Status st = reader.Read(&rec);
+          if (st.code() == Status::Code::kNotFound) {
+            more = false;
+            break;
+          }
+          MAXRS_RETURN_IF_ERROR(st);
+          chunk.push_back(rec);
         }
-        MAXRS_RETURN_IF_ERROR(st);
-        chunk.push_back(rec);
+        if (chunk.empty()) break;
+        names[i] = temps.NewName("run");
+        ++filled;
+        group.Run([&env, &chunk, &name = names[i], &less]() -> Status {
+          std::sort(chunk.begin(), chunk.end(), less);
+          return WriteRecordFile(env, name, chunk);
+        });
       }
-      if (chunk.empty()) break;
-      std::stable_sort(chunk.begin(), chunk.end(), less);
-      std::string run_name = temps.NewName("run");
-      MAXRS_RETURN_IF_ERROR(WriteRecordFile(env, run_name, chunk));
-      runs.push_back(std::move(run_name));
+      MAXRS_RETURN_IF_ERROR(group.Wait());
+      for (size_t i = 0; i < filled; ++i) runs.push_back(std::move(names[i]));
     }
   }
   if (info != nullptr) info->initial_runs = runs.size();
@@ -93,21 +134,31 @@ Status ExternalSort(Env& env, const std::string& input_name,
   }
 
   // --- Merge passes ---
+  // The groups of one pass have disjoint inputs and distinct outputs, so
+  // they merge concurrently; passes themselves are sequential (a pass
+  // consumes the previous pass's output).
   uint64_t passes = 0;
   while (runs.size() > 1) {
     ++passes;
-    std::vector<std::string> next_runs;
-    for (size_t group = 0; group < runs.size(); group += fan_in) {
-      size_t end = std::min(runs.size(), group + fan_in);
-      std::vector<std::string> group_runs(runs.begin() + group, runs.begin() + end);
-      const bool is_final = (runs.size() <= fan_in);
-      std::string out_name = is_final ? output_name : temps.NewName("merge");
-      MAXRS_RETURN_IF_ERROR(
-          MergeRuns<T>(env, group_runs, out_name, less));
-      for (const std::string& r : group_runs) temps.Release(r);
-      next_runs.push_back(std::move(out_name));
+    const bool is_final = runs.size() <= fan_in;
+    std::vector<std::vector<std::string>> groups;
+    std::vector<std::string> outs;
+    for (size_t start = 0; start < runs.size(); start += fan_in) {
+      const size_t end = std::min(runs.size(), start + fan_in);
+      groups.emplace_back(runs.begin() + start, runs.begin() + end);
+      outs.push_back(is_final ? output_name : temps.NewName("merge"));
     }
-    runs = std::move(next_runs);
+    TaskGroup group(pool);
+    for (size_t g = 0; g < groups.size(); ++g) {
+      group.Run([&env, &groups, &outs, &less, g] {
+        return MergeRuns<T>(env, groups[g], outs[g], less);
+      });
+    }
+    MAXRS_RETURN_IF_ERROR(group.Wait());
+    for (const std::vector<std::string>& grp : groups) {
+      for (const std::string& r : grp) temps.Release(r);
+    }
+    runs = std::move(outs);
   }
 
   if (info != nullptr) info->merge_passes = passes;
@@ -140,8 +191,9 @@ Status MergeRuns(Env& env, const std::vector<std::string>& run_names,
     sources.push_back(std::move(src));
   }
 
-  // Index-based heap over sources; stable w.r.t. source order for equal keys
-  // (ties broken by source index, preserving run formation stability).
+  // Index-based heap over sources; ties broken by source index, so the merge
+  // order is a pure function of the run contents (with a total-order
+  // comparator, tied records are byte-identical and the point is moot).
   auto cmp = [&](size_t a, size_t b) {
     if (less(sources[b].head, sources[a].head)) return true;
     if (less(sources[a].head, sources[b].head)) return false;

@@ -5,6 +5,7 @@
 #ifndef MAXRS_IO_IO_STATS_H_
 #define MAXRS_IO_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace maxrs {
@@ -22,23 +23,35 @@ struct IoStatsSnapshot {
   }
 };
 
-/// Mutable counters owned by an Env. Not thread-safe; the library is
-/// single-threaded by design (the EM model measures a serial I/O stream).
+/// Mutable counters owned by an Env. Thread-safe: the parallel execution
+/// engine issues I/O from pool workers concurrently, so the counters are
+/// relaxed atomics — cheap uncontended, and the *total* per run is exact and
+/// schedule-independent (every block transfer increments exactly once).
+/// Snapshots taken while I/O is in flight see some interleaving of the two
+/// counters; the library only snapshots at quiescent points (before/after a
+/// run), where the values are exact.
 class IoStats {
  public:
-  void RecordRead(uint64_t blocks) { blocks_read_ += blocks; }
-  void RecordWrite(uint64_t blocks) { blocks_written_ += blocks; }
+  void RecordRead(uint64_t blocks) {
+    blocks_read_.fetch_add(blocks, std::memory_order_relaxed);
+  }
+  void RecordWrite(uint64_t blocks) {
+    blocks_written_.fetch_add(blocks, std::memory_order_relaxed);
+  }
 
-  IoStatsSnapshot Snapshot() const { return {blocks_read_, blocks_written_}; }
+  IoStatsSnapshot Snapshot() const {
+    return {blocks_read_.load(std::memory_order_relaxed),
+            blocks_written_.load(std::memory_order_relaxed)};
+  }
 
   void Reset() {
-    blocks_read_ = 0;
-    blocks_written_ = 0;
+    blocks_read_.store(0, std::memory_order_relaxed);
+    blocks_written_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  uint64_t blocks_read_ = 0;
-  uint64_t blocks_written_ = 0;
+  std::atomic<uint64_t> blocks_read_{0};
+  std::atomic<uint64_t> blocks_written_{0};
 };
 
 }  // namespace maxrs

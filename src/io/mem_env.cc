@@ -1,5 +1,6 @@
 #include <cstring>
 #include <map>
+#include <mutex>
 
 #include "io/env.h"
 #include "util/check.h"
@@ -61,6 +62,12 @@ class MemBlockFile : public BlockFile {
   IoStats* stats_;
 };
 
+// The namespace map is guarded by a mutex so pool tasks can create, open
+// and delete *distinct* files concurrently (each recursion child and each
+// sort run owns its own scratch files). Block data itself is per-file
+// (FileData behind a shared_ptr), so concurrent I/O on distinct files never
+// shares mutable state; concurrent access to the *same* file is not
+// synchronized at this layer, matching the POSIX Env.
 class MemEnv : public Env {
  public:
   explicit MemEnv(size_t block_size) : block_size_(block_size) {
@@ -69,29 +76,40 @@ class MemEnv : public Env {
 
   Result<std::unique_ptr<BlockFile>> Create(const std::string& name) override {
     auto data = std::make_shared<FileData>();
-    files_[name] = data;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      files_[name] = data;
+    }
     return {std::unique_ptr<BlockFile>(
         new MemBlockFile(name, std::move(data), block_size_, &stats_))};
   }
 
   Result<std::unique_ptr<BlockFile>> Open(const std::string& name) override {
-    auto it = files_.find(name);
-    if (it == files_.end()) return {Status::NotFound("no such file: " + name)};
+    std::shared_ptr<FileData> data;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = files_.find(name);
+      if (it == files_.end()) return {Status::NotFound("no such file: " + name)};
+      data = it->second;
+    }
     return {std::unique_ptr<BlockFile>(
-        new MemBlockFile(name, it->second, block_size_, &stats_))};
+        new MemBlockFile(name, std::move(data), block_size_, &stats_))};
   }
 
   Status Delete(const std::string& name) override {
     // Open handles keep the data alive through their shared_ptr.
+    std::lock_guard<std::mutex> lock(mu_);
     if (files_.erase(name) == 0) return Status::NotFound("no such file: " + name);
     return Status::OK();
   }
 
   bool Exists(const std::string& name) const override {
+    std::lock_guard<std::mutex> lock(mu_);
     return files_.count(name) > 0;
   }
 
   std::vector<std::string> ListFiles() const override {
+    std::lock_guard<std::mutex> lock(mu_);
     std::vector<std::string> names;
     names.reserve(files_.size());
     for (const auto& [name, data] : files_) names.push_back(name);
@@ -104,6 +122,7 @@ class MemEnv : public Env {
  private:
   size_t block_size_;
   IoStats stats_;
+  mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<FileData>> files_;
 };
 

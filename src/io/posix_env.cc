@@ -79,6 +79,12 @@ class PosixBlockFile : public BlockFile {
   uint64_t num_blocks_;
 };
 
+// Concurrency audit: every namespace operation is a single syscall
+// (open/unlink/stat), which the kernel serializes, and block I/O uses
+// pread/pwrite on per-handle fds — so concurrent operations on *distinct*
+// files need no extra locking. Concurrent access to the same file through
+// one handle is not synchronized (PosixBlockFile::num_blocks_ is plain
+// state), matching the MemEnv contract.
 class PosixEnv : public Env {
  public:
   PosixEnv(std::string root, size_t block_size)

@@ -1,9 +1,17 @@
 // Scratch-file lifecycle management. Algorithms allocate uniquely named
 // temporary files and release them (deleting the backing storage) when a
 // recursion node or sort pass completes.
+//
+// Concurrency: NewName/Release are thread-safe (pool tasks of one recursion
+// node allocate and release scratch files concurrently). Every manager
+// instance additionally owns a process-unique namespace component, so two
+// managers constructed with the same prefix — e.g. the piece-sort and the
+// edge-sort running in parallel, each with its own "sort_tmp" manager —
+// can never collide on a file name.
 #ifndef MAXRS_IO_TEMP_MANAGER_H_
 #define MAXRS_IO_TEMP_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -14,11 +22,13 @@ namespace maxrs {
 class TempFileManager {
  public:
   explicit TempFileManager(Env& env, std::string prefix = "tmp")
-      : env_(&env), prefix_(std::move(prefix)) {}
+      : env_(&env),
+        prefix_(std::move(prefix) + "/" + std::to_string(NextInstanceId())) {}
 
   /// Returns a fresh unique file name; the file itself is not created yet.
   std::string NewName(const std::string& tag) {
-    return prefix_ + "/" + std::to_string(next_id_++) + "_" + tag;
+    const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    return prefix_ + "/" + std::to_string(id) + "_" + tag;
   }
 
   /// Deletes a temp file, ignoring NotFound (double release is harmless).
@@ -30,9 +40,14 @@ class TempFileManager {
   Env& env() { return *env_; }
 
  private:
+  static uint64_t NextInstanceId() {
+    static std::atomic<uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
   Env* env_;
   std::string prefix_;
-  uint64_t next_id_ = 0;
+  std::atomic<uint64_t> next_id_{0};
 };
 
 }  // namespace maxrs

@@ -1,0 +1,125 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace maxrs {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::TryRunOneHere() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  Status st = Wait();
+  (void)st;  // destructor join: the error (if any) was already observable
+}
+
+void TaskGroup::Run(std::function<Status()> task) {
+  // Short-circuit after the first error: later tasks are not started (and
+  // already-queued ones degrade to no-ops below), matching the serial
+  // early-return a plain MAXRS_RETURN_IF_ERROR loop would do — an IOError
+  // on child 0 must not let seven sibling subtrees grind on.
+  if (pool_ == nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_.ok()) return;
+    }
+    Finish(task());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_.ok()) return;
+    ++pending_;
+  }
+  pool_->Submit([this, task = std::move(task)] {
+    bool skip;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      skip = !first_error_.ok();
+    }
+    Finish(skip ? Status::OK() : task());
+  });
+}
+
+Status TaskGroup::Wait() {
+  // Help drain the pool while our tasks are pending: a waiter that parked
+  // with queued work outstanding could deadlock nested groups on a
+  // saturated pool (every worker blocked in a Wait of its own).
+  while (pool_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_ == 0) return first_error_;
+    }
+    if (!pool_->TryRunOneHere()) break;
+  }
+  // Queue empty: every remaining task of this group is running on some
+  // other thread; sleep until the last completion notifies us.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  return first_error_;
+}
+
+void TaskGroup::Finish(const Status& st) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!st.ok() && first_error_.ok()) first_error_ = st;
+  if (pool_ == nullptr) return;  // inline task: nothing pending to count down
+  if (--pending_ == 0) done_cv_.notify_all();
+}
+
+Status ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                   const std::function<Status(size_t)>& body) {
+  TaskGroup group(pool);
+  for (size_t i = begin; i < end; ++i) {
+    group.Run([&body, i] { return body(i); });
+  }
+  return group.Wait();
+}
+
+}  // namespace maxrs

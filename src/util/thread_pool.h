@@ -1,0 +1,108 @@
+// Fixed-size thread pool with structured task groups: the parallel execution
+// engine of the library. Design constraints, in order:
+//
+//   1. Determinism. The pool never decides *what* work happens, only *when*:
+//      callers pre-allocate output slots (and temp-file names) in a fixed
+//      order and tasks fill them by index, so results are bit-identical for
+//      any thread count, including the serial fallback.
+//   2. Nested waits must not deadlock. Recursive algorithms (the ExactMaxRS
+//      distribution sweep) spawn task groups from inside pool tasks. A
+//      TaskGroup::Wait() therefore never parks while the pool has queued
+//      work: the waiter helps drain the queue first, so a saturated pool
+//      always makes progress.
+//   3. Graceful serial fallback. Every API accepts a null pool and then runs
+//      inline on the calling thread with zero synchronization overhead —
+//      num_threads=1 executes the exact serial code path.
+#ifndef MAXRS_UTIL_THREAD_POOL_H_
+#define MAXRS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace maxrs {
+
+/// A fixed-size pool of worker threads sharing one FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1; pass
+  /// std::thread::hardware_concurrency() yourself if you want "all cores").
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains nothing: joins workers after the queue empties. All TaskGroups
+  /// using this pool must be waited on before destruction.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Runs one queued task on the *calling* thread, if any is pending.
+  /// Returns false when the queue was empty. This is the help-while-waiting
+  /// primitive that makes nested TaskGroup waits deadlock-free.
+  bool TryRunOneHere();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// A batch of Status-returning tasks joined by one Wait(). Collects the
+/// first non-OK status (by completion order). With a null pool every Run()
+/// executes inline, making the group a plain serial loop.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  /// Joins any still-pending tasks; a group must never outlive work that
+  /// references the caller's stack.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `task` (or runs it inline without a pool). Once a task has
+  /// failed, subsequently Run() tasks are skipped and already-queued ones
+  /// become no-ops — the error-path analogue of a serial loop's early
+  /// return. Tasks that did start always run to completion.
+  void Run(std::function<Status()> task);
+
+  /// Blocks until every task scheduled so far has finished, helping to
+  /// execute queued pool tasks while waiting. Returns the first error.
+  /// The group is reusable after Wait() (the error, if any, is sticky).
+  Status Wait();
+
+ private:
+  void Finish(const Status& st);
+
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  uint64_t pending_ = 0;
+  Status first_error_;
+};
+
+/// Runs body(i) for i in [begin, end), one task per index, and returns the
+/// first error. Serial (in index order) when `pool` is null.
+Status ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                   const std::function<Status(size_t)>& body);
+
+}  // namespace maxrs
+
+#endif  // MAXRS_UTIL_THREAD_POOL_H_

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/brute_force.h"
 #include "datagen/dataset_io.h"
 #include "io/env.h"
@@ -40,6 +42,27 @@ TEST(ExactMaxRSTest, RejectsBadOptions) {
             Status::Code::kInvalidArgument);
   options.rect_width = 10;
   options.memory_bytes = 256;  // less than 4 blocks
+  EXPECT_EQ(RunExactMaxRS(*env, "data", options).status().code(),
+            Status::Code::kInvalidArgument);
+
+  options.memory_bytes = 1 << 14;
+  options.rect_height = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(RunExactMaxRS(*env, "data", options).status().code(),
+            Status::Code::kInvalidArgument);
+  options.rect_height = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(RunExactMaxRS(*env, "data", options).status().code(),
+            Status::Code::kInvalidArgument);
+
+  options.rect_height = 10;
+  options.fanout = 1;  // 0 means derive; 1 can never divide
+  EXPECT_EQ(RunExactMaxRS(*env, "data", options).status().code(),
+            Status::Code::kInvalidArgument);
+  options.fanout = (1 << 14) / 512 + 1;  // one output buffer per child > M/B
+  EXPECT_EQ(RunExactMaxRS(*env, "data", options).status().code(),
+            Status::Code::kInvalidArgument);
+
+  options.fanout = 0;
+  options.num_threads = 100000;  // absurd: almost certainly a unit mix-up
   EXPECT_EQ(RunExactMaxRS(*env, "data", options).status().code(),
             Status::Code::kInvalidArgument);
 }

@@ -17,6 +17,13 @@ struct KeyRec {
 
 bool KeyLess(const KeyRec& a, const KeyRec& b) { return a.key < b.key; }
 
+// Total order: the comparator shape ExternalSort's determinism contract
+// asks callers to provide (run formation is an unstable std::sort).
+bool KeyPayloadLess(const KeyRec& a, const KeyRec& b) {
+  if (a.key != b.key) return a.key < b.key;
+  return a.payload < b.payload;
+}
+
 std::vector<KeyRec> RandomRecords(size_t n, uint64_t seed) {
   Rng rng(seed);
   std::vector<KeyRec> records;
@@ -43,15 +50,79 @@ TEST_P(ExternalSortTest, SortsPermutationAtVariousMemoryBudgets) {
   ASSERT_EQ(out->size(), records.size());
   // Sorted by key.
   EXPECT_TRUE(std::is_sorted(out->begin(), out->end(), KeyLess));
-  // Same multiset of (key, payload): compare against std::sort.
+  // Same multiset of (key, payload): ExternalSort is not stable, so compare
+  // under the total order, where the sorted sequence is unique.
   auto expected = records;
-  std::stable_sort(expected.begin(), expected.end(), KeyLess);
+  std::sort(expected.begin(), expected.end(), KeyPayloadLess);
+  auto got = *out;
+  std::sort(got.begin(), got.end(), KeyPayloadLess);
   for (size_t i = 0; i < expected.size(); ++i) {
-    EXPECT_EQ((*out)[i].key, expected[i].key) << "at " << i;
+    EXPECT_EQ(got[i].key, expected[i].key) << "at " << i;
+    EXPECT_EQ(got[i].payload, expected[i].payload) << "at " << i;
   }
-  // Stability: equal keys keep input order, so payloads must match too.
-  for (size_t i = 0; i < expected.size(); ++i) {
-    EXPECT_EQ((*out)[i].payload, expected[i].payload) << "at " << i;
+}
+
+TEST_P(ExternalSortTest, TotalOrderComparatorYieldsCanonicalOutput) {
+  // With a total-order comparator the output is one canonical sequence —
+  // equal to std::sort of the whole input — at any memory budget (i.e. any
+  // run/merge structure) and any thread count.
+  const size_t memory = GetParam();
+  auto records = RandomRecords(5000, 7);
+  auto expected = records;
+  std::sort(expected.begin(), expected.end(), KeyPayloadLess);
+
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    auto env = NewMemEnv(512);
+    ASSERT_TRUE(WriteRecordFile(*env, "in", records).ok());
+    ThreadPool pool(threads);
+    ExternalSortOptions options{memory, threads > 1 ? &pool : nullptr};
+    ASSERT_TRUE(
+        ExternalSort<KeyRec>(*env, "in", "out", KeyPayloadLess, options).ok());
+    auto out = ReadRecordFile<KeyRec>(*env, "out");
+    ASSERT_TRUE(out.ok());
+    ASSERT_EQ(out->size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ((*out)[i].key, expected[i].key) << "threads=" << threads;
+      ASSERT_EQ((*out)[i].payload, expected[i].payload) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ExternalSortParallelTest, PoolMatchesSerialRunAndPassCounts) {
+  // The pool reschedules the sort; it must not change the run/pass structure
+  // or the I/O. 1KB memory over 4000 records forces multi-pass merging.
+  auto records = RandomRecords(4000, 11);
+
+  sort_internal::SortRunInfo serial_info, pooled_info;
+  auto serial_env = NewMemEnv(512);
+  ASSERT_TRUE(WriteRecordFile(*serial_env, "in", records).ok());
+  ASSERT_TRUE(ExternalSort<KeyRec>(*serial_env, "in", "out", KeyPayloadLess,
+                                   ExternalSortOptions{1 << 10}, &serial_info)
+                  .ok());
+
+  auto pooled_env = NewMemEnv(512);
+  ASSERT_TRUE(WriteRecordFile(*pooled_env, "in", records).ok());
+  ThreadPool pool(4);
+  ASSERT_TRUE(ExternalSort<KeyRec>(*pooled_env, "in", "out", KeyPayloadLess,
+                                   ExternalSortOptions{1 << 10, &pool},
+                                   &pooled_info)
+                  .ok());
+
+  EXPECT_EQ(pooled_info.initial_runs, serial_info.initial_runs);
+  EXPECT_EQ(pooled_info.merge_passes, serial_info.merge_passes);
+  EXPECT_EQ(pooled_env->stats().Snapshot().blocks_read,
+            serial_env->stats().Snapshot().blocks_read);
+  EXPECT_EQ(pooled_env->stats().Snapshot().blocks_written,
+            serial_env->stats().Snapshot().blocks_written);
+
+  auto serial_out = ReadRecordFile<KeyRec>(*serial_env, "out");
+  auto pooled_out = ReadRecordFile<KeyRec>(*pooled_env, "out");
+  ASSERT_TRUE(serial_out.ok());
+  ASSERT_TRUE(pooled_out.ok());
+  ASSERT_EQ(serial_out->size(), pooled_out->size());
+  for (size_t i = 0; i < serial_out->size(); ++i) {
+    ASSERT_EQ((*serial_out)[i].key, (*pooled_out)[i].key);
+    ASSERT_EQ((*serial_out)[i].payload, (*pooled_out)[i].payload);
   }
 }
 

