@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include <cinttypes>
+#include <cstdlib>
 
 #include "datagen/dataset_io.h"
 #include "util/check.h"
@@ -130,6 +131,19 @@ bool WriteBenchJson(const std::string& path,
     return false;
   }
   return true;
+}
+
+std::vector<uint64_t> ParseU64List(const std::string& csv) {
+  std::vector<uint64_t> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string item = csv.substr(pos, comma - pos);
+    if (!item.empty()) out.push_back(std::strtoull(item.c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  return out;
 }
 
 std::vector<SpatialObject> MakeDistribution(const std::string& name, uint64_t n,

@@ -107,6 +107,10 @@ inline uint64_t ScaleN(uint64_t n, const BenchArgs& args) {
   return args.quick ? n / 10 : n;
 }
 
+/// Parses a comma-separated list of unsigned integers (e.g. a --threads or
+/// --n flag value); empty items are skipped.
+std::vector<uint64_t> ParseU64List(const std::string& csv);
+
 std::vector<SpatialObject> MakeDistribution(const std::string& name, uint64_t n,
                                             uint64_t seed);
 

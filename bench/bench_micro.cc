@@ -29,23 +29,6 @@
 using namespace maxrs;
 using namespace maxrs::bench;
 
-namespace {
-
-std::vector<uint64_t> ParseU64List(const std::string& csv) {
-  std::vector<uint64_t> out;
-  size_t pos = 0;
-  while (pos < csv.size()) {
-    size_t comma = csv.find(',', pos);
-    if (comma == std::string::npos) comma = csv.size();
-    const std::string item = csv.substr(pos, comma - pos);
-    if (!item.empty()) out.push_back(std::strtoull(item.c_str(), nullptr, 10));
-    pos = comma + 1;
-  }
-  return out;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   Flags flags;
   flags.Parse(argc, argv);

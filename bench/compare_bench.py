@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json artifacts and flag perf regressions.
+
+The bench harness (bench_micro, bench_serve) writes flat JSON arrays of
+records keyed by (bench, algo, dataset, n, threads, memory_bytes). This
+tool joins two such artifacts on that key, prints a per-config delta table,
+and exits non-zero when the NEW run regresses against the BASE run:
+
+  - wall-clock regression: wall_seconds grows by more than --wall-tol
+    (default 15%) on any config;
+  - I/O regression: io_blocks grows at all on any config (block counts are
+    deterministic per config in the MemEnv, so ANY growth is a real
+    algorithmic regression, not noise).
+
+Wall time is machine-dependent, so CI compares committed baselines with
+--io-only (block counts only); the wall check is for same-machine A/B runs.
+See docs/BENCHMARKING.md for the workflow.
+
+Usage:
+  compare_bench.py BASE.json NEW.json [--wall-tol=0.15] [--io-only]
+
+Exit codes: 0 = no regression, 1 = regression found, 2 = usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+KEY_FIELDS = ("bench", "algo", "dataset", "n", "threads", "memory_bytes")
+
+
+def load_records(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            records = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.stderr.write(f"cannot read {path}: {e}\n")
+        sys.exit(2)
+    if not isinstance(records, list):
+        sys.stderr.write(f"{path}: expected a JSON array of bench records\n")
+        sys.exit(2)
+    keyed = {}
+    for r in records:
+        try:
+            key = tuple(r[k] for k in KEY_FIELDS)
+        except (KeyError, TypeError):
+            sys.stderr.write(f"{path}: record missing key fields: {r}\n")
+            sys.exit(2)
+        if key in keyed:
+            sys.stderr.write(f"{path}: duplicate config {key}\n")
+            sys.exit(2)
+        keyed[key] = r
+    return keyed
+
+
+def fmt_key(key):
+    bench, algo, dataset, n, threads, memory = key
+    return f"{bench}/{algo} {dataset} n={n} t={threads} M={memory >> 10}KB"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_*.json artifacts, fail on regressions")
+    parser.add_argument("base", help="baseline artifact")
+    parser.add_argument("new", help="candidate artifact")
+    parser.add_argument("--wall-tol", type=float, default=0.15,
+                        help="allowed relative wall-seconds growth "
+                             "(default 0.15 = 15%%)")
+    parser.add_argument("--io-only", action="store_true",
+                        help="check only I/O block counts (machine-portable)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="do not fail when a baseline config is absent "
+                             "from the new artifact")
+    args = parser.parse_args()
+
+    base = load_records(args.base)
+    new = load_records(args.new)
+    common = [k for k in base if k in new]
+    if not common:
+        sys.stderr.write("no common configs between the two artifacts\n")
+        sys.exit(2)
+
+    header = (f"{'config':<58}{'wall base':>12}{'wall new':>12}{'Δwall':>9}"
+              f"{'io base':>12}{'io new':>12}{'Δio':>9}")
+    print(header)
+    print("-" * len(header))
+
+    regressions = []
+    for key in sorted(common):
+        b, n = base[key], new[key]
+        wall_b, wall_n = b["wall_seconds"], n["wall_seconds"]
+        io_b, io_n = b["io_blocks"], n["io_blocks"]
+        dwall = (wall_n - wall_b) / wall_b if wall_b > 0 else 0.0
+        dio = (io_n - io_b) / io_b if io_b > 0 else (1.0 if io_n > io_b else 0.0)
+        print(f"{fmt_key(key):<58}{wall_b:>12.4f}{wall_n:>12.4f}"
+              f"{dwall:>+8.1%} {io_b:>11}{io_n:>12}{dio:>+8.1%} ")
+        if io_n > io_b:
+            regressions.append(f"I/O regression on {fmt_key(key)}: "
+                               f"{io_b} -> {io_n} blocks")
+        # Sub-millisecond configs (e.g. warm cache rounds) are pure noise on
+        # the wall axis; the I/O check still covers them.
+        if not args.io_only and wall_b > 1e-3 and dwall > args.wall_tol:
+            regressions.append(f"wall regression on {fmt_key(key)}: "
+                               f"{wall_b:.4f}s -> {wall_n:.4f}s "
+                               f"({dwall:+.1%} > {args.wall_tol:.0%})")
+
+    only_base = sorted(k for k in base if k not in new)
+    only_new = sorted(k for k in new if k not in base)
+    for k in only_base:
+        # A vanished config means lost coverage: the regression it would
+        # have caught goes unflagged, so treat the loss itself as a failure
+        # (pass --allow-missing for intentional sweeps).
+        if args.allow_missing:
+            print(f"note: config only in base (dropped?): {fmt_key(k)}")
+        else:
+            regressions.append(f"config dropped from new artifact: {fmt_key(k)}")
+    for k in only_new:
+        print(f"note: config only in new (added): {fmt_key(k)}")
+
+    if regressions:
+        print()
+        for r in regressions:
+            print(f"REGRESSION: {r}")
+        sys.exit(1)
+    print(f"\nno regressions across {len(common)} config(s)"
+          + (" (I/O only)" if args.io_only else ""))
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,8 @@
 
 namespace maxrs {
 
+/// An optimal placement found by exhaustive search: the oracle the sweep
+/// algorithms are differential-tested against.
 struct BruteForceResult {
   Point location;
   double total_weight = 0.0;

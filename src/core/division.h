@@ -31,6 +31,8 @@ struct ChildSlab {
   uint64_t num_edges = 0;
 };
 
+/// The complete output of one division pass: the children plus the
+/// spanning-record file consumed later by MergeSweep.
 struct DivisionResult {
   std::vector<ChildSlab> children;
   std::string span_file;      ///< SpanRecords sorted by y_lo (== y order).

@@ -47,9 +47,12 @@ Status ValidateOptions(const MaxRSOptions& options, size_t block_size) {
   return Status::OK();
 }
 
-PieceRecord TransformObject(const SpatialObject& o, double w, double h) {
-  return PieceRecord{o.x - w / 2.0, o.x + w / 2.0, o.y - h / 2.0, o.y + h / 2.0,
-                     o.w};
+// Base-case threshold (#pieces) shared by the recursion driver and the
+// top-level small-input fast path.
+uint64_t DeriveBaseCaseMax(const MaxRSOptions& options) {
+  return options.base_case_max_pieces != 0
+             ? options.base_case_max_pieces
+             : std::max<uint64_t>(2, options.memory_bytes / sizeof(PieceRecord));
 }
 
 double FiniteMid(double lo, double hi) {
@@ -75,10 +78,7 @@ class Driver {
     fanout_ = options.fanout != 0
                   ? options.fanout
                   : std::max<size_t>(2, blocks > 2 ? blocks - 2 : 2);
-    base_max_ = options.base_case_max_pieces != 0
-                    ? options.base_case_max_pieces
-                    : std::max<uint64_t>(
-                          2, options.memory_bytes / sizeof(PieceRecord));
+    base_max_ = DeriveBaseCaseMax(options);
   }
 
   uint64_t base_max() const { return base_max_; }
@@ -175,7 +175,35 @@ class Driver {
   uint64_t base_max_ = 2;
 };
 
+// The back half of the pipeline, shared by VisitRootTuples and
+// VisitPreparedTuples: division + merge-sweep from sorted inputs on `pool`,
+// then one streaming scan of the root slab-file. Consumes (deletes) the two
+// input files of `input`.
+Status SolvePreparedOnPool(Env& env, const PreparedInput& input,
+                           const MaxRSOptions& options, MaxRSStats* stats,
+                           ThreadPool* pool,
+                           const std::function<void(const SlabTuple&)>& visit) {
+  Driver driver(env, options, stats, pool);
+  MAXRS_ASSIGN_OR_RETURN(
+      std::string root_slab_file,
+      driver.Solve(input.piece_file, input.edge_file, input.x_range,
+                   input.num_pieces, /*depth=*/0));
+  {
+    MAXRS_ASSIGN_OR_RETURN(RecordReader<SlabTuple> reader,
+                           RecordReader<SlabTuple>::Make(env, root_slab_file));
+    SlabTuple t{};
+    while (reader.Next(&t)) visit(t);
+    MAXRS_RETURN_IF_ERROR(reader.final_status());
+  }
+  driver.temps().Release(root_slab_file);
+  return Status::OK();
+}
+
 }  // namespace
+
+Status ValidateMaxRSOptions(const MaxRSOptions& options, size_t block_size) {
+  return ValidateOptions(options, block_size);
+}
 
 namespace core_internal {
 
@@ -248,7 +276,6 @@ Status VisitRootTuples(Env& env, const std::string& object_file,
   if (options.num_threads > 1) {
     pool = std::make_unique<ThreadPool>(options.num_threads);
   }
-  Driver driver(env, options, stats, pool.get());
   const bool minimize = options.objective == SweepObjective::kMinimize;
 
   MAXRS_ASSIGN_OR_RETURN(RecordReader<SpatialObject> objects,
@@ -291,7 +318,7 @@ Status VisitRootTuples(Env& env, const std::string& object_file,
     return piece->x_lo < piece->x_hi;
   };
 
-  if (n <= driver.base_max()) {
+  if (n <= DeriveBaseCaseMax(options)) {
     // Whole dataset fits in memory: one linear scan + in-memory PlaneSweep
     // (Algorithm 2 line 9 at the top level; no recursion, no extra I/O).
     std::vector<PieceRecord> pieces;
@@ -310,7 +337,7 @@ Status VisitRootTuples(Env& env, const std::string& object_file,
     return Status::OK();
   }
 
-  TempFileManager& temps = driver.temps();
+  TempFileManager temps(env, options.work_prefix);
   // Transform pass: emit the rectangle (piece) file and the vertical-edge
   // x-coordinate file, both unsorted.
   std::string raw_pieces = temps.NewName("raw_pieces");
@@ -358,24 +385,80 @@ Status VisitRootTuples(Env& env, const std::string& object_file,
   temps.Release(raw_pieces);
   temps.Release(raw_edges);
 
-  MAXRS_ASSIGN_OR_RETURN(
-      std::string root_slab_file,
-      driver.Solve(sorted_pieces, sorted_edges, root_slab, num_pieces,
-                   /*depth=*/0));
+  const PreparedInput prepared{sorted_pieces, sorted_edges, num_pieces,
+                               root_slab};
+  return SolvePreparedOnPool(env, prepared, options, stats, pool.get(), visit);
+}
 
-  // Final scan over the root slab-file.
-  {
-    MAXRS_ASSIGN_OR_RETURN(RecordReader<SlabTuple> reader,
-                           RecordReader<SlabTuple>::Make(env, root_slab_file));
-    SlabTuple t{};
-    while (reader.Next(&t)) visit(t);
-    MAXRS_RETURN_IF_ERROR(reader.final_status());
+Status VisitPreparedTuples(Env& env, const PreparedInput& input,
+                           const MaxRSOptions& options, MaxRSStats* stats,
+                           const std::function<void(const SlabTuple&)>& visit) {
+  MAXRS_RETURN_IF_ERROR(ValidateOptions(options, env.block_size()));
+  if (options.objective == SweepObjective::kMinimize) {
+    // The min objective needs the bounding-box restriction and piece
+    // clipping that only the object-level pipeline performs (see
+    // VisitRootTuples); an unbounded prepared run would return the
+    // trivial minimum 0 in empty space.
+    return Status::NotSupported(
+        "prepared inputs support the maximize objective only; use "
+        "RunMinRS / RunExactMaxRS for the min objective");
   }
-  temps.Release(root_slab_file);
-  return Status::OK();
+  {
+    // One header read closes a silent footgun: num_pieces defaults to 0,
+    // and a wrong count would route any dataset into the in-memory base
+    // case (reading the whole file into RAM) without complaint.
+    MAXRS_ASSIGN_OR_RETURN(
+        RecordReader<PieceRecord> probe,
+        RecordReader<PieceRecord>::Make(env, input.piece_file));
+    if (probe.total() != input.num_pieces) {
+      return Status::InvalidArgument(
+          "PreparedInput::num_pieces (" + std::to_string(input.num_pieces) +
+          ") does not match the piece file's record count (" +
+          std::to_string(probe.total()) + ")");
+    }
+  }
+  stats->input_objects = input.num_pieces;
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
+  return SolvePreparedOnPool(env, input, options, stats, pool.get(), visit);
 }
 
 }  // namespace core_internal
+
+namespace {
+
+// Shared tail of the two external entry points: run `produce` (one of the
+// Visit*Tuples pipelines), extract the best region from its tuple stream,
+// and stamp I/O and wall-clock statistics.
+Result<MaxRSResult> ExtractTimedResult(
+    Env& env,
+    const std::function<Status(
+        MaxRSStats*, const std::function<void(const SlabTuple&)>&)>& produce) {
+  Stopwatch timer;
+  const IoStatsSnapshot io_before = env.stats().Snapshot();
+  MaxRSStats stats;
+  core_internal::TopTupleTracker tracker(1);
+  MAXRS_RETURN_IF_ERROR(produce(
+      &stats, [&tracker](const SlabTuple& t) { tracker.Visit(t); }));
+
+  MaxRSResult result;
+  auto best = tracker.Finish();
+  if (best.empty()) {
+    result.region = Rect{-kInf, kInf, -kInf, kInf};
+  } else {
+    result.location = best[0].location;
+    result.total_weight = best[0].total_weight;
+    result.region = best[0].region;
+  }
+  stats.io = env.stats().Snapshot() - io_before;
+  stats.wall_seconds = timer.ElapsedSeconds();
+  result.stats = stats;
+  return {std::move(result)};
+}
+
+}  // namespace
 
 MaxRSResult ExactMaxRSInMemory(const std::vector<SpatialObject>& objects,
                                double rect_width, double rect_height) {
@@ -394,27 +477,22 @@ MaxRSResult ExactMaxRSInMemory(const std::vector<SpatialObject>& objects,
 
 Result<MaxRSResult> RunExactMaxRS(Env& env, const std::string& object_file,
                                   const MaxRSOptions& options) {
-  Stopwatch timer;
-  const IoStatsSnapshot io_before = env.stats().Snapshot();
-  MaxRSStats stats;
-  core_internal::TopTupleTracker tracker(1);
-  MAXRS_RETURN_IF_ERROR(core_internal::VisitRootTuples(
-      env, object_file, options, &stats,
-      [&tracker](const SlabTuple& t) { tracker.Visit(t); }));
+  return ExtractTimedResult(
+      env, [&](MaxRSStats* stats,
+               const std::function<void(const SlabTuple&)>& visit) {
+        return core_internal::VisitRootTuples(env, object_file, options, stats,
+                                              visit);
+      });
+}
 
-  MaxRSResult result;
-  auto best = tracker.Finish();
-  if (best.empty()) {
-    result.region = Rect{-kInf, kInf, -kInf, kInf};
-  } else {
-    result.location = best[0].location;
-    result.total_weight = best[0].total_weight;
-    result.region = best[0].region;
-  }
-  stats.io = env.stats().Snapshot() - io_before;
-  stats.wall_seconds = timer.ElapsedSeconds();
-  result.stats = stats;
-  return {std::move(result)};
+Result<MaxRSResult> RunExactMaxRSPrepared(Env& env, const PreparedInput& input,
+                                          const MaxRSOptions& options) {
+  return ExtractTimedResult(
+      env, [&](MaxRSStats* stats,
+               const std::function<void(const SlabTuple&)>& visit) {
+        return core_internal::VisitPreparedTuples(env, input, options, stats,
+                                                  visit);
+      });
 }
 
 Result<MaxRSResult> RunExactMaxRS(Env& env,

@@ -32,6 +32,7 @@
 
 namespace maxrs {
 
+/// Tuning knobs of one ExactMaxRS run (paper defaults in bench_common.h).
 struct MaxRSOptions {
   /// Query rectangle size (paper: d1 x d2).
   double rect_width = 1000.0;
@@ -94,10 +95,47 @@ struct MaxRSResult {
   MaxRSStats stats;
 };
 
+/// A dataset transformed and sorted for one (rect_width, rect_height): the
+/// two inputs of the division phase, i.e. everything that survives the sort
+/// phase of Algorithm 2. Produced internally by RunExactMaxRS, or assembled
+/// without any sorting by the serve layer (serve/dataset_handle.h), which
+/// keeps the dataset pre-sorted per x-slab shard and derives both files per
+/// query with linear passes — the basis of per-query sort reuse.
+struct PreparedInput {
+  /// PieceRecords sorted by PieceYLess (the y pre-sort of Theorem 2).
+  std::string piece_file;
+  /// EdgeRecords sorted by EdgeXLess (the x pre-sort of Theorem 2).
+  std::string edge_file;
+  /// Record count of `piece_file`.
+  uint64_t num_pieces = 0;
+  /// Root slab of the recursion; the whole plane for plain MaxRS.
+  Interval x_range{-kInf, kInf};
+};
+
+/// Validates `options` against an Env's block size without running
+/// anything: the same checks every Run* entry point performs first
+/// (positive finite rect, budget of at least 4 blocks, fanout and thread
+/// bounds). Lets long-lived callers (the serve layer) reject a bad
+/// configuration at construction time instead of paying a full derivation
+/// pass per doomed query.
+Status ValidateMaxRSOptions(const MaxRSOptions& options, size_t block_size);
+
 /// Runs ExactMaxRS against a dataset stored as a record file of
 /// SpatialObject in `env`. This is the scalable external-memory entry point.
 Result<MaxRSResult> RunExactMaxRS(Env& env, const std::string& object_file,
                                   const MaxRSOptions& options);
+
+/// Runs the division + merge-sweep phases of ExactMaxRS on an
+/// already-prepared input, skipping the transform and the two external
+/// sorts. Consumes (deletes) both input files once solving starts,
+/// mirroring the scratch-file lifecycle of the internal pipeline; if
+/// validation rejects the input (InvalidArgument — bad options or a
+/// num_pieces that contradicts the piece file) the files are left intact
+/// so the caller can correct and retry. `options.rect_width/rect_height`
+/// must match the dimensions `input` was transformed with — they are not
+/// re-applied, only validated and reported.
+Result<MaxRSResult> RunExactMaxRSPrepared(Env& env, const PreparedInput& input,
+                                          const MaxRSOptions& options);
 
 /// Convenience wrapper: stages `objects` into a scratch file in `env`, runs
 /// the external algorithm, and cleans up.
@@ -130,13 +168,23 @@ Status VisitRootTuples(Env& env, const std::string& object_file,
                        const MaxRSOptions& options, MaxRSStats* stats,
                        const std::function<void(const SlabTuple&)>& visit);
 
+/// Prepared-input counterpart of VisitRootTuples: streams the root tuples of
+/// the division + merge-sweep phases run on `input` (see PreparedInput).
+/// Consumes both input files.
+Status VisitPreparedTuples(Env& env, const PreparedInput& input,
+                           const MaxRSOptions& options, MaxRSStats* stats,
+                           const std::function<void(const SlabTuple&)>& visit);
+
 /// Streaming tracker of the k best strata (by sum). Feed tuples in y order
 /// via Visit(); Finish() returns regions sorted by descending weight.
 class TopTupleTracker {
  public:
+  /// Tracks the `k` best strata (k == 0 behaves as 1).
   explicit TopTupleTracker(size_t k) : k_(k == 0 ? 1 : k) {}
 
+  /// Feeds the next tuple; must be called in ascending y order.
   void Visit(const SlabTuple& t);
+  /// Closes the stream and returns the k best regions, best first.
   std::vector<RankedRegion> Finish();
 
  private:

@@ -50,8 +50,22 @@ std::vector<SlabTuple> PlaneSweep(const std::vector<PieceRecord>& pieces,
     events.push_back({p.y_lo, p.x_lo, p.x_hi, p.w});
     events.push_back({p.y_hi, p.x_lo, p.x_hi, -p.w});
   }
-  std::sort(events.begin(), events.end(),
-            [](const Event& a, const Event& b) { return a.y < b.y; });
+  // Total order (not just by y): events tied on y are applied to the tree
+  // in one canonical sequence, which makes the emitted tuples a pure
+  // function of the piece *multiset* — floating-point accumulation is not
+  // associative, so without this the caller's piece order could leak into
+  // last-ulp differences of tied-y sums. The serve layer's bit-identity
+  // contract (pieces arrive sorted there, in file order in the one-shot
+  // fast path) rests on this.
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    uint64_t ka = DoubleOrderKey(a.y), kb = DoubleOrderKey(b.y);
+    if (ka != kb) return ka < kb;
+    ka = DoubleOrderKey(a.x_lo), kb = DoubleOrderKey(b.x_lo);
+    if (ka != kb) return ka < kb;
+    ka = DoubleOrderKey(a.x_hi), kb = DoubleOrderKey(b.x_hi);
+    if (ka != kb) return ka < kb;
+    return DoubleOrderKey(a.w) < DoubleOrderKey(b.w);
+  });
 
   SegmentTree tree(num_elem);
   size_t i = 0;

@@ -23,7 +23,10 @@ enum class SweepObjective { kMaximize, kMinimize };
 /// Computes the slab-file of `slab` for the given pieces (all x-extents must
 /// lie within `slab`). Returns tuples sorted by strictly increasing y; each
 /// tuple carries the extremal (max or min, per `objective`) interval of its
-/// stratum. Pieces may arrive in any order. Purely in-memory: no I/O.
+/// stratum. Pieces may arrive in any order — the output is a pure function
+/// of the piece multiset (events are applied in a canonical total order, so
+/// not even floating-point accumulation can see the input order). Purely
+/// in-memory: no I/O.
 std::vector<SlabTuple> PlaneSweep(
     const std::vector<PieceRecord>& pieces, const Interval& slab,
     SweepObjective objective = SweepObjective::kMaximize);

@@ -77,6 +77,17 @@ struct SpanRecord {
   int32_t child_hi;
 };
 
+/// The Sec. 5.1 transform: the d1 x d2 rectangle centered at object `o`,
+/// carrying w(o). Both the one-shot pipeline and the serve layer's
+/// per-shard derivation call THIS function — served answers are
+/// bit-identical to one-shot runs only while the two sides compute
+/// identical floating-point values, so keep the transform in one place.
+inline PieceRecord TransformObject(const SpatialObject& o, double rect_width,
+                                   double rect_height) {
+  return PieceRecord{o.x - rect_width / 2.0, o.x + rect_width / 2.0,
+                     o.y - rect_height / 2.0, o.y + rect_height / 2.0, o.w};
+}
+
 /// One slab-file tuple t = <y, [x1, x2], sum> (Def. 6 / Sec. 5.2.2): on any
 /// horizontal line with y-coordinate in [t.y, next tuple's y), the
 /// max-interval of the slab is [x_lo, x_hi) with location-weight `sum`.

@@ -23,6 +23,7 @@ struct MaxRun {
   size_t last = 0;        ///< Last elementary interval index (inclusive).
 };
 
+/// The lazy range-add segment tree described in the header comment.
 class SegmentTree {
  public:
   /// Builds a tree over `num_leaves` elementary intervals, all with value 0.
@@ -46,6 +47,7 @@ class SegmentTree {
   /// extension's min-objective sweep.
   MaxRun MinInterval() const;
 
+  /// Number of elementary intervals the tree was built over.
   size_t num_leaves() const { return num_leaves_; }
 
  private:

@@ -2,7 +2,8 @@
 // access their sweep structures through this pool, so their I/O cost reflects
 // the available buffer size M exactly as in the paper's experiments: when the
 // working set fits in M the I/O count collapses (Fig. 15(a)), otherwise every
-// miss is a counted block fetch and every dirty eviction a counted write.
+// miss is a counted block fetch and every dirty eviction a counted write
+// (see docs/IO_MODEL.md for how this composes with the stream layer).
 #ifndef MAXRS_IO_BUFFER_POOL_H_
 #define MAXRS_IO_BUFFER_POOL_H_
 

@@ -2,7 +2,8 @@
 // Env). All files are block-granular; reading or writing one block is one
 // I/O and is recorded in the Env's IoStats. Two implementations are
 // provided: an in-memory Env (deterministic, fast, default for benchmarks)
-// and a POSIX Env backed by real files.
+// and a POSIX Env backed by real files. The role of each layer in the
+// external-memory cost model is documented in docs/IO_MODEL.md.
 #ifndef MAXRS_IO_ENV_H_
 #define MAXRS_IO_ENV_H_
 

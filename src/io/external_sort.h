@@ -59,6 +59,13 @@ Status MergeRuns(Env& env, const std::vector<std::string>& run_names,
 template <typename T>
 Status CopyRecordFile(Env& env, const std::string& from, const std::string& to);
 
+template <typename T, typename Less>
+Status MergeSortedParts(Env& env, TempFileManager& temps,
+                        std::vector<std::string> parts,
+                        const std::string& output_name, Less less,
+                        size_t fan_in, ThreadPool* pool = nullptr,
+                        uint64_t* passes_out = nullptr);
+
 /// Sorts the record file `input_name` into `output_name` using Less.
 /// The input file is left untouched. `info`, if non-null, receives run/pass
 /// counts for complexity verification.
@@ -133,19 +140,43 @@ Status ExternalSort(Env& env, const std::string& input_name,
     return writer.Finish();
   }
 
-  // --- Merge passes ---
-  // The groups of one pass have disjoint inputs and distinct outputs, so
-  // they merge concurrently; passes themselves are sequential (a pass
-  // consumes the previous pass's output).
+  // --- Merge passes --- (the shared fan-in-bounded multi-pass merge; the
+  // serve layer's per-query shard merge reuses the same primitive)
   uint64_t passes = 0;
-  while (runs.size() > 1) {
+  MAXRS_RETURN_IF_ERROR(MergeSortedParts<T>(env, temps, std::move(runs),
+                                            output_name, less, fan_in, pool,
+                                            &passes));
+  if (info != nullptr) info->merge_passes = passes;
+  return Status::OK();
+}
+
+/// Merges already-sorted part files into `output_name` holding at most
+/// `fan_in` input blocks (+1 output block) at once: one k-way merge when
+/// the parts fit the fan-in, multiple passes otherwise — the merge phase
+/// of ExternalSort, exposed for any caller with pre-sorted parts (e.g. the
+/// serve layer's per-shard streams). The groups of one pass have disjoint
+/// inputs and distinct outputs, so with a pool they merge concurrently;
+/// passes themselves are sequential. Consumes (releases) the part files;
+/// a single part degenerates to one copy pass. With a total-order
+/// comparator the output is canonical for any fan_in/grouping.
+/// `passes_out`, if non-null, receives the number of merge passes.
+template <typename T, typename Less>
+Status MergeSortedParts(Env& env, TempFileManager& temps,
+                        std::vector<std::string> parts,
+                        const std::string& output_name, Less less,
+                        size_t fan_in, ThreadPool* pool,
+                        uint64_t* passes_out) {
+  MAXRS_CHECK_MSG(!parts.empty(), "MergeSortedParts needs at least one part");
+  if (fan_in < 2) fan_in = 2;
+  uint64_t passes = 0;
+  while (parts.size() > 1) {
     ++passes;
-    const bool is_final = runs.size() <= fan_in;
+    const bool is_final = parts.size() <= fan_in;
     std::vector<std::vector<std::string>> groups;
     std::vector<std::string> outs;
-    for (size_t start = 0; start < runs.size(); start += fan_in) {
-      const size_t end = std::min(runs.size(), start + fan_in);
-      groups.emplace_back(runs.begin() + start, runs.begin() + end);
+    for (size_t start = 0; start < parts.size(); start += fan_in) {
+      const size_t end = std::min(parts.size(), start + fan_in);
+      groups.emplace_back(parts.begin() + start, parts.begin() + end);
       outs.push_back(is_final ? output_name : temps.NewName("merge"));
     }
     TaskGroup group(pool);
@@ -158,16 +189,15 @@ Status ExternalSort(Env& env, const std::string& input_name,
     for (const std::vector<std::string>& grp : groups) {
       for (const std::string& r : grp) temps.Release(r);
     }
-    runs = std::move(outs);
+    parts = std::move(outs);
   }
 
-  if (info != nullptr) info->merge_passes = passes;
-
-  // Single run and no merge happened: rename by copy (one linear pass).
+  // Single part and no merge happened: rename by copy (one linear pass).
   if (passes == 0) {
-    MAXRS_RETURN_IF_ERROR(CopyRecordFile<T>(env, runs[0], output_name));
-    temps.Release(runs[0]);
+    MAXRS_RETURN_IF_ERROR(CopyRecordFile<T>(env, parts[0], output_name));
+    temps.Release(parts[0]);
   }
+  if (passes_out != nullptr) *passes_out = passes;
   return Status::OK();
 }
 

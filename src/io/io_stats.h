@@ -2,6 +2,8 @@
 // Every block moved between backing storage and memory is counted here; the
 // benchmark harness reports these counters exactly as the paper reports
 // "I/O cost ... the number of transferred blocks during the entire process".
+// docs/IO_MODEL.md defines the model end to end: what is counted, what is
+// not, and why totals are exact at any thread count.
 #ifndef MAXRS_IO_IO_STATS_H_
 #define MAXRS_IO_IO_STATS_H_
 

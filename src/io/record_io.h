@@ -4,7 +4,7 @@
 // hold `block_size / sizeof(T)` records each. A stream holds exactly one
 // block of buffer memory, so a reader or writer costs one block of the
 // memory budget M — the standard EM-model streaming primitive with O(1/B)
-// amortized I/O per record.
+// amortized I/O per record (cost accounting: docs/IO_MODEL.md).
 //
 // T must be trivially copyable and fit in one block.
 #ifndef MAXRS_IO_RECORD_IO_H_

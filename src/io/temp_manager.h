@@ -37,7 +37,21 @@ class TempFileManager {
     (void)st;
   }
 
+  /// Deletes every file this manager ever named (prefix sweep over the
+  /// Env namespace). The instance prefix is process-unique, so the sweep
+  /// can never touch another manager's files — the error-path rollback of
+  /// the serve layer.
+  void ReleaseAll() {
+    const std::string scope = prefix_ + "/";
+    for (const std::string& name : env_->ListFiles()) {
+      if (name.rfind(scope, 0) == 0) Release(name);
+    }
+  }
+
   Env& env() { return *env_; }
+
+  /// The process-unique namespace component all names share.
+  const std::string& prefix() const { return prefix_; }
 
  private:
   static uint64_t NextInstanceId() {

@@ -1,0 +1,299 @@
+#include "serve/maxrs_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/records.h"
+#include "io/external_sort.h"
+#include "io/record_io.h"
+#include "io/temp_manager.h"
+
+namespace maxrs {
+namespace {
+
+// Emits the transformed piece stream of one shard: a linear pass over the
+// shard's ObjectYLess-sorted objects. The output is PieceYLess-sorted by
+// construction on all but pathological inputs — y -> y - h/2 and
+// x -> x -/+ w/2 are monotone, so the object order IS the piece order
+// (dataset_handle.h, header comment). The one exception: objects whose
+// coordinates differ by less than one ulp *of the shifted value* collapse
+// onto equal piece keys, which can reorder the PieceYLess tie-break
+// fields. `*canonical` reports whether the emitted stream is verifiably
+// PieceYLess-sorted; when false the caller restores the canonical order
+// with a real sort (correctness over speed on degenerate data).
+Status TransformShardPieces(Env& env, const ShardInfo& shard, double width,
+                            double height, const std::string& out,
+                            bool* canonical) {
+  MAXRS_ASSIGN_OR_RETURN(RecordReader<SpatialObject> reader,
+                         RecordReader<SpatialObject>::Make(env, shard.y_file));
+  MAXRS_ASSIGN_OR_RETURN(RecordWriter<PieceRecord> writer,
+                         RecordWriter<PieceRecord>::Make(env, out));
+  *canonical = true;
+  PieceRecord prev{};
+  bool have_prev = false;
+  SpatialObject o{};
+  while (reader.Next(&o)) {
+    const PieceRecord piece = TransformObject(o, width, height);
+    if (have_prev && PieceYLess(piece, prev)) *canonical = false;
+    prev = piece;
+    have_prev = true;
+    MAXRS_RETURN_IF_ERROR(writer.Append(piece));
+  }
+  MAXRS_RETURN_IF_ERROR(reader.final_status());
+  return writer.Finish();
+}
+
+// Emits the sorted vertical-edge stream of one shard for rectangle width
+// `width`: a 2-way merge of the shard's ObjectXLess-sorted objects shifted
+// by -w/2 (left edges) and +w/2 (right edges). Both shifted streams are
+// individually sorted (the shift is monotone), so one merge pass replaces
+// the per-query edge sort of the one-shot pipeline. Unlike pieces, no
+// canonical-order fallback is needed: EdgeRecord has a single field, so
+// colliding values are byte-identical and every merge order yields the
+// same file.
+Status BuildShardEdges(Env& env, const ShardInfo& shard, double width,
+                       const std::string& out) {
+  MAXRS_ASSIGN_OR_RETURN(RecordReader<SpatialObject> left,
+                         RecordReader<SpatialObject>::Make(env, shard.x_file));
+  MAXRS_ASSIGN_OR_RETURN(RecordReader<SpatialObject> right,
+                         RecordReader<SpatialObject>::Make(env, shard.x_file));
+  MAXRS_ASSIGN_OR_RETURN(RecordWriter<EdgeRecord> writer,
+                         RecordWriter<EdgeRecord>::Make(env, out));
+  const double half_w = width / 2.0;
+  SpatialObject lo{}, hi{};
+  bool have_lo = left.Next(&lo);
+  bool have_hi = right.Next(&hi);
+  while (have_lo || have_hi) {
+    bool take_lo = have_lo;
+    if (have_lo && have_hi) {
+      take_lo = DoubleOrderKey(lo.x - half_w) <= DoubleOrderKey(hi.x + half_w);
+    }
+    if (take_lo) {
+      MAXRS_RETURN_IF_ERROR(writer.Append(EdgeRecord{lo.x - half_w}));
+      have_lo = left.Next(&lo);
+    } else {
+      MAXRS_RETURN_IF_ERROR(writer.Append(EdgeRecord{hi.x + half_w}));
+      have_hi = right.Next(&hi);
+    }
+  }
+  MAXRS_RETURN_IF_ERROR(left.final_status());
+  MAXRS_RETURN_IF_ERROR(right.final_status());
+  return writer.Finish();
+}
+
+}  // namespace
+
+MaxRSServer::MaxRSServer(Env& env, const DatasetHandle& dataset,
+                         const MaxRSServerOptions& options)
+    : env_(env),
+      dataset_(dataset),
+      options_(options),
+      queue_(options.queue_capacity),
+      // Clamped to [1, 1024]: constructors have no Status path, and a
+      // worker count beyond that is a unit mix-up, not a real machine
+      // (same rationale as the core layer's num_threads validation).
+      pool_(std::make_unique<ThreadPool>(std::min<size_t>(
+          std::max<size_t>(1, options.num_workers), 1024))),
+      workers_(std::make_unique<TaskGroup>(pool_.get())) {
+  // Reject a bad configuration now (stored; every Submit returns it),
+  // rather than paying a full per-shard derivation pass per doomed query
+  // before the core validation finally fires.
+  config_status_ =
+      ValidateMaxRSOptions(MakeQueryOptions(1.0, 1.0), env_.block_size());
+  for (size_t i = 0; i < pool_->num_threads(); ++i) {
+    workers_->Run([this]() -> Status {
+      WorkerLoop();
+      return Status::OK();
+    });
+  }
+}
+
+MaxRSServer::~MaxRSServer() { Shutdown(); }
+
+void MaxRSServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  queue_.Close();
+  Status st = workers_->Wait();
+  (void)st;  // workers always return OK; per-request errors go via promises
+}
+
+ServerCounters MaxRSServer::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+MaxRSOptions MaxRSServer::MakeQueryOptions(double width, double height) const {
+  MaxRSOptions query_options;
+  query_options.rect_width = width;
+  query_options.rect_height = height;
+  query_options.memory_bytes = options_.memory_bytes;
+  query_options.fanout = options_.fanout;
+  query_options.base_case_max_pieces = options_.base_case_max_pieces;
+  query_options.work_prefix = options_.work_prefix;
+  // Queries parallelize across workers, not within: the serial path is
+  // the deterministic one, and it keeps per-query memory at one M.
+  query_options.num_threads = 1;
+  return query_options;
+}
+
+MaxRSServer::CacheKey MaxRSServer::MakeKey(double width, double height) {
+  CacheKey key;
+  std::memcpy(&key.width_bits, &width, sizeof(width));
+  std::memcpy(&key.height_bits, &height, sizeof(height));
+  return key;
+}
+
+std::optional<MaxRSResult> MaxRSServer::CacheLookup(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_index_.find(key);
+  if (it == cache_index_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void MaxRSServer::CacheInsert(const CacheKey& key, const MaxRSResult& result) {
+  if (options_.cache_entries == 0) return;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_index_.find(key);
+  if (it != cache_index_.end()) {
+    // Concurrent duplicate miss: both executions computed the identical
+    // (deterministic) result; keep the existing entry, refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, result);
+  cache_index_[key] = lru_.begin();
+  while (lru_.size() > options_.cache_entries) {
+    cache_index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+Result<MaxRSResult> MaxRSServer::Submit(double rect_width, double rect_height) {
+  if (!std::isfinite(rect_width) || !std::isfinite(rect_height) ||
+      !(rect_width > 0.0) || !(rect_height > 0.0)) {
+    return Status::InvalidArgument(
+        "rectangle dimensions must be positive and finite");
+  }
+  if (!config_status_.ok()) return config_status_;
+  const CacheKey key = MakeKey(rect_width, rect_height);
+  if (std::optional<MaxRSResult> hit = CacheLookup(key)) {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.submitted;
+    ++counters_.cache_hits;
+    return *std::move(hit);
+  }
+
+  auto request = std::make_unique<Request>();
+  request->width = rect_width;
+  request->height = rect_height;
+  std::future<Result<MaxRSResult>> future = request->promise.get_future();
+  if (!queue_.Push(std::move(request))) {
+    return Status::NotSupported("MaxRSServer is shut down");
+  }
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.submitted;
+  }
+  return future.get();
+}
+
+void MaxRSServer::WorkerLoop() {
+  std::unique_ptr<Request> request;
+  while (queue_.Pop(&request)) {
+    Result<MaxRSResult> result =
+        ExecuteQuery(request->width, request->height);
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.executed;
+      if (!result.ok()) ++counters_.failed;
+    }
+    if (result.ok()) {
+      CacheInsert(MakeKey(request->width, request->height), result.value());
+    }
+    request->promise.set_value(std::move(result));
+  }
+}
+
+Result<MaxRSResult> MaxRSServer::ExecuteQuery(double width, double height) {
+  TempFileManager temps(env_, options_.work_prefix);
+
+  auto body = [&]() -> Result<MaxRSResult> {
+    const std::vector<ShardInfo>& shards = dataset_.shards();
+    const size_t num_shards = shards.size();
+
+    // Per-shard rect-dependent derivation: linear passes over the
+    // pre-sorted shard files, no sorting.
+    std::vector<std::string> piece_parts(num_shards);
+    std::vector<std::string> edge_parts(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      piece_parts[i] = temps.NewName("q_pieces");
+      edge_parts[i] = temps.NewName("q_edges");
+      bool canonical = true;
+      MAXRS_RETURN_IF_ERROR(TransformShardPieces(
+          env_, shards[i], width, height, piece_parts[i], &canonical));
+      if (!canonical) {
+        // Sub-ulp coordinate collapse (see TransformShardPieces) broke the
+        // derived order; fall back to a real sort for this shard so the
+        // stream is canonical and bit-identity with one-shot runs holds
+        // even on degenerate data. Never taken for ordinarily-spaced input.
+        const std::string resorted = temps.NewName("q_pieces_resort");
+        ExternalSortOptions sort_options{options_.memory_bytes, nullptr};
+        MAXRS_RETURN_IF_ERROR(ExternalSort<PieceRecord>(
+            env_, piece_parts[i], resorted, PieceYLess, sort_options));
+        temps.Release(piece_parts[i]);
+        piece_parts[i] = resorted;
+      }
+      MAXRS_RETURN_IF_ERROR(
+          BuildShardEdges(env_, shards[i], width, edge_parts[i]));
+    }
+
+    // Assemble the two global division-phase inputs. Shards partition the
+    // objects, every per-shard stream is sorted, and both comparators are
+    // total orders — so the (possibly multi-pass) MergeSortedParts run
+    // reproduces byte-for-byte the files the one-shot pipeline's external
+    // sorts would have produced, within the query's M/B - 1 fan-in budget.
+    std::string piece_file, edge_file;
+    if (num_shards == 1) {
+      piece_file = piece_parts[0];
+      edge_file = edge_parts[0];
+    } else {
+      // Guard the subtraction: blocks can be 0 for a sub-block budget
+      // (ValidateOptions rejects such budgets later, but fan_in must not
+      // wrap to SIZE_MAX meanwhile).
+      const size_t blocks = options_.memory_bytes / env_.block_size();
+      const size_t fan_in = std::max<size_t>(2, blocks > 1 ? blocks - 1 : 1);
+      piece_file = temps.NewName("q_pieces_sorted");
+      edge_file = temps.NewName("q_edges_sorted");
+      MAXRS_RETURN_IF_ERROR(MergeSortedParts<PieceRecord>(
+          env_, temps, piece_parts, piece_file, PieceYLess, fan_in));
+      MAXRS_RETURN_IF_ERROR(MergeSortedParts<EdgeRecord>(
+          env_, temps, edge_parts, edge_file, EdgeXLess, fan_in));
+    }
+
+    PreparedInput input;
+    input.piece_file = piece_file;
+    input.edge_file = edge_file;
+    input.num_pieces = dataset_.num_objects();
+    input.x_range = Interval{-kInf, kInf};
+    return RunExactMaxRSPrepared(env_, input, MakeQueryOptions(width, height));
+  };
+
+  Result<MaxRSResult> result = body();
+  if (!result.ok()) {
+    // Sweep every scratch file this query's manager named — including
+    // multi-pass merge intermediates — so repeated failing queries cannot
+    // grow the Env without bound. (Scratch the Driver recursion allocates
+    // under its own manager can still leak on a mid-recursion error; that
+    // matches the one-shot pipeline's behavior.)
+    temps.ReleaseAll();
+  }
+  return result;
+}
+
+}  // namespace maxrs

@@ -1,0 +1,171 @@
+// MaxRSServer: the query half of the serve layer — a long-lived server that
+// owns one ingested DatasetHandle and answers MaxRS queries of varying
+// rectangle sizes concurrently.
+//
+// Request path: Submit(w, h) consults a small LRU result cache keyed by the
+// exact (w, h) bit patterns (a warm hit performs zero I/O), otherwise
+// enqueues the request on a bounded MPMC queue (util/mpmc_queue.h) and
+// blocks on its future. `num_workers` long-running worker tasks — a
+// TaskGroup on the PR-2 ThreadPool — pop requests and execute them:
+//
+//   per shard   transform the y-sorted objects into the (already sorted)
+//               piece stream; 2-way-merge the x-sorted objects -/+ w/2 into
+//               the (already sorted) edge stream        — linear passes
+//   global      k-way-merge the per-shard streams                — one pass
+//   solve       RunExactMaxRSPrepared: division + merge-sweep    — as usual
+//
+// No external sort runs per query; only the rect-dependent transform,
+// merge, and division/merge-sweep work does. Each query executes on the
+// serial deterministic code path (num_threads = 1), so results are
+// bit-identical to a one-shot RunExactMaxRS at any thread count and
+// independent of worker count, schedule, and cache state; concurrency
+// comes from overlapping *queries*, not from splitting one query.
+//
+// See docs/ARCHITECTURE.md ("The serve layer") for the design rationale.
+#ifndef MAXRS_SERVE_MAXRS_SERVER_H_
+#define MAXRS_SERVE_MAXRS_SERVER_H_
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/exact_maxrs.h"
+#include "io/env.h"
+#include "serve/dataset_handle.h"
+#include "util/mpmc_queue.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace maxrs {
+
+/// Knobs for MaxRSServer.
+struct MaxRSServerOptions {
+  /// Concurrent query workers (= ThreadPool size). Each in-flight query
+  /// occupies one worker end to end. Clamped to [1, 1024].
+  size_t num_workers = 1;
+
+  /// Memory budget M in bytes per query (fan-out, base case, merge fan-in).
+  size_t memory_bytes = 1 << 20;
+
+  /// Fan-out override for tests; 0 derives from the memory budget.
+  size_t fanout = 0;
+
+  /// Base-case threshold override (#pieces) for tests; 0 derives from M.
+  uint64_t base_case_max_pieces = 0;
+
+  /// LRU result-cache entries keyed by exact (w, h); 0 disables caching.
+  size_t cache_entries = 16;
+
+  /// Bound on queued (not yet executing) requests; submitters beyond it
+  /// block — backpressure instead of unbounded queue growth.
+  size_t queue_capacity = 64;
+
+  /// Env namespace prefix for per-query scratch files.
+  std::string work_prefix = "maxrs_serve";
+};
+
+/// Monotonic counters describing server traffic so far.
+struct ServerCounters {
+  uint64_t submitted = 0;       ///< Submit() calls accepted.
+  uint64_t cache_hits = 0;      ///< Served from the LRU without any I/O.
+  uint64_t executed = 0;        ///< Ran the full per-query pipeline.
+  uint64_t failed = 0;          ///< Executions that returned an error.
+};
+
+/// A long-lived MaxRS query server over one immutable ingested dataset.
+/// Thread-safe: Submit may be called from any number of threads. The
+/// DatasetHandle (and the Env) must outlive the server.
+class MaxRSServer {
+ public:
+  /// Starts `options.num_workers` workers immediately. The server holds a
+  /// reference to `dataset` — keep the handle alive.
+  MaxRSServer(Env& env, const DatasetHandle& dataset,
+              const MaxRSServerOptions& options = {});
+
+  /// Shuts down (drains in-flight queries) if Shutdown was not called.
+  ~MaxRSServer();
+
+  MaxRSServer(const MaxRSServer&) = delete;
+  MaxRSServer& operator=(const MaxRSServer&) = delete;
+
+  /// Answers one MaxRS query for a `rect_width` x `rect_height` rectangle.
+  /// Blocks until the result is available; safe to call concurrently from
+  /// many threads. Returns InvalidArgument for non-positive/non-finite
+  /// dimensions. After Shutdown, already-cached rects remain servable
+  /// (zero I/O); queries that would need execution return NotSupported.
+  Result<MaxRSResult> Submit(double rect_width, double rect_height);
+
+  /// Stops accepting new queries, waits for in-flight ones, and joins the
+  /// workers. Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// Traffic counters (point-in-time copy).
+  ServerCounters counters() const;
+
+  /// Number of requests queued but not yet picked up by a worker.
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  /// One queued query: its dimensions and the promise Submit waits on.
+  struct Request {
+    double width = 0.0;
+    double height = 0.0;
+    std::promise<Result<MaxRSResult>> promise;
+  };
+
+  /// Exact-bit-pattern cache key; queries are cached per distinct (w, h).
+  struct CacheKey {
+    uint64_t width_bits = 0;
+    uint64_t height_bits = 0;
+    bool operator==(const CacheKey& other) const {
+      return width_bits == other.width_bits &&
+             height_bits == other.height_bits;
+    }
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& k) const {
+      // Splitmix-style mix; the key space is tiny so quality hardly matters.
+      uint64_t h = k.width_bits * 0x9e3779b97f4a7c15ULL ^ k.height_bits;
+      h ^= h >> 31;
+      return static_cast<size_t>(h * 0xbf58476d1ce4e5b9ULL);
+    }
+  };
+
+  static CacheKey MakeKey(double width, double height);
+
+  MaxRSOptions MakeQueryOptions(double width, double height) const;
+  void WorkerLoop();
+  Result<MaxRSResult> ExecuteQuery(double width, double height);
+  std::optional<MaxRSResult> CacheLookup(const CacheKey& key);
+  void CacheInsert(const CacheKey& key, const MaxRSResult& result);
+
+  Env& env_;
+  const DatasetHandle& dataset_;
+  MaxRSServerOptions options_;
+  Status config_status_;  // from construction; every Submit fails fast on it
+
+  MpmcQueue<std::unique_ptr<Request>> queue_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<TaskGroup> workers_;
+  bool shut_down_ = false;
+  std::mutex shutdown_mu_;
+
+  mutable std::mutex cache_mu_;
+  std::list<std::pair<CacheKey, MaxRSResult>> lru_;  // front = most recent
+  std::unordered_map<CacheKey, decltype(lru_)::iterator, CacheKeyHash>
+      cache_index_;
+
+  mutable std::mutex counters_mu_;
+  ServerCounters counters_;
+};
+
+}  // namespace maxrs
+
+#endif  // MAXRS_SERVE_MAXRS_SERVER_H_

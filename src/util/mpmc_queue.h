@@ -1,0 +1,106 @@
+// Bounded multi-producer multi-consumer blocking queue: the submission
+// channel of the serve layer (serve/maxrs_server.h). Producers block while
+// the queue is full (backpressure instead of unbounded memory growth),
+// consumers block while it is empty, and Close() releases everyone: pending
+// items still drain, new pushes are refused. Plain mutex + two condition
+// variables — the queue carries a handful of requests per second, not a
+// per-block hot path, so contention is irrelevant and simplicity wins.
+#ifndef MAXRS_UTIL_MPMC_QUEUE_H_
+#define MAXRS_UTIL_MPMC_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace maxrs {
+
+/// A bounded FIFO shared by any number of producer and consumer threads.
+/// T must be movable; move-only types (e.g. std::unique_ptr) are supported.
+template <typename T>
+class MpmcQueue {
+ public:
+  /// `capacity` bounds the number of queued items (clamped to at least 1).
+  explicit MpmcQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Blocks until there is room (or the queue is closed), then enqueues.
+  /// Returns false — and drops `item` — iff the queue was closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (or the queue is closed and drained),
+  /// then dequeues into *out. Returns false iff closed and empty — the
+  /// consumer-loop termination signal.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking Pop: returns false immediately when nothing is available.
+  bool TryPop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Closes the queue: subsequent pushes are refused, blocked producers and
+  /// consumers wake, already-queued items remain poppable. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// True once Close() has been called.
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Number of currently queued items (instantaneous; for tests/telemetry).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// The capacity bound the queue was constructed with.
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace maxrs
+
+#endif  // MAXRS_UTIL_MPMC_QUEUE_H_

@@ -1,0 +1,145 @@
+// Tests for the bounded MPMC queue feeding the serve layer: FIFO semantics,
+// backpressure, close/drain behaviour, move-only payloads, and an MPMC
+// stress run checking exactly-once delivery.
+#include "util/mpmc_queue.h"
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace maxrs {
+namespace {
+
+TEST(MpmcQueueTest, FifoSingleThread) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));
+  EXPECT_EQ(q.size(), 5u);
+  int v = -1;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.Pop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(MpmcQueueTest, CapacityClampedToOne) {
+  MpmcQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.Push(7));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(MpmcQueueTest, TryPopDoesNotBlock) {
+  MpmcQueue<int> q(2);
+  int v = 0;
+  EXPECT_FALSE(q.TryPop(&v));
+  EXPECT_TRUE(q.Push(3));
+  EXPECT_TRUE(q.TryPop(&v));
+  EXPECT_EQ(v, 3);
+}
+
+TEST(MpmcQueueTest, PushBlocksUntilRoom) {
+  MpmcQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(2));  // blocks until the consumer pops
+    second_pushed.store(true);
+  });
+  // The producer cannot complete while the queue is full.
+  EXPECT_EQ(q.size(), 1u);
+  int v = 0;
+  ASSERT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  ASSERT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(MpmcQueueTest, CloseWakesBlockedConsumer) {
+  MpmcQueue<int> q(4);
+  std::thread consumer([&] {
+    int v = 0;
+    EXPECT_FALSE(q.Pop(&v));  // blocked empty Pop returns false on Close
+  });
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(MpmcQueueTest, CloseWakesBlockedProducerAndRefusesPush) {
+  MpmcQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::thread producer([&] {
+    EXPECT_FALSE(q.Push(2));  // blocked full Push returns false on Close
+  });
+  q.Close();
+  producer.join();
+  EXPECT_FALSE(q.Push(3));
+}
+
+TEST(MpmcQueueTest, QueuedItemsDrainAfterClose) {
+  MpmcQueue<int> q(4);
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.Push(2));
+  q.Close();
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(q.Pop(&v));  // drained
+}
+
+TEST(MpmcQueueTest, MoveOnlyPayload) {
+  MpmcQueue<std::unique_ptr<int>> q(2);
+  ASSERT_TRUE(q.Push(std::make_unique<int>(42)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.Pop(&out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+TEST(MpmcQueueTest, ExactlyOnceDeliveryUnderContention) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  MpmcQueue<int> q(8);
+
+  std::vector<std::thread> threads;
+  std::atomic<long long> sum{0};
+  std::atomic<int> delivered{0};
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int v = 0;
+      while (q.Pop(&v)) {
+        sum.fetch_add(v);
+        delivered.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  // Join producers (the last kProducers threads), then close to end consumers.
+  for (int p = 0; p < kProducers; ++p) threads[kConsumers + p].join();
+  q.Close();
+  for (int c = 0; c < kConsumers; ++c) threads[c].join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(delivered.load(), total);
+  // Sum of 0..total-1: every item delivered exactly once.
+  EXPECT_EQ(sum.load(), static_cast<long long>(total) * (total - 1) / 2);
+}
+
+}  // namespace
+}  // namespace maxrs

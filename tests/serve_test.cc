@@ -1,0 +1,422 @@
+// Serve-layer tests: ingest invariants (sharding, manifest roundtrip,
+// thread-count determinism), server correctness (bit-identical to one-shot
+// ExactMaxRS across rect sizes and worker counts), concurrency (8 in-flight
+// queries, deterministic results), and cache semantics (a warm query
+// performs zero block transfers — in particular zero sort-phase I/O).
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/exact_maxrs.h"
+#include "datagen/dataset_io.h"
+#include "gtest/gtest.h"
+#include "io/env.h"
+#include "io/fault_env.h"
+#include "io/record_io.h"
+#include "serve/dataset_handle.h"
+#include "serve/maxrs_server.h"
+#include "test_util.h"
+
+namespace maxrs {
+namespace {
+
+constexpr char kDatasetFile[] = "objects";
+
+// Shared setup: a fixed-seed integer dataset staged into a fresh MemEnv.
+// 4000 objects with the 64KB budget keep every query on the external
+// (division + merge-sweep) code path: base_case_max derives to ~1638.
+std::unique_ptr<Env> MakeEnvWithDataset(std::vector<SpatialObject>* out_objects,
+                                        size_t n = 4000) {
+  auto env = NewMemEnv(4096);
+  std::vector<SpatialObject> objects =
+      testing::RandomIntObjects(n, /*extent=*/2000, /*seed=*/7,
+                                /*random_weights=*/true);
+  EXPECT_TRUE(WriteDataset(*env, kDatasetFile, objects).ok());
+  if (out_objects != nullptr) *out_objects = objects;
+  return env;
+}
+
+MaxRSOptions OneShotOptions(double w, double h) {
+  MaxRSOptions options;
+  options.rect_width = w;
+  options.rect_height = h;
+  options.memory_bytes = 64 * 1024;
+  return options;
+}
+
+DatasetHandleOptions IngestOptions(size_t shards, size_t threads = 1) {
+  DatasetHandleOptions options;
+  options.shard_count = shards;
+  options.memory_bytes = 64 * 1024;
+  options.num_threads = threads;
+  return options;
+}
+
+MaxRSServerOptions ServerOptions(size_t workers) {
+  MaxRSServerOptions options;
+  options.num_workers = workers;
+  options.memory_bytes = 64 * 1024;
+  return options;
+}
+
+void ExpectBitIdentical(const MaxRSResult& a, const MaxRSResult& b) {
+  EXPECT_EQ(a.total_weight, b.total_weight);
+  EXPECT_EQ(a.location, b.location);
+  EXPECT_EQ(a.region, b.region);
+}
+
+TEST(DatasetHandleTest, IngestShardsCoverAxisAndStaySorted) {
+  std::vector<SpatialObject> objects;
+  auto env = MakeEnvWithDataset(&objects);
+  auto handle_or = DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(4));
+  ASSERT_TRUE(handle_or.ok()) << handle_or.status().ToString();
+  const DatasetHandle& handle = handle_or.value();
+
+  ASSERT_EQ(handle.shards().size(), 4u);
+  EXPECT_EQ(handle.num_objects(), objects.size());
+  EXPECT_GT(handle.ingest_stats().io.total(), 0u);
+
+  uint64_t total = 0;
+  double prev_hi = -kInf;
+  for (const ShardInfo& shard : handle.shards()) {
+    // Contiguous slabs: each shard starts where the previous ended.
+    EXPECT_EQ(shard.x_range.lo, prev_hi);
+    prev_hi = shard.x_range.hi;
+    total += shard.num_objects;
+    EXPECT_GT(shard.num_objects, 0u);
+
+    auto y_objects = ReadRecordFile<SpatialObject>(*env, shard.y_file);
+    auto x_objects = ReadRecordFile<SpatialObject>(*env, shard.x_file);
+    ASSERT_TRUE(y_objects.ok());
+    ASSERT_TRUE(x_objects.ok());
+    EXPECT_EQ(y_objects->size(), shard.num_objects);
+    EXPECT_EQ(x_objects->size(), shard.num_objects);
+    EXPECT_TRUE(
+        std::is_sorted(y_objects->begin(), y_objects->end(), ObjectYLess));
+    EXPECT_TRUE(
+        std::is_sorted(x_objects->begin(), x_objects->end(), ObjectXLess));
+    for (const SpatialObject& o : *x_objects) {
+      EXPECT_TRUE(shard.x_range.Contains(o.x));
+    }
+  }
+  EXPECT_EQ(handle.shards().back().x_range.hi, kInf);
+  EXPECT_EQ(total, objects.size());
+}
+
+TEST(DatasetHandleTest, ManifestRoundtripAndDrop) {
+  auto env = MakeEnvWithDataset(nullptr);
+  auto ingested = DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(3));
+  ASSERT_TRUE(ingested.ok());
+
+  auto opened = DatasetHandle::Open(*env, ingested->prefix());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened->num_objects(), ingested->num_objects());
+  ASSERT_EQ(opened->shards().size(), ingested->shards().size());
+  for (size_t i = 0; i < opened->shards().size(); ++i) {
+    EXPECT_EQ(opened->shards()[i].x_range, ingested->shards()[i].x_range);
+    EXPECT_EQ(opened->shards()[i].num_objects,
+              ingested->shards()[i].num_objects);
+    EXPECT_EQ(opened->shards()[i].y_file, ingested->shards()[i].y_file);
+  }
+
+  // Ingest under an occupied prefix is refused: datasets are immutable.
+  auto again = DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(3));
+  EXPECT_EQ(again.status().code(), Status::Code::kInvalidArgument);
+
+  EXPECT_TRUE(opened->Drop().ok());
+  auto after_drop = DatasetHandle::Open(*env, ingested->prefix());
+  EXPECT_FALSE(after_drop.ok());
+}
+
+TEST(DatasetHandleTest, IngestIsThreadCountInvariant) {
+  auto env1 = MakeEnvWithDataset(nullptr);
+  auto env8 = MakeEnvWithDataset(nullptr);
+  auto serial = DatasetHandle::Ingest(*env1, kDatasetFile, IngestOptions(4, 1));
+  auto parallel =
+      DatasetHandle::Ingest(*env8, kDatasetFile, IngestOptions(4, 8));
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial->shards().size(), parallel->shards().size());
+  for (size_t i = 0; i < serial->shards().size(); ++i) {
+    auto a = ReadRecordFile<SpatialObject>(*env1, serial->shards()[i].y_file);
+    auto b = ReadRecordFile<SpatialObject>(*env8, parallel->shards()[i].y_file);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    EXPECT_EQ(std::memcmp(a->data(), b->data(),
+                          a->size() * sizeof(SpatialObject)),
+              0);
+  }
+}
+
+TEST(DatasetHandleTest, FailedIngestNeverBricksThePrefix) {
+  // Inject a fault at every possible transfer of the ingest in turn; after
+  // each failure the prefix must be reusable (a leaked half-written
+  // manifest would make every retry fail with InvalidArgument).
+  auto base = NewMemEnv(4096);
+  ASSERT_TRUE(WriteDataset(*base, kDatasetFile,
+                           testing::RandomIntObjects(500, 1000, 11))
+                  .ok());
+  FaultEnv fault(*base);
+  for (uint64_t k = 1;; ++k) {
+    fault.ArmAfter(k);
+    auto result = DatasetHandle::Ingest(fault, kDatasetFile, IngestOptions(2));
+    fault.Disarm();
+    if (result.ok()) {
+      ASSERT_TRUE(result->Drop().ok());
+      break;  // k exceeded the ingest's total transfers: sweep complete
+    }
+    auto retry = DatasetHandle::Ingest(fault, kDatasetFile, IngestOptions(2));
+    ASSERT_TRUE(retry.ok()) << "prefix bricked after fault at transfer " << k
+                            << ": " << retry.status().ToString();
+    ASSERT_TRUE(retry->Drop().ok());
+  }
+}
+
+TEST(ServeTest, SubUlpCoordinateCollapseStaysBitIdentical) {
+  // Two objects whose y values differ by less than one ulp of the shifted
+  // y - h/2: both pieces get y_lo == -500 exactly, and the x values are
+  // chosen so the derived per-shard piece stream violates the PieceYLess
+  // tie-break order. The server must detect this and fall back to a real
+  // sort, keeping served answers bit-identical to the one-shot pipeline.
+  std::vector<SpatialObject> objects;
+  objects.push_back({10.0, 0.0, 1.0});
+  objects.push_back({5.0, 1e-18, 1.0});
+  for (int i = 0; i < 50; ++i) {
+    objects.push_back({static_cast<double>((i * 13) % 97),
+                       static_cast<double>((i * 7) % 89), 1.0});
+  }
+  auto env = NewMemEnv(4096);
+  ASSERT_TRUE(WriteDataset(*env, kDatasetFile, objects).ok());
+
+  // Force the external (division) path despite the tiny cardinality.
+  MaxRSOptions one_shot_options = OneShotOptions(4.0, 1000.0);
+  one_shot_options.base_case_max_pieces = 8;
+  auto one_shot = RunExactMaxRS(*env, kDatasetFile, one_shot_options);
+  ASSERT_TRUE(one_shot.ok());
+
+  auto handle = DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(1));
+  ASSERT_TRUE(handle.ok());
+  MaxRSServerOptions server_options = ServerOptions(1);
+  server_options.base_case_max_pieces = 8;
+  MaxRSServer server(*env, *handle, server_options);
+  auto served = server.Submit(4.0, 1000.0);
+  ASSERT_TRUE(served.ok());
+  ExpectBitIdentical(*served, *one_shot);
+}
+
+TEST(ServeTest, BitIdenticalToOneShotAcrossRectSizes) {
+  const double kRects[][2] = {
+      {50, 50}, {100, 200}, {333, 77}, {1000, 1000}, {5, 5}};
+
+  std::vector<SpatialObject> objects;
+  auto env = MakeEnvWithDataset(&objects);
+  auto handle = DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(4));
+  ASSERT_TRUE(handle.ok());
+  MaxRSServer server(*env, *handle, ServerOptions(1));
+
+  for (const auto& rect : kRects) {
+    auto one_shot =
+        RunExactMaxRS(*env, kDatasetFile, OneShotOptions(rect[0], rect[1]));
+    ASSERT_TRUE(one_shot.ok());
+    auto served = server.Submit(rect[0], rect[1]);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    ExpectBitIdentical(*served, *one_shot);
+    // Sanity beyond bit-identity: the answer is a real cover weight.
+    EXPECT_EQ(served->total_weight,
+              CoveredWeight(objects, Rect::Centered(served->location, rect[0],
+                                                    rect[1])));
+  }
+}
+
+TEST(ServeTest, BitIdenticalAcrossWorkerCountsAndShardCounts) {
+  const double kW = 250, kH = 125;
+  auto reference_env = MakeEnvWithDataset(nullptr);
+  auto reference =
+      RunExactMaxRS(*reference_env, kDatasetFile, OneShotOptions(kW, kH));
+  ASSERT_TRUE(reference.ok());
+
+  for (size_t shards : {1u, 4u}) {
+    for (size_t workers : {1u, 2u, 8u}) {
+      auto env = MakeEnvWithDataset(nullptr);
+      auto handle =
+          DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(shards));
+      ASSERT_TRUE(handle.ok());
+      MaxRSServer server(*env, *handle, ServerOptions(workers));
+      auto served = server.Submit(kW, kH);
+      ASSERT_TRUE(served.ok());
+      ExpectBitIdentical(*served, *reference);
+    }
+  }
+}
+
+TEST(ServeTest, MultiPassMergeWhenShardsExceedFanIn) {
+  // 16KB budget = 4 blocks = fan-in 3, below the 4 shards: the per-query
+  // merge must go multi-pass to stay within M/B - 1 blocks, and the result
+  // must still be bit-identical to the one-shot run on the same budget.
+  auto env = MakeEnvWithDataset(nullptr);
+  MaxRSOptions one_shot_options = OneShotOptions(150, 300);
+  one_shot_options.memory_bytes = 16 * 1024;
+  auto one_shot = RunExactMaxRS(*env, kDatasetFile, one_shot_options);
+  ASSERT_TRUE(one_shot.ok());
+
+  auto handle = DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(4));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_EQ(handle->shards().size(), 4u);
+  MaxRSServerOptions server_options = ServerOptions(1);
+  server_options.memory_bytes = 16 * 1024;
+  MaxRSServer server(*env, *handle, server_options);
+  auto served = server.Submit(150, 300);
+  ASSERT_TRUE(served.ok());
+  ExpectBitIdentical(*served, *one_shot);
+}
+
+TEST(ServeTest, ColdQuerySkipsTheSortPhase) {
+  auto env = MakeEnvWithDataset(nullptr);
+  auto one_shot = RunExactMaxRS(*env, kDatasetFile, OneShotOptions(200, 200));
+  ASSERT_TRUE(one_shot.ok());
+
+  auto handle = DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(4));
+  ASSERT_TRUE(handle.ok());
+  MaxRSServer server(*env, *handle, ServerOptions(1));
+
+  const IoStatsSnapshot before = env->stats().Snapshot();
+  ASSERT_TRUE(server.Submit(200, 200).ok());
+  const uint64_t cold_io = (env->stats().Snapshot() - before).total();
+  // The per-query pipeline replaces the transform + two external sorts with
+  // linear derivation passes, so a cold query costs strictly less than the
+  // one-shot run of the same rect on the same budget.
+  EXPECT_LT(cold_io, one_shot->stats.io.total());
+  EXPECT_GT(cold_io, 0u);
+}
+
+TEST(ServeTest, WarmQueryPerformsZeroBlockTransfers) {
+  auto env = MakeEnvWithDataset(nullptr);
+  auto handle = DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(4));
+  ASSERT_TRUE(handle.ok());
+  MaxRSServer server(*env, *handle, ServerOptions(2));
+
+  auto cold = server.Submit(300, 150);
+  ASSERT_TRUE(cold.ok());
+  const IoStatsSnapshot before = env->stats().Snapshot();
+  auto warm = server.Submit(300, 150);
+  ASSERT_TRUE(warm.ok());
+  const IoStatsSnapshot delta = env->stats().Snapshot() - before;
+  // Zero transfers of any kind — a fortiori zero sort-phase I/O.
+  EXPECT_EQ(delta.blocks_read, 0u);
+  EXPECT_EQ(delta.blocks_written, 0u);
+  ExpectBitIdentical(*warm, *cold);
+
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.submitted, 2u);
+  EXPECT_EQ(counters.cache_hits, 1u);
+  EXPECT_EQ(counters.executed, 1u);
+}
+
+TEST(ServeTest, LruEvictsLeastRecentlyUsedRect) {
+  auto env = MakeEnvWithDataset(nullptr);
+  auto handle = DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(2));
+  ASSERT_TRUE(handle.ok());
+  MaxRSServerOptions options = ServerOptions(1);
+  options.cache_entries = 1;
+  MaxRSServer server(*env, *handle, options);
+
+  ASSERT_TRUE(server.Submit(100, 100).ok());  // executed, cached
+  ASSERT_TRUE(server.Submit(200, 200).ok());  // executed, evicts (100,100)
+  ASSERT_TRUE(server.Submit(100, 100).ok());  // executed again (evicted)
+  ASSERT_TRUE(server.Submit(100, 100).ok());  // hit
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.executed, 3u);
+  EXPECT_EQ(counters.cache_hits, 1u);
+}
+
+TEST(ServeTest, EightInFlightQueriesAreDeterministic) {
+  constexpr size_t kClients = 8;
+  const double kRects[kClients][2] = {{50, 50},   {100, 100}, {150, 75},
+                                      {75, 150},  {200, 200}, {250, 50},
+                                      {50, 250},  {333, 333}};
+
+  // Expected answers from the serial one-shot pipeline.
+  std::vector<MaxRSResult> expected(kClients);
+  {
+    auto env = MakeEnvWithDataset(nullptr);
+    for (size_t i = 0; i < kClients; ++i) {
+      auto r = RunExactMaxRS(*env, kDatasetFile,
+                             OneShotOptions(kRects[i][0], kRects[i][1]));
+      ASSERT_TRUE(r.ok());
+      expected[i] = *r;
+    }
+  }
+
+  // Two rounds so cache warmth changes, results must not.
+  auto env = MakeEnvWithDataset(nullptr);
+  auto handle = DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(4));
+  ASSERT_TRUE(handle.ok());
+  MaxRSServer server(*env, *handle, ServerOptions(8));
+  for (int round = 0; round < 2; ++round) {
+    std::vector<MaxRSResult> got(kClients);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (size_t i = 0; i < kClients; ++i) {
+      clients.emplace_back([&, i] {
+        auto r = server.Submit(kRects[i][0], kRects[i][1]);
+        ASSERT_TRUE(r.ok());
+        got[i] = *r;
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    for (size_t i = 0; i < kClients; ++i) {
+      ExpectBitIdentical(got[i], expected[i]);
+    }
+  }
+  EXPECT_EQ(server.counters().submitted, 2 * kClients);
+}
+
+TEST(ServeTest, EmptyDatasetAnswersLikeOneShot) {
+  auto env = NewMemEnv(4096);
+  ASSERT_TRUE(WriteDataset(*env, kDatasetFile, {}).ok());
+  auto one_shot = RunExactMaxRS(*env, kDatasetFile, OneShotOptions(100, 100));
+  ASSERT_TRUE(one_shot.ok());
+
+  auto handle = DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(0));
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  ASSERT_EQ(handle->shards().size(), 1u);
+  MaxRSServer server(*env, *handle, ServerOptions(1));
+  auto served = server.Submit(100, 100);
+  ASSERT_TRUE(served.ok());
+  ExpectBitIdentical(*served, *one_shot);
+  EXPECT_EQ(served->total_weight, 0.0);
+}
+
+TEST(ServeTest, RejectsInvalidDimensionsAndShutDownServer) {
+  auto env = MakeEnvWithDataset(nullptr, /*n=*/100);
+  auto handle = DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(1));
+  ASSERT_TRUE(handle.ok());
+  MaxRSServer server(*env, *handle, ServerOptions(1));
+
+  EXPECT_EQ(server.Submit(0.0, 10.0).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(server.Submit(10.0, -1.0).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(server.Submit(kInf, 10.0).status().code(),
+            Status::Code::kInvalidArgument);
+
+  ASSERT_TRUE(server.Submit(10, 10).ok());
+  server.Shutdown();
+  // Cached results stay servable; fresh rects are refused.
+  EXPECT_TRUE(server.Submit(10, 10).ok());
+  EXPECT_EQ(server.Submit(20, 20).status().code(),
+            Status::Code::kNotSupported);
+
+  // A bad configuration fails fast on every Submit, with zero I/O paid.
+  MaxRSServerOptions bad = ServerOptions(1);
+  bad.fanout = 1;
+  MaxRSServer bad_server(*env, *handle, bad);
+  const IoStatsSnapshot before = env->stats().Snapshot();
+  EXPECT_EQ(bad_server.Submit(10, 10).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ((env->stats().Snapshot() - before).total(), 0u);
+}
+
+}  // namespace
+}  // namespace maxrs

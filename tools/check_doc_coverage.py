@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Doc-coverage lint for public headers.
+
+Fails when a public symbol in the given directories' headers lacks a doc
+comment on the line immediately above its declaration. Registered as the
+`doc_coverage` CTest test and run in CI for `src/core` and `src/serve` —
+the modules whose headers are the library's public API surface (see
+ISSUE/PR history; docs/ARCHITECTURE.md points into them).
+
+What counts as a documentable symbol (kept deliberately pragmatic — this
+is a header-comment lint, not a C++ parser):
+
+  - class / struct / enum *definitions* at namespace scope or in a public
+    section of an enclosing documented type (forward declarations exempt);
+  - function declarations at namespace scope or in a public section
+    (anything with a parameter list), including constructors;
+
+with these exemptions:
+
+  - `= default` / `= delete` members and destructors (self-evident),
+  - deleted-by-convention copy/move pairs,
+  - `friend` declarations, `using` aliases, member variables (struct
+    fields are covered by their struct's doc), access specifiers.
+
+A doc comment is any `//`-style comment (incl. `///`) or the tail of a
+`/* ... */` block ending on the immediately preceding line.
+
+Usage: check_doc_coverage.py DIR [DIR...]
+Exit codes: 0 = fully documented, 1 = gaps found, 2 = usage error.
+"""
+
+import os
+import re
+import sys
+
+CANDIDATE_TYPE = re.compile(r"^(template\s*<.*>\s*)?(class|struct|enum(\s+class|\s+struct)?)\s+([A-Za-z_]\w*)")
+ACCESS = re.compile(r"^\s*(public|private|protected)\s*:")
+SKIP_PREFIXES = (
+    "#", "//", "using ", "typedef ", "friend ", "extern ", "static_assert",
+    "public:", "private:", "protected:", "}", "{", ")", ":",
+)
+
+
+def is_doc_line(line):
+    stripped = line.strip()
+    return stripped.startswith("//") or stripped.endswith("*/")
+
+
+def strip_comments_and_strings(line, in_block):
+    """Returns (code_without_comments, still_in_block_comment)."""
+    out = []
+    i = 0
+    while i < len(line):
+        if in_block:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block = False
+            continue
+        ch = line[i]
+        nxt = line[i:i + 2]
+        if nxt == "//":
+            break
+        if nxt == "/*":
+            in_block = True
+            i += 2
+            continue
+        if ch in "\"'":
+            quote = ch
+            out.append(ch)
+            i += 1
+            while i < len(line):
+                out.append(line[i])
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out), in_block
+
+
+class Scope:
+    def __init__(self, kind, access="public"):
+        self.kind = kind      # "namespace" | "type" | "block"
+        self.access = access  # current access inside a type
+
+
+def documentable(stack):
+    for scope in stack:
+        if scope.kind == "block":
+            return False
+        if scope.kind == "type" and scope.access != "public":
+            return False
+    return True
+
+
+def check_file(path):
+    with open(path, "r", encoding="utf-8") as f:
+        raw_lines = f.readlines()
+
+    problems = []
+    stack = []
+    in_block_comment = False
+    pending = None  # dict(start, text, documented) while accumulating a decl
+
+    for lineno, raw in enumerate(raw_lines, 1):
+        code, in_block_comment = strip_comments_and_strings(
+            raw.rstrip("\n"), in_block_comment)
+        stripped = code.strip()
+
+        if pending is None and stripped and documentable(stack):
+            access_m = ACCESS.match(stripped)
+            if access_m and stack and stack[-1].kind == "type":
+                stack[-1].access = access_m.group(1)
+            elif not any(stripped.startswith(p) for p in SKIP_PREFIXES):
+                type_m = CANDIDATE_TYPE.match(stripped)
+                is_function = "(" in stripped and not type_m
+                if type_m or is_function or stripped.startswith("template"):
+                    pending = {
+                        "start": lineno,
+                        "text": stripped,
+                        "documented": lineno > 1 and is_doc_line(raw_lines[lineno - 2]),
+                    }
+        elif pending is not None:
+            pending["text"] += " " + stripped
+
+        closed_text = None  # full text of a declaration that ended this line
+        if pending is not None:
+            text = pending["text"]
+            # A declaration closes at its body brace or at `;` outside parens.
+            done = "{" in code
+            if not done and ";" in code and text.count("(") == text.count(")"):
+                done = True
+            if done:
+                report_pending(path, pending, problems)
+                closed_text = pending["text"]
+                pending = None
+
+        # Maintain the scope stack from the braces of this line. A brace
+        # that closes an accumulated declaration is classified from the
+        # FULL declaration text, so multi-line class heads
+        # (`class Foo\n    : public Bar {`) still open a "type" scope and
+        # their members stay linted.
+        for ch in code:
+            if ch == "{":
+                classify = closed_text if closed_text is not None else stripped
+                kind = "block"
+                if stripped.startswith("namespace") or " namespace " in code:
+                    kind = "namespace"
+                elif CANDIDATE_TYPE.match(classify) or re.match(
+                        r"^(class|struct|enum)", classify):
+                    kind = "type"
+                stack.append(Scope(kind, "public"))
+            elif ch == "}":
+                if stack:
+                    stack.pop()
+    return problems
+
+
+def report_pending(path, pending, problems):
+    text = pending["text"]
+    if pending["documented"]:
+        return
+    # Exemptions: self-evident or non-API declarations.
+    if "= default" in text or "= delete" in text:
+        return
+    if re.search(r"~\s*[A-Za-z_]\w*\s*\(", text):  # destructor
+        return
+    type_m = CANDIDATE_TYPE.match(text)
+    if type_m:
+        body_less = "{" not in text and text.rstrip().endswith(";")
+        if body_less:
+            return  # forward declaration
+        name = type_m.group(4)
+        problems.append((path, pending["start"], f"type '{name}'"))
+        return
+    if "(" not in text:
+        return  # member variable or similar; fields ride on the type's doc
+    name_m = re.search(r"([A-Za-z_~]\w*)\s*\(", text)
+    name = name_m.group(1) if name_m else text[:40]
+    if name in ("MAXRS_CHECK", "MAXRS_DCHECK"):
+        return
+    problems.append((path, pending["start"], f"function '{name}'"))
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.stderr.write(__doc__)
+        sys.exit(2)
+    headers = []
+    for directory in sys.argv[1:]:
+        if not os.path.isdir(directory):
+            sys.stderr.write(f"not a directory: {directory}\n")
+            sys.exit(2)
+        for root, _, files in os.walk(directory):
+            headers.extend(os.path.join(root, f) for f in sorted(files)
+                           if f.endswith(".h"))
+    if not headers:
+        sys.stderr.write("no headers found\n")
+        sys.exit(2)
+
+    all_problems = []
+    for path in sorted(headers):
+        all_problems.extend(check_file(path))
+
+    if all_problems:
+        for path, lineno, what in all_problems:
+            print(f"{path}:{lineno}: undocumented public {what}")
+        print(f"\n{len(all_problems)} undocumented public symbol(s) across "
+              f"{len(headers)} header(s)")
+        sys.exit(1)
+    print(f"doc coverage OK: {len(headers)} header(s) fully documented")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
