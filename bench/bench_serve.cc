@@ -1,9 +1,13 @@
 // Serve-layer throughput tracker: ingests one dataset, then measures the
 // MaxRSServer on a scripted workload of distinct rectangle sizes — cold
-// (every query executes the per-shard derive + division pipeline) and warm
-// (every query is an LRU hit) — at 1/2/8 workers, emitted as
-// BENCH_serve.json. Together with BENCH_micro.json this is the repo's
-// machine-readable perf history (see docs/BENCHMARKING.md).
+// (every query executes the full per-query pipeline) and warm (every query
+// is an LRU hit) — at 1/2/8 workers, in both solve modes (the default
+// per-shard solve with cross-shard MergeSweep as "serve_cold"/"serve_warm"
+// and the global k-way merge path as "serve_cold_globalmerge"), emitted as
+// BENCH_serve.json. The mode comparison makes the cost of the global piece
+// merge visible in the perf history. Together with BENCH_micro.json this
+// is the repo's machine-readable perf trajectory (docs/BENCHMARKING.md;
+// compare_bench.py --plot renders it).
 //
 // Flags:
 //   --n=250000         dataset cardinality (uniform data)
@@ -15,8 +19,8 @@
 //   --seed=N           dataset seed
 //
 // The bench asserts the serve contract on live data: per-query results are
-// identical at every worker count, and a warm round performs zero block
-// transfers.
+// identical at every worker count, in both solve modes, and across cache
+// states, and a warm round performs zero block transfers.
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -118,6 +122,10 @@ int main(int argc, char** argv) {
     server_options.num_workers = workers;
     server_options.memory_bytes = kBufferSynthetic;
     server_options.cache_entries = rects.size();  // warm round = all hits
+    // Huge-rect admission must not skew the warm round: the scripted
+    // workload's rects are all well below half the extent, but the bench
+    // should not silently depend on that.
+    server_options.cache_max_extent_fraction = 1.0;
     MaxRSServer server(*env, *handle, server_options);
 
     for (const bool warm : {false, true}) {
@@ -148,6 +156,34 @@ int main(int argc, char** argv) {
       records.push_back({"bench_serve", warm ? "serve_warm" : "serve_cold",
                          "uniform", n, workers, kBufferSynthetic, per_query,
                          io, weights[0]});
+    }
+
+    // Mode comparison: the same workload, cold, through the global-merge
+    // path. The per-record delta against serve_cold is the price of the
+    // global k-way piece merge + root division pass that the per-shard
+    // solve skips (at production sizes; at quick-mode sizes the global
+    // path may win by solving the whole merged input in one in-memory
+    // sweep — exactly the crossover the perf history should show).
+    {
+      MaxRSServerOptions global_options = server_options;
+      global_options.solve_mode = ServeSolveMode::kGlobalMerge;
+      global_options.cache_entries = 0;  // cold by construction
+      MaxRSServer global_server(*env, *handle, global_options);
+      const IoStatsSnapshot before = env->stats().Snapshot();
+      double wall = 0.0;
+      const std::vector<double> weights =
+          RunRound(global_server, rects, workers, &wall);
+      const uint64_t io = (env->stats().Snapshot() - before).total();
+      MAXRS_CHECK_MSG(weights == reference_weights,
+                      "solve mode changed a result");
+      const double per_query = wall / static_cast<double>(rects.size());
+      std::printf("%-12s%10zu%12.1f%14.6f%16" PRIu64 "%16" PRIu64 "\n",
+                  "cold_global", workers,
+                  wall > 0.0 ? static_cast<double>(rects.size()) / wall : 0.0,
+                  per_query, io / rects.size(), io);
+      records.push_back({"bench_serve", "serve_cold_globalmerge", "uniform",
+                         n, workers, kBufferSynthetic, per_query, io,
+                         weights[0]});
     }
   }
 

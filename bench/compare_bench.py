@@ -16,8 +16,15 @@ Wall time is machine-dependent, so CI compares committed baselines with
 --io-only (block counts only); the wall check is for same-machine A/B runs.
 See docs/BENCHMARKING.md for the workflow.
 
+A second mode renders the perf trajectory: --plot draws io_blocks per config
+across any number of artifacts (committed baselines, fresh CI runs — in the
+order given) as a standalone SVG line chart, uploaded as a CI artifact. The
+plot shows block I/O only: wall time is machine-dependent, so a trajectory
+mixing runners would chart noise.
+
 Usage:
   compare_bench.py BASE.json NEW.json [--wall-tol=0.15] [--io-only]
+  compare_bench.py --plot=TRAJECTORY.svg FIRST.json [MORE.json ...]
 
 Exit codes: 0 = no regression, 1 = regression found, 2 = usage/input error.
 """
@@ -27,6 +34,17 @@ import json
 import sys
 
 KEY_FIELDS = ("bench", "algo", "dataset", "n", "threads", "memory_bytes")
+
+# Categorical series colors (validated palette, fixed slot order — see the
+# chart-color notes in docs/BENCHMARKING.md): identity is assigned by config
+# position and never re-cycled; past eight series the tail is reported as
+# unplotted rather than silently dropped or painted with invented hues.
+SERIES_COLORS = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+                 "#e87ba4", "#008300", "#4a3aa7", "#e34948")
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID = "#e4e3df"
 
 
 def load_records(path):
@@ -58,11 +76,142 @@ def fmt_key(key):
     return f"{bench}/{algo} {dataset} n={n} t={threads} M={memory >> 10}KB"
 
 
+def nice_ticks(hi, count=5):
+    """Round tick positions 0..~hi (hi > 0)."""
+    raw = hi / count
+    mag = 10 ** max(0, len(str(int(raw))) - 1)
+    step = max(1, int((raw + mag - 1) // mag) * mag)
+    ticks = list(range(0, int(hi) + step, step))
+    return ticks
+
+
+def svg_escape(text):
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def render_plot(path, artifacts):
+    """Writes an SVG trajectory of io_blocks per config across artifacts.
+
+    `artifacts` is an ordered list of (label, {key: record}). One line per
+    config, colored by fixed slot order; a config absent from an artifact
+    simply has no point there (the line bridges the gap is NOT implied —
+    segments are only drawn between consecutive present points).
+    """
+    keys = []
+    for _, records in artifacts:
+        for key in records:
+            if key not in keys:
+                keys.append(key)
+    keys.sort()
+    plotted, unplotted = keys[:len(SERIES_COLORS)], keys[len(SERIES_COLORS):]
+
+    width, height = 960, 420
+    margin_l, margin_r, margin_t, margin_b = 70, 20, 48, 70
+    legend_h = 18 * len(plotted) + (16 if unplotted else 0)
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    height += legend_h
+
+    max_io = 1
+    for _, records in artifacts:
+        for key in records:
+            max_io = max(max_io, records[key]["io_blocks"])
+    ticks = nice_ticks(max_io * 1.05)
+    y_hi = max(ticks[-1], 1)
+
+    def x_of(i):
+        if len(artifacts) == 1:
+            return margin_l + plot_w / 2
+        return margin_l + plot_w * i / (len(artifacts) - 1)
+
+    def y_of(v):
+        return margin_t + plot_h * (1 - v / y_hi)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="system-ui, sans-serif">',
+        f'<rect width="{width}" height="{height}" fill="{SURFACE}"/>',
+        f'<text x="{margin_l}" y="24" font-size="15" font-weight="600" '
+        f'fill="{TEXT_PRIMARY}">Block I/O per bench config across '
+        f'artifacts</text>',
+        f'<text x="{margin_l}" y="40" font-size="11" '
+        f'fill="{TEXT_SECONDARY}">io_blocks only — wall time is '
+        f'machine-dependent and excluded</text>',
+    ]
+    # Recessive horizontal grid + y labels.
+    for t in ticks:
+        y = y_of(t)
+        parts.append(f'<line x1="{margin_l}" y1="{y:.1f}" '
+                     f'x2="{margin_l + plot_w}" y2="{y:.1f}" '
+                     f'stroke="{GRID}" stroke-width="1"/>')
+        parts.append(f'<text x="{margin_l - 8}" y="{y + 4:.1f}" '
+                     f'font-size="11" text-anchor="end" '
+                     f'fill="{TEXT_SECONDARY}">{t}</text>')
+    # X labels: artifact names, in given order.
+    for i, (label, _) in enumerate(artifacts):
+        parts.append(f'<text x="{x_of(i):.1f}" y="{margin_t + plot_h + 18}" '
+                     f'font-size="11" text-anchor="middle" '
+                     f'fill="{TEXT_SECONDARY}">{svg_escape(label)}</text>')
+
+    for s, key in enumerate(plotted):
+        color = SERIES_COLORS[s]
+        points = [(i, records[key]["io_blocks"])
+                  for i, (_, records) in enumerate(artifacts)
+                  if key in records]
+        # Segments only between consecutive artifacts both carrying the
+        # config; isolated points still get a marker.
+        for (i0, v0), (i1, v1) in zip(points, points[1:]):
+            if i1 == i0 + 1:
+                parts.append(f'<line x1="{x_of(i0):.1f}" y1="{y_of(v0):.1f}" '
+                             f'x2="{x_of(i1):.1f}" y2="{y_of(v1):.1f}" '
+                             f'stroke="{color}" stroke-width="2"/>')
+        for i, v in points:
+            parts.append(f'<circle cx="{x_of(i):.1f}" cy="{y_of(v):.1f}" '
+                         f'r="4" fill="{color}" stroke="{SURFACE}" '
+                         f'stroke-width="2">'
+                         f'<title>{svg_escape(fmt_key(key))}\n'
+                         f'{svg_escape(artifacts[i][0])}: {v} blocks</title>'
+                         f'</circle>')
+
+    # Legend: swatch + config label in neutral ink, fixed order.
+    legend_y = margin_t + plot_h + 40
+    for s, key in enumerate(plotted):
+        y = legend_y + 18 * s
+        parts.append(f'<rect x="{margin_l}" y="{y - 9}" width="12" '
+                     f'height="12" rx="3" fill="{SERIES_COLORS[s]}"/>')
+        parts.append(f'<text x="{margin_l + 18}" y="{y + 1}" font-size="11" '
+                     f'fill="{TEXT_PRIMARY}">{svg_escape(fmt_key(key))}'
+                     f'</text>')
+    if unplotted:
+        y = legend_y + 18 * len(plotted)
+        parts.append(f'<text x="{margin_l}" y="{y + 1}" font-size="11" '
+                     f'fill="{TEXT_SECONDARY}">+{len(unplotted)} more '
+                     f'config(s) not plotted (8-series cap); see the JSON '
+                     f'artifacts</text>')
+    parts.append("</svg>")
+
+    try:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("\n".join(parts) + "\n")
+    except OSError as e:
+        sys.stderr.write(f"cannot write {path}: {e}\n")
+        sys.exit(2)
+    print(f"wrote trajectory of {len(plotted)} config(s) over "
+          f"{len(artifacts)} artifact(s) to {path}")
+    if unplotted:
+        for key in unplotted:
+            print(f"note: not plotted (series cap): {fmt_key(key)}")
+
+
 def main():
     parser = argparse.ArgumentParser(
-        description="diff two BENCH_*.json artifacts, fail on regressions")
-    parser.add_argument("base", help="baseline artifact")
-    parser.add_argument("new", help="candidate artifact")
+        description="diff two BENCH_*.json artifacts, fail on regressions; "
+                    "or --plot an io_blocks trajectory across many")
+    parser.add_argument("artifacts", nargs="+",
+                        help="bench artifacts: BASE NEW for the diff mode, "
+                             "any number (in trajectory order) with --plot")
     parser.add_argument("--wall-tol", type=float, default=0.15,
                         help="allowed relative wall-seconds growth "
                              "(default 0.15 = 15%%)")
@@ -71,10 +220,27 @@ def main():
     parser.add_argument("--allow-missing", action="store_true",
                         help="do not fail when a baseline config is absent "
                              "from the new artifact")
+    parser.add_argument("--plot", metavar="SVG",
+                        help="render the artifacts' io_blocks trajectory to "
+                             "this SVG instead of diffing")
     args = parser.parse_args()
 
-    base = load_records(args.base)
-    new = load_records(args.new)
+    if args.plot:
+        labels = []
+        for path in args.artifacts:
+            name = path.rsplit("/", 1)[-1]
+            labels.append(name[:-5] if name.endswith(".json") else name)
+        render_plot(args.plot,
+                    [(label, load_records(path))
+                     for label, path in zip(labels, args.artifacts)])
+        sys.exit(0)
+
+    if len(args.artifacts) != 2:
+        sys.stderr.write("diff mode takes exactly two artifacts "
+                         "(BASE NEW); use --plot for trajectories\n")
+        sys.exit(2)
+    base = load_records(args.artifacts[0])
+    new = load_records(args.artifacts[1])
     common = [k for k in base if k in new]
     if not common:
         sys.stderr.write("no common configs between the two artifacts\n")

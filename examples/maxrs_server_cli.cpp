@@ -72,7 +72,8 @@ int main(int argc, char** argv) {
           stderr,
           "usage: maxrs_server_cli --input=points.csv --queries=WxH[,WxH...]\n"
           "       maxrs_server_cli --demo [--n=100000]\n"
-          "flags: --workers=K --shards=S --repeat=R --cache=E --memory-kb=M\n");
+          "flags: --workers=K --shards=S --repeat=R --cache=E --memory-kb=M\n"
+          "       --mode=per-shard|global-merge\n");
       return 2;
     }
     auto loaded = LoadCsv(input);
@@ -126,6 +127,13 @@ int main(int argc, char** argv) {
   server_options.memory_bytes = memory_bytes;
   server_options.cache_entries =
       static_cast<size_t>(flags.GetInt("cache", 16));
+  const std::string mode = flags.GetString("mode", "per-shard");
+  if (mode == "global-merge") {
+    server_options.solve_mode = ServeSolveMode::kGlobalMerge;
+  } else if (mode != "per-shard") {
+    std::fprintf(stderr, "bad --mode; expected per-shard or global-merge\n");
+    return 2;
+  }
   MaxRSServer server(*env, *handle, server_options);
 
   std::printf("\n%-6s%14s%14s%24s%16s%14s\n", "round", "rect", "weight",
@@ -177,9 +185,12 @@ int main(int argc, char** argv) {
   }
 
   const ServerCounters counters = server.counters();
-  std::printf("\nserved %llu queries: %llu executed, %llu cache hits\n",
+  std::printf("\nserved %llu queries: %llu executed, %llu cache hits, "
+              "%llu dedup hits, %llu cache rejects\n",
               static_cast<unsigned long long>(counters.submitted),
               static_cast<unsigned long long>(counters.executed),
-              static_cast<unsigned long long>(counters.cache_hits));
+              static_cast<unsigned long long>(counters.cache_hits),
+              static_cast<unsigned long long>(counters.dedup_hits),
+              static_cast<unsigned long long>(counters.cache_rejects));
   return failed ? 1 : 0;
 }

@@ -70,9 +70,9 @@ double FiniteMid(double lo, double hi) {
 /// block (guarded by stats_mu_) and the thread-safe temp manager.
 class Driver {
  public:
-  Driver(Env& env, const MaxRSOptions& options, MaxRSStats* stats,
-         ThreadPool* pool)
-      : env_(env), temps_(env, options.work_prefix), options_(options),
+  Driver(Env& env, TempFileManager& temps, const MaxRSOptions& options,
+         MaxRSStats* stats, ThreadPool* pool)
+      : env_(env), temps_(temps), options_(options),
         stats_(stats), pool_(pool) {
     const size_t blocks = options.memory_bytes / env.block_size();
     fanout_ = options.fanout != 0
@@ -166,7 +166,7 @@ class Driver {
   }
 
   Env& env_;
-  TempFileManager temps_;
+  TempFileManager& temps_;
   MaxRSOptions options_;
   MaxRSStats* stats_;
   ThreadPool* pool_;
@@ -183,11 +183,10 @@ Status SolvePreparedOnPool(Env& env, const PreparedInput& input,
                            const MaxRSOptions& options, MaxRSStats* stats,
                            ThreadPool* pool,
                            const std::function<void(const SlabTuple&)>& visit) {
-  Driver driver(env, options, stats, pool);
+  TempFileManager temps(env, options.work_prefix);
   MAXRS_ASSIGN_OR_RETURN(
       std::string root_slab_file,
-      driver.Solve(input.piece_file, input.edge_file, input.x_range,
-                   input.num_pieces, /*depth=*/0));
+      core_internal::SolveSlab(env, temps, input, options, stats, pool));
   {
     MAXRS_ASSIGN_OR_RETURN(RecordReader<SlabTuple> reader,
                            RecordReader<SlabTuple>::Make(env, root_slab_file));
@@ -195,7 +194,7 @@ Status SolvePreparedOnPool(Env& env, const PreparedInput& input,
     while (reader.Next(&t)) visit(t);
     MAXRS_RETURN_IF_ERROR(reader.final_status());
   }
-  driver.temps().Release(root_slab_file);
+  temps.Release(root_slab_file);
   return Status::OK();
 }
 
@@ -206,6 +205,16 @@ Status ValidateMaxRSOptions(const MaxRSOptions& options, size_t block_size) {
 }
 
 namespace core_internal {
+
+Result<std::string> SolveSlab(Env& env, TempFileManager& temps,
+                              const PreparedInput& input,
+                              const MaxRSOptions& options, MaxRSStats* stats,
+                              ThreadPool* pool) {
+  MAXRS_RETURN_IF_ERROR(ValidateOptions(options, env.block_size()));
+  Driver driver(env, temps, options, stats, pool);
+  return driver.Solve(input.piece_file, input.edge_file, input.x_range,
+                      input.num_pieces, /*depth=*/0);
+}
 
 void TopTupleTracker::Visit(const SlabTuple& t) {
   if (have_pending_) Offer(pending_, t.y);

@@ -28,7 +28,9 @@
 #include "geom/geometry.h"
 #include "io/env.h"
 #include "io/io_stats.h"
+#include "io/temp_manager.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace maxrs {
 
@@ -158,6 +160,20 @@ struct RankedRegion {
 };
 
 namespace core_internal {
+
+/// The recursive solver of one slab, exposed for callers that assemble the
+/// division tree themselves (the serve layer's per-shard solve, where the
+/// x-slab shards form the top-level division): runs division + merge-sweep
+/// on `input` confined to `input.x_range` and returns the name of the
+/// resulting slab-file — the SlabTuple stream of the slab — registered
+/// under `temps` (the caller releases it). Consumes (deletes) both input
+/// files. All piece x-extents must lie within `input.x_range` and
+/// `input.num_pieces` must match the piece file (trusted, not probed).
+/// Maximize objective only.
+Result<std::string> SolveSlab(Env& env, TempFileManager& temps,
+                              const PreparedInput& input,
+                              const MaxRSOptions& options, MaxRSStats* stats,
+                              ThreadPool* pool);
 
 /// Streams the tuples of the *root* slab-file (y-ascending) produced by a
 /// full ExactMaxRS pipeline run to `visit`. This is the shared engine under

@@ -47,7 +47,18 @@ Status MergeSweep(Env& env, const std::vector<ChildSlab>& children,
                   const std::vector<std::string>& child_slab_files,
                   const std::string& span_file, const std::string& output_file,
                   SweepObjective objective) {
-  const size_t m = children.size();
+  std::vector<Interval> ranges;
+  ranges.reserve(children.size());
+  for (const ChildSlab& child : children) ranges.push_back(child.x_range);
+  return MergeSweep(env, ranges, child_slab_files, span_file, output_file,
+                    objective);
+}
+
+Status MergeSweep(Env& env, const std::vector<Interval>& child_ranges,
+                  const std::vector<std::string>& child_slab_files,
+                  const std::string& span_file, const std::string& output_file,
+                  SweepObjective objective) {
+  const size_t m = child_ranges.size();
   MAXRS_CHECK(m >= 1 && child_slab_files.size() == m);
 
   std::vector<PeekedReader<SlabTuple>> slabs;
@@ -73,7 +84,7 @@ Status MergeSweep(Env& env, const std::vector<ChildSlab>& children,
   std::vector<double> base(m, 0.0);
   std::vector<double> up_sum(m, 0.0);
   std::vector<Interval> interval(m);
-  for (size_t i = 0; i < m; ++i) interval[i] = children[i].x_range;
+  for (size_t i = 0; i < m; ++i) interval[i] = child_ranges[i];
 
   const double inf = std::numeric_limits<double>::infinity();
   while (true) {

@@ -34,6 +34,20 @@ Status MergeSweep(Env& env, const std::vector<ChildSlab>& children,
                   const std::string& span_file, const std::string& output_file,
                   SweepObjective objective = SweepObjective::kMaximize);
 
+/// MergeSweep over externally-produced sub-slab solutions: identical sweep,
+/// but the children are given as bare x-ranges instead of DivisionResult
+/// children — the entry point for callers that solved adjacent sub-slabs
+/// outside the recursion (the serve layer's per-shard solve, where the
+/// x-slab shards are the top-level division). `child_ranges[i]` must be
+/// adjacent ascending half-open slabs, `child_slab_files[i]` the slab-file
+/// solved for exactly that range, and `span_file` the y_lo-sorted records
+/// of rectangles spanning whole sub-slabs (child indices into
+/// `child_ranges`). An empty span file is valid.
+Status MergeSweep(Env& env, const std::vector<Interval>& child_ranges,
+                  const std::vector<std::string>& child_slab_files,
+                  const std::string& span_file, const std::string& output_file,
+                  SweepObjective objective = SweepObjective::kMaximize);
+
 }  // namespace maxrs
 
 #endif  // MAXRS_CORE_MERGE_SWEEP_H_

@@ -77,6 +77,22 @@ struct SpanRecord {
   int32_t child_hi;
 };
 
+/// Total order on spans for the serve layer's cross-shard span merge: y_lo
+/// (the MergeSweep bottom-event key) first, then every remaining field.
+/// MergeSweep itself only needs y_lo order; the full total order makes the
+/// k-way merge of per-shard span streams produce one canonical sequence
+/// (equal-comparing spans are byte-identical), mirroring PieceYLess.
+inline bool SpanYLess(const SpanRecord& a, const SpanRecord& b) {
+  uint64_t ka = DoubleOrderKey(a.y_lo), kb = DoubleOrderKey(b.y_lo);
+  if (ka != kb) return ka < kb;
+  ka = DoubleOrderKey(a.y_hi), kb = DoubleOrderKey(b.y_hi);
+  if (ka != kb) return ka < kb;
+  ka = DoubleOrderKey(a.w), kb = DoubleOrderKey(b.w);
+  if (ka != kb) return ka < kb;
+  if (a.child_lo != b.child_lo) return a.child_lo < b.child_lo;
+  return a.child_hi < b.child_hi;
+}
+
 /// The Sec. 5.1 transform: the d1 x d2 rectangle centered at object `o`,
 /// carrying w(o). Both the one-shot pipeline and the serve layer's
 /// per-shard derivation call THIS function — served answers are

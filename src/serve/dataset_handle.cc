@@ -13,7 +13,9 @@
 namespace maxrs {
 namespace {
 
-constexpr uint64_t kManifestFormatVersion = 1;
+// Version 2 added the two dataset-extent entries (kinds 2 and 3); version-1
+// manifests remain readable and simply carry no bounds.
+constexpr uint64_t kManifestFormatVersion = 2;
 constexpr size_t kMaxShards = 64;
 // Derived sharding aims at this many objects per shard: big enough that the
 // per-shard stream overhead (one reader/writer block pair per shard) is
@@ -54,7 +56,7 @@ size_t DeriveShardCount(uint64_t num_objects, const DatasetHandleOptions& option
 // whatever shard files were already created.
 Status IngestInto(Env& env, const std::string& object_file,
                   const DatasetHandleOptions& options, uint64_t num_objects,
-                  std::vector<ShardInfo>* shards) {
+                  std::vector<ShardInfo>* shards, Rect* bounds) {
   const std::string& prefix = options.prefix;
   TempFileManager temps(env, prefix + "_ingest");
   const std::string y_sorted = temps.NewName("objects_y");
@@ -118,11 +120,13 @@ Status IngestInto(Env& env, const std::string& object_file,
         }
         MAXRS_RETURN_IF_ERROR(x_writer->Append(o));
         ++shards->back().num_objects;
+        if (!any) bounds->x_lo = o.x;  // x-sorted stream: first = min x
         prev_x = o.x;
         any = true;
       }
       MAXRS_RETURN_IF_ERROR(reader.final_status());
       MAXRS_RETURN_IF_ERROR(x_writer->Finish());
+      if (any) bounds->x_hi = prev_x;  // ... and last = max x
     }
 
     // Route the y-sorted stream into per-shard y files. Appends preserve
@@ -143,12 +147,16 @@ Status IngestInto(Env& env, const std::string& object_file,
       MAXRS_ASSIGN_OR_RETURN(RecordReader<SpatialObject> reader,
                              RecordReader<SpatialObject>::Make(env, y_sorted));
       SpatialObject o{};
+      bool any = false;
       while (reader.Next(&o)) {
         const uint64_t key = DoubleOrderKey(o.x);
         const size_t shard = static_cast<size_t>(
             std::upper_bound(boundary_keys.begin(), boundary_keys.end(), key) -
             boundary_keys.begin());
         MAXRS_RETURN_IF_ERROR(y_writers[shard].Append(o));
+        if (!any) bounds->y_lo = o.y;  // y-sorted stream: first = min y
+        bounds->y_hi = o.y;            // ... and last = max y
+        any = true;
       }
       MAXRS_RETURN_IF_ERROR(reader.final_status());
       for (size_t i = 0; i < y_writers.size(); ++i) {
@@ -166,6 +174,12 @@ Status IngestInto(Env& env, const std::string& object_file,
         RecordWriter<ShardManifestRecord>::Make(env, ManifestName(prefix)));
     MAXRS_RETURN_IF_ERROR(manifest.Append(
         ShardManifestRecord{0, kManifestFormatVersion, num_objects, 0.0, 0.0}));
+    if (num_objects > 0) {
+      MAXRS_RETURN_IF_ERROR(manifest.Append(
+          ShardManifestRecord{2, 0, 0, bounds->x_lo, bounds->x_hi}));
+      MAXRS_RETURN_IF_ERROR(manifest.Append(
+          ShardManifestRecord{3, 0, 0, bounds->y_lo, bounds->y_hi}));
+    }
     for (size_t i = 0; i < shards->size(); ++i) {
       const ShardInfo& info = (*shards)[i];
       MAXRS_RETURN_IF_ERROR(manifest.Append(ShardManifestRecord{
@@ -212,8 +226,9 @@ Result<DatasetHandle> DatasetHandle::Ingest(Env& env,
   handle.env_ = &env;
   handle.prefix_ = options.prefix;
   handle.num_objects_ = num_objects;
-  Status st =
-      IngestInto(env, object_file, options, num_objects, &handle.shards_);
+  handle.has_bounds_ = num_objects > 0;
+  Status st = IngestInto(env, object_file, options, num_objects,
+                         &handle.shards_, &handle.bounds_);
   if (!st.ok()) {
     // Roll back partially written shard files AND a partially written
     // manifest (Create happens before the appends, so the file can exist
@@ -240,7 +255,7 @@ Result<DatasetHandle> DatasetHandle::Open(Env& env, const std::string& prefix) {
   if (records.empty() || records[0].kind != 0) {
     return Status::Corruption("manifest of '" + prefix + "' has no header");
   }
-  if (records[0].index != kManifestFormatVersion) {
+  if (records[0].index < 1 || records[0].index > kManifestFormatVersion) {
     return Status::NotSupported("manifest format version " +
                                 std::to_string(records[0].index) +
                                 " is not supported");
@@ -251,17 +266,30 @@ Result<DatasetHandle> DatasetHandle::Open(Env& env, const std::string& prefix) {
   handle.num_objects_ = records[0].count;
 
   uint64_t total = 0;
+  bool have_x_extent = false, have_y_extent = false;
   for (size_t i = 1; i < records.size(); ++i) {
     const ShardManifestRecord& r = records[i];
-    if (r.kind != 1 || r.index != i - 1) {
+    if (r.kind == 2) {
+      handle.bounds_.x_lo = r.x_lo;
+      handle.bounds_.x_hi = r.x_hi;
+      have_x_extent = true;
+      continue;
+    }
+    if (r.kind == 3) {
+      handle.bounds_.y_lo = r.x_lo;
+      handle.bounds_.y_hi = r.x_hi;
+      have_y_extent = true;
+      continue;
+    }
+    if (r.kind != 1 || r.index != handle.shards_.size()) {
       return Status::Corruption("manifest of '" + prefix +
                                 "' has out-of-order shard entries");
     }
     ShardInfo info;
     info.x_range = Interval{r.x_lo, r.x_hi};
     info.num_objects = r.count;
-    info.y_file = ShardYName(prefix, i - 1);
-    info.x_file = ShardXName(prefix, i - 1);
+    info.y_file = ShardYName(prefix, handle.shards_.size());
+    info.x_file = ShardXName(prefix, handle.shards_.size());
     if (!env.Exists(info.y_file) || !env.Exists(info.x_file)) {
       return Status::Corruption("manifest of '" + prefix +
                                 "' references missing shard files");
@@ -269,6 +297,7 @@ Result<DatasetHandle> DatasetHandle::Open(Env& env, const std::string& prefix) {
     total += r.count;
     handle.shards_.push_back(std::move(info));
   }
+  handle.has_bounds_ = have_x_extent && have_y_extent;
   if (handle.shards_.empty() || total != handle.num_objects_) {
     return Status::Corruption("manifest of '" + prefix +
                               "' is inconsistent with its shard counts");
@@ -291,6 +320,7 @@ Status DatasetHandle::Drop() {
   note(env_->Delete(ManifestName(prefix_)));
   shards_.clear();
   num_objects_ = 0;
+  has_bounds_ = false;
   return first;
 }
 

@@ -100,15 +100,19 @@ struct IngestStats {
 };
 
 /// On-disk manifest entry. The manifest record file holds one header entry
-/// (kind 0: format version in `index`, total objects in `count`) followed
-/// by one entry per shard (kind 1: shard index, object count, slab bounds).
-/// Shard file names are derived from the prefix, not stored.
+/// (kind 0: format version in `index`, total objects in `count`), since
+/// format version 2 two extent entries (kind 2: dataset x-extent, kind 3:
+/// dataset y-extent, both in `x_lo`/`x_hi`; omitted for an empty dataset),
+/// and one entry per shard (kind 1: shard index, object count, slab
+/// bounds). Shard file names are derived from the prefix, not stored.
+/// Version-1 manifests (no extent entries) still Open; their handles just
+/// report has_bounds() == false.
 struct ShardManifestRecord {
-  uint64_t kind;   ///< 0 = header, 1 = shard entry.
+  uint64_t kind;   ///< 0 = header, 1 = shard entry, 2/3 = x/y extent.
   uint64_t index;  ///< Header: format version. Shard: shard index.
   uint64_t count;  ///< Header: total objects. Shard: shard object count.
-  double x_lo;     ///< Shard slab lower bound (unused in the header).
-  double x_hi;     ///< Shard slab upper bound (unused in the header).
+  double x_lo;     ///< Shard slab / extent lower bound.
+  double x_hi;     ///< Shard slab / extent upper bound.
 };
 
 /// An immutable ingested dataset: sorted, sharded, and manifest-backed.
@@ -146,6 +150,16 @@ class DatasetHandle {
   /// Cost of the Ingest that produced this handle (zeros after Open).
   const IngestStats& ingest_stats() const { return ingest_stats_; }
 
+  /// Whether the dataset's bounding box is known: false for an empty
+  /// dataset and for handles Open()ed from a version-1 manifest (written
+  /// before the extent entries existed).
+  bool has_bounds() const { return has_bounds_; }
+
+  /// The dataset's bounding box (min/max object coordinates, a degenerate
+  /// zero-extent box for a single point). Meaningful only while
+  /// has_bounds(); the basis of the server's cache admission policy.
+  const Rect& bounds() const { return bounds_; }
+
  private:
   DatasetHandle() = default;
 
@@ -154,6 +168,8 @@ class DatasetHandle {
   uint64_t num_objects_ = 0;
   std::vector<ShardInfo> shards_;
   IngestStats ingest_stats_;
+  bool has_bounds_ = false;
+  Rect bounds_;
 };
 
 }  // namespace maxrs

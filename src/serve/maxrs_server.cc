@@ -2,15 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
+#include <optional>
 
+#include "core/merge_sweep.h"
 #include "core/records.h"
 #include "io/external_sort.h"
 #include "io/record_io.h"
 #include "io/temp_manager.h"
+#include "util/stopwatch.h"
 
 namespace maxrs {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Global-merge mode (ServeSolveMode::kGlobalMerge): derive per-shard sorted
+// streams, k-way-merge them into one global prepared input, divide from the
+// top. This is the PR-3 path, kept because it reproduces the one-shot
+// division tree bit-for-bit even for non-integer weights.
+// ---------------------------------------------------------------------------
 
 // Emits the transformed piece stream of one shard: a linear pass over the
 // shard's ObjectYLess-sorted objects. The output is PieceYLess-sorted by
@@ -82,6 +91,290 @@ Status BuildShardEdges(Env& env, const ShardInfo& shard, double width,
   return writer.Finish();
 }
 
+// ---------------------------------------------------------------------------
+// Per-shard mode (ServeSolveMode::kPerShard): the x-slab shards are the
+// top-level division. One routing pass per source shard scatters clipped
+// pieces / edges / spans to target shards; each target shard merges its
+// (typically 2-3) incoming streams and solves independently; one
+// cross-shard MergeSweep combines the shard slab-files. The global k-way
+// piece merge and the root division pass never run.
+// ---------------------------------------------------------------------------
+
+// Fan-in of every per-query k-way merge (piece parts, edge parts, span
+// parts, and the global-merge mode's stream merge): the external sort's
+// M/B - 1 input-block budget, floored at 2. Guards the subtraction —
+// blocks can be 0 for a sub-block budget (ValidateOptions rejects such
+// budgets later, but the fan-in must not wrap to SIZE_MAX meanwhile). One
+// definition keeps all merge sites on the same policy; diverging fan-ins
+// would break the bit-identity-across-modes contract.
+size_t QueryMergeFanIn(size_t memory_bytes, size_t block_size) {
+  const size_t blocks = memory_bytes / block_size;
+  return std::max<size_t>(2, blocks > 1 ? blocks - 1 : 1);
+}
+
+// Index of the shard whose half-open x-range contains `v`. `bounds` holds
+// the S-1 interior shard boundaries; callers clamp into the last shard for
+// values at/above its lower bound (mirroring division.cc's ChildOf —
+// clipped extents may end exactly on a slab's upper bound).
+size_t ShardOf(const std::vector<double>& bounds, double v) {
+  return static_cast<size_t>(
+      std::upper_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+}
+
+// Lazily-opened per-target record writers of one routing pass: target t's
+// part file is created the moment the first record routes there, so a
+// source shard touching three targets pays for three files, not one per
+// shard in the dataset.
+template <typename T>
+class TargetWriters {
+ public:
+  TargetWriters(Env& env, TempFileManager& temps, std::string tag,
+                size_t num_targets)
+      : env_(env),
+        temps_(temps),
+        tag_(std::move(tag)),
+        writers_(num_targets),
+        names_(num_targets),
+        counts_(num_targets, 0) {}
+
+  Status Append(size_t target, const T& record) {
+    if (!writers_[target].has_value()) {
+      names_[target] = temps_.NewName(tag_ + "_" + std::to_string(target));
+      MAXRS_ASSIGN_OR_RETURN(RecordWriter<T> writer,
+                             RecordWriter<T>::Make(env_, names_[target]));
+      writers_[target] = std::move(writer);
+    }
+    ++counts_[target];
+    return writers_[target]->Append(record);
+  }
+
+  Status FinishAll() {
+    for (std::optional<RecordWriter<T>>& writer : writers_) {
+      if (writer.has_value()) MAXRS_RETURN_IF_ERROR(writer->Finish());
+    }
+    return Status::OK();
+  }
+
+  // Per-target part file names; empty string where nothing was routed.
+  std::vector<std::string>& names() { return names_; }
+  std::vector<uint64_t>& counts() { return counts_; }
+
+ private:
+  Env& env_;
+  TempFileManager& temps_;
+  std::string tag_;
+  std::vector<std::optional<RecordWriter<T>>> writers_;
+  std::vector<std::string> names_;
+  std::vector<uint64_t> counts_;
+};
+
+// Routing output of one source shard for one query. Every stream inherits
+// sortedness from its source: piece parts are y_lo-ordered (subsequences of
+// the y-sorted object stream under a monotone transform), edge parts are
+// x-ordered, the span part is y_lo-ordered.
+struct RoutedSource {
+  std::vector<std::string> piece_parts;  // per target; "" when none routed
+  std::vector<uint64_t> piece_counts;
+  std::vector<std::string> edge_parts;   // per target; "" when none routed
+  std::string span_part;                 // "" when the source spans nothing
+  uint64_t span_count = 0;
+};
+
+// Phase A of the per-shard path: routes source shard `source`'s streams to
+// target shards. Pieces follow division.cc pass-3 semantics with the shard
+// grid as the cut: a piece covering shards [i, j] contributes a clipped
+// part to i (unless it starts exactly on i's lower bound) and to j (unless
+// it ends exactly on j's upper bound), and one SpanRecord for the fully
+// covered shards between. Edges route by value. Two linear passes (one
+// over the y-file, one 2-way self-merge over the x-file) — no sorting.
+Status RouteSourceShard(Env& env, TempFileManager& temps,
+                        const std::vector<ShardInfo>& shards,
+                        const std::vector<double>& bounds, size_t source,
+                        double width, double height, RoutedSource* out) {
+  const size_t num_shards = shards.size();
+  const std::string source_tag = std::to_string(source);
+
+  // Pieces + spans: one pass over the shard's ObjectYLess-sorted objects.
+  {
+    TargetWriters<PieceRecord> pieces(env, temps, "q_p" + source_tag,
+                                      num_shards);
+    std::optional<RecordWriter<SpanRecord>> spans;
+    auto append_span = [&](const SpanRecord& span) -> Status {
+      if (!spans.has_value()) {
+        out->span_part = temps.NewName("q_s" + source_tag);
+        MAXRS_ASSIGN_OR_RETURN(RecordWriter<SpanRecord> writer,
+                               RecordWriter<SpanRecord>::Make(env,
+                                                              out->span_part));
+        spans = std::move(writer);
+      }
+      ++out->span_count;
+      return spans->Append(span);
+    };
+
+    MAXRS_ASSIGN_OR_RETURN(
+        RecordReader<SpatialObject> reader,
+        RecordReader<SpatialObject>::Make(env, shards[source].y_file));
+    SpatialObject o{};
+    while (reader.Next(&o)) {
+      const PieceRecord p = TransformObject(o, width, height);
+      // Shards touched by the piece: i (contains x_lo) through j. A piece
+      // ending exactly at a shard's lower boundary never enters that shard.
+      const size_t i = std::min(ShardOf(bounds, p.x_lo), num_shards - 1);
+      size_t j = std::min(ShardOf(bounds, p.x_hi), num_shards - 1);
+      if (j > i && p.x_hi == shards[j].x_range.lo) --j;
+
+      const bool left_full = (p.x_lo == shards[i].x_range.lo);
+      const bool right_full = (p.x_hi == shards[j].x_range.hi);
+
+      if (i == j) {
+        if (left_full && right_full) {
+          MAXRS_RETURN_IF_ERROR(append_span(
+              SpanRecord{p.y_lo, p.y_hi, p.w, static_cast<int32_t>(i),
+                         static_cast<int32_t>(i)}));
+        } else {
+          MAXRS_RETURN_IF_ERROR(pieces.Append(i, p));
+        }
+        continue;
+      }
+
+      const size_t span_lo = left_full ? i : i + 1;
+      const size_t span_hi = right_full ? j : j - 1;
+      if (!left_full) {
+        PieceRecord left = p;  // [x_lo, s_i): keeps a real edge inside i
+        left.x_hi = shards[i].x_range.hi;
+        MAXRS_RETURN_IF_ERROR(pieces.Append(i, left));
+      }
+      if (!right_full) {
+        PieceRecord right = p;  // [s_{j-1}, x_hi)
+        right.x_lo = shards[j].x_range.lo;
+        MAXRS_RETURN_IF_ERROR(pieces.Append(j, right));
+      }
+      if (span_lo <= span_hi) {
+        MAXRS_RETURN_IF_ERROR(append_span(
+            SpanRecord{p.y_lo, p.y_hi, p.w, static_cast<int32_t>(span_lo),
+                       static_cast<int32_t>(span_hi)}));
+      }
+    }
+    MAXRS_RETURN_IF_ERROR(reader.final_status());
+    MAXRS_RETURN_IF_ERROR(pieces.FinishAll());
+    if (spans.has_value()) MAXRS_RETURN_IF_ERROR(spans->Finish());
+    out->piece_parts = std::move(pieces.names());
+    out->piece_counts = std::move(pieces.counts());
+  }
+
+  // Edges: the BuildShardEdges 2-way self-merge, with each emitted value
+  // routed to the shard containing it instead of one output file. Edges of
+  // this shard's objects can land in any shard (a rect half-width shifts
+  // them arbitrarily far), and each target's stream stays x-sorted because
+  // it is a filtered subsequence of this sorted merge.
+  {
+    TargetWriters<EdgeRecord> edges(env, temps, "q_e" + source_tag,
+                                    num_shards);
+    auto route_edge = [&](double x) -> Status {
+      return edges.Append(std::min(ShardOf(bounds, x), num_shards - 1),
+                          EdgeRecord{x});
+    };
+    MAXRS_ASSIGN_OR_RETURN(
+        RecordReader<SpatialObject> left,
+        RecordReader<SpatialObject>::Make(env, shards[source].x_file));
+    MAXRS_ASSIGN_OR_RETURN(
+        RecordReader<SpatialObject> right,
+        RecordReader<SpatialObject>::Make(env, shards[source].x_file));
+    const double half_w = width / 2.0;
+    SpatialObject lo{}, hi{};
+    bool have_lo = left.Next(&lo);
+    bool have_hi = right.Next(&hi);
+    while (have_lo || have_hi) {
+      bool take_lo = have_lo;
+      if (have_lo && have_hi) {
+        take_lo =
+            DoubleOrderKey(lo.x - half_w) <= DoubleOrderKey(hi.x + half_w);
+      }
+      if (take_lo) {
+        MAXRS_RETURN_IF_ERROR(route_edge(lo.x - half_w));
+        have_lo = left.Next(&lo);
+      } else {
+        MAXRS_RETURN_IF_ERROR(route_edge(hi.x + half_w));
+        have_hi = right.Next(&hi);
+      }
+    }
+    MAXRS_RETURN_IF_ERROR(left.final_status());
+    MAXRS_RETURN_IF_ERROR(right.final_status());
+    MAXRS_RETURN_IF_ERROR(edges.FinishAll());
+    out->edge_parts = std::move(edges.names());
+  }
+  return Status::OK();
+}
+
+// Phase B of the per-shard path: assembles target shard `target`'s two
+// division-phase inputs from the routed parts — deterministic fan-in, parts
+// in ascending source order — and solves the shard down to its slab-file.
+// The piece merge keys on PieceYLess, whose primary key y_lo is truly
+// sorted in every part, so the merged stream is y_lo-ordered (all the
+// division phase needs) and a deterministic function of the parts; clipped
+// tie-break fields need not be globally PieceYLess-sorted.
+Result<std::string> SolveTargetShard(Env& env, TempFileManager& temps,
+                                     const std::vector<RoutedSource>& routed,
+                                     const Interval& slab, size_t target,
+                                     const MaxRSOptions& options,
+                                     MaxRSStats* stats) {
+  std::vector<std::string> piece_parts;
+  std::vector<std::string> edge_parts;
+  uint64_t num_pieces = 0;
+  for (const RoutedSource& source : routed) {
+    if (!source.piece_parts[target].empty()) {
+      piece_parts.push_back(source.piece_parts[target]);
+      num_pieces += source.piece_counts[target];
+    }
+    if (!source.edge_parts[target].empty()) {
+      edge_parts.push_back(source.edge_parts[target]);
+    }
+  }
+
+  if (piece_parts.empty()) {
+    // No piece overlaps this shard for this rect (fully spanned shards are
+    // handled by the cross-shard sweep's upSum): its slab-file is empty.
+    for (const std::string& edge_part : edge_parts) temps.Release(edge_part);
+    std::string out = temps.NewName("q_slab");
+    MAXRS_ASSIGN_OR_RETURN(RecordWriter<SlabTuple> writer,
+                           RecordWriter<SlabTuple>::Make(env, out));
+    MAXRS_RETURN_IF_ERROR(writer.Finish());
+    return {std::move(out)};
+  }
+
+  const size_t fan_in = QueryMergeFanIn(options.memory_bytes,
+                                        env.block_size());
+  PreparedInput input;
+  input.num_pieces = num_pieces;
+  input.x_range = slab;
+  if (piece_parts.size() == 1) {
+    input.piece_file = piece_parts[0];  // already sorted: skip the copy pass
+  } else {
+    input.piece_file = temps.NewName("q_pieces");
+    MAXRS_RETURN_IF_ERROR(MergeSortedParts<PieceRecord>(
+        env, temps, piece_parts, input.piece_file, PieceYLess, fan_in));
+  }
+  if (edge_parts.size() == 1) {
+    input.edge_file = edge_parts[0];
+  } else {
+    input.edge_file = temps.NewName("q_edges");
+    if (edge_parts.empty()) {
+      // Unreachable for well-formed routing (a clipped part always keeps a
+      // real edge inside its shard), but an empty edge file degrades to the
+      // base case instead of corrupting the division.
+      MAXRS_ASSIGN_OR_RETURN(RecordWriter<EdgeRecord> writer,
+                             RecordWriter<EdgeRecord>::Make(env,
+                                                            input.edge_file));
+      MAXRS_RETURN_IF_ERROR(writer.Finish());
+    } else {
+      MAXRS_RETURN_IF_ERROR(MergeSortedParts<EdgeRecord>(
+          env, temps, edge_parts, input.edge_file, EdgeXLess, fan_in));
+    }
+  }
+  return core_internal::SolveSlab(env, temps, input, options, stats,
+                                  /*pool=*/nullptr);
+}
+
 }  // namespace
 
 MaxRSServer::MaxRSServer(Env& env, const DatasetHandle& dataset,
@@ -94,18 +387,15 @@ MaxRSServer::MaxRSServer(Env& env, const DatasetHandle& dataset,
       // worker count beyond that is a unit mix-up, not a real machine
       // (same rationale as the core layer's num_threads validation).
       pool_(std::make_unique<ThreadPool>(std::min<size_t>(
-          std::max<size_t>(1, options.num_workers), 1024))),
-      workers_(std::make_unique<TaskGroup>(pool_.get())) {
+          std::max<size_t>(1, options.num_workers), 1024))) {
   // Reject a bad configuration now (stored; every Submit returns it),
   // rather than paying a full per-shard derivation pass per doomed query
   // before the core validation finally fires.
   config_status_ =
       ValidateMaxRSOptions(MakeQueryOptions(1.0, 1.0), env_.block_size());
+  worker_threads_.reserve(pool_->num_threads());
   for (size_t i = 0; i < pool_->num_threads(); ++i) {
-    workers_->Run([this]() -> Status {
-      WorkerLoop();
-      return Status::OK();
-    });
+    worker_threads_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
@@ -118,8 +408,7 @@ void MaxRSServer::Shutdown() {
     shut_down_ = true;
   }
   queue_.Close();
-  Status st = workers_->Wait();
-  (void)st;  // workers always return OK; per-request errors go via promises
+  for (std::thread& t : worker_threads_) t.join();
 }
 
 ServerCounters MaxRSServer::counters() const {
@@ -135,17 +424,16 @@ MaxRSOptions MaxRSServer::MakeQueryOptions(double width, double height) const {
   query_options.fanout = options_.fanout;
   query_options.base_case_max_pieces = options_.base_case_max_pieces;
   query_options.work_prefix = options_.work_prefix;
-  // Queries parallelize across workers, not within: the serial path is
-  // the deterministic one, and it keeps per-query memory at one M.
+  // Queries parallelize across workers and across shard subtasks, not
+  // inside one slab solve: the serial path is the deterministic one, and
+  // it keeps per-query memory at one M.
   query_options.num_threads = 1;
   return query_options;
 }
 
 MaxRSServer::CacheKey MaxRSServer::MakeKey(double width, double height) {
-  CacheKey key;
-  std::memcpy(&key.width_bits, &width, sizeof(width));
-  std::memcpy(&key.height_bits, &height, sizeof(height));
-  return key;
+  return CacheKey{CanonicalDimensionBits(width),
+                  CanonicalDimensionBits(height)};
 }
 
 std::optional<MaxRSResult> MaxRSServer::CacheLookup(const CacheKey& key) {
@@ -174,6 +462,16 @@ void MaxRSServer::CacheInsert(const CacheKey& key, const MaxRSResult& result) {
   }
 }
 
+bool MaxRSServer::AdmitToCache(double width, double height) const {
+  if (!dataset_.has_bounds()) return true;
+  const double extent_w = dataset_.bounds().width();
+  const double extent_h = dataset_.bounds().height();
+  if (!(extent_w > 0.0) || !(extent_h > 0.0)) return true;  // degenerate box
+  const double covered = (std::min(width, extent_w) / extent_w) *
+                         (std::min(height, extent_h) / extent_h);
+  return covered <= options_.cache_max_extent_fraction;
+}
+
 Result<MaxRSResult> MaxRSServer::Submit(double rect_width, double rect_height) {
   if (!std::isfinite(rect_width) || !std::isfinite(rect_height) ||
       !(rect_width > 0.0) || !(rect_height > 0.0)) {
@@ -189,11 +487,50 @@ Result<MaxRSResult> MaxRSServer::Submit(double rect_width, double rect_height) {
     return *std::move(hit);
   }
 
-  auto request = std::make_unique<Request>();
-  request->width = rect_width;
-  request->height = rect_height;
-  std::future<Result<MaxRSResult>> future = request->promise.get_future();
-  if (!queue_.Push(std::move(request))) {
+  // In-flight dedup: become a follower of an executing leader, or claim
+  // the leader slot. The worker publishes to the cache *before* erasing
+  // the pending entry, so a missing entry here means a second cache lookup
+  // is authoritative — without it, a duplicate arriving in the gap between
+  // the leader's cache insert and promise fulfillment would re-execute.
+  std::shared_future<Result<MaxRSResult>> future;
+  std::shared_ptr<Request> request;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto it = pending_.find(key);
+    if (it != pending_.end()) {
+      future = it->second;
+    } else {
+      if (std::optional<MaxRSResult> hit = CacheLookup(key)) {
+        std::lock_guard<std::mutex> counters_lock(counters_mu_);
+        ++counters_.submitted;
+        ++counters_.cache_hits;
+        return *std::move(hit);
+      }
+      request = std::make_shared<Request>();
+      request->width = rect_width;
+      request->height = rect_height;
+      future = request->promise.get_future().share();
+      pending_.emplace(key, future);
+    }
+  }
+  if (request == nullptr) {  // follower: wait on the leader's result
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.submitted;
+      ++counters_.dedup_hits;
+    }
+    return future.get();
+  }
+
+  if (!queue_.Push(request)) {
+    // Shut down: fail the promise first — followers may already be
+    // attached to this pending slot — then retire the slot.
+    request->promise.set_value(
+        Status::NotSupported("MaxRSServer is shut down"));
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_.erase(key);
+    }
     return Status::NotSupported("MaxRSServer is shut down");
   }
   {
@@ -204,23 +541,180 @@ Result<MaxRSResult> MaxRSServer::Submit(double rect_width, double rect_height) {
 }
 
 void MaxRSServer::WorkerLoop() {
-  std::unique_ptr<Request> request;
+  std::shared_ptr<Request> request;
   while (queue_.Pop(&request)) {
     Result<MaxRSResult> result =
         ExecuteQuery(request->width, request->height);
+    const CacheKey key = MakeKey(request->width, request->height);
     {
       std::lock_guard<std::mutex> lock(counters_mu_);
       ++counters_.executed;
       if (!result.ok()) ++counters_.failed;
     }
     if (result.ok()) {
-      CacheInsert(MakeKey(request->width, request->height), result.value());
+      if (AdmitToCache(request->width, request->height)) {
+        CacheInsert(key, result.value());
+      } else {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.cache_rejects;
+      }
+    }
+    // Publish-then-erase: see Submit — a duplicate that misses the pending
+    // table after this erase must find the result in the cache.
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_.erase(key);
     }
     request->promise.set_value(std::move(result));
   }
 }
 
 Result<MaxRSResult> MaxRSServer::ExecuteQuery(double width, double height) {
+  return options_.solve_mode == ServeSolveMode::kPerShard
+             ? ExecutePerShard(width, height)
+             : ExecuteGlobalMerge(width, height);
+}
+
+Result<MaxRSResult> MaxRSServer::ExecutePerShard(double width, double height) {
+  TempFileManager temps(env_, options_.work_prefix);
+  const IoStatsSnapshot io_before = env_.stats().Snapshot();
+  Stopwatch timer;
+
+  auto body = [&]() -> Result<MaxRSResult> {
+    const std::vector<ShardInfo>& shards = dataset_.shards();
+    const size_t num_shards = shards.size();
+    std::vector<double> bounds;  // interior shard boundaries
+    bounds.reserve(num_shards - 1);
+    for (size_t k = 1; k < num_shards; ++k) {
+      bounds.push_back(shards[k].x_range.lo);
+    }
+    const MaxRSOptions query_options = MakeQueryOptions(width, height);
+
+    // Phase A: route every source shard. Subtasks write into slots indexed
+    // by source, so the fan-in is deterministic regardless of schedule;
+    // when all pool threads sit in worker loops, the submitting worker
+    // drains its own subtasks via TaskGroup's help-while-wait.
+    std::vector<RoutedSource> routed(num_shards);
+    {
+      TaskGroup group(pool_.get());
+      for (size_t s = 0; s < num_shards; ++s) {
+        group.Run([&, s]() -> Status {
+          return RouteSourceShard(env_, temps, shards, bounds, s, width,
+                                  height, &routed[s]);
+        });
+      }
+      MAXRS_RETURN_IF_ERROR(group.Wait());
+    }
+
+    // Phase B: solve each target shard independently (slots by target).
+    std::vector<std::string> slab_files(num_shards);
+    std::vector<MaxRSStats> shard_stats(num_shards);
+    {
+      TaskGroup group(pool_.get());
+      for (size_t t = 0; t < num_shards; ++t) {
+        group.Run([&, t]() -> Status {
+          auto slab_or =
+              SolveTargetShard(env_, temps, routed, shards[t].x_range, t,
+                               query_options, &shard_stats[t]);
+          if (!slab_or.ok()) return slab_or.status();
+          slab_files[t] = std::move(slab_or).value();
+          return Status::OK();
+        });
+      }
+      MAXRS_RETURN_IF_ERROR(group.Wait());
+    }
+
+    // Phase C: cross-shard combine — merge the boundary span streams
+    // (ascending source order; SpanYLess makes the k-way merge canonical)
+    // and run one MergeSweep over the shard slab-files.
+    uint64_t num_spans = 0;
+    std::string root_file;
+    if (num_shards == 1) {
+      root_file = std::move(slab_files[0]);
+    } else {
+      std::vector<std::string> span_parts;
+      for (const RoutedSource& source : routed) {
+        if (!source.span_part.empty()) span_parts.push_back(source.span_part);
+        num_spans += source.span_count;
+      }
+      std::string span_file;
+      if (span_parts.empty()) {
+        span_file = temps.NewName("q_spans");
+        MAXRS_ASSIGN_OR_RETURN(RecordWriter<SpanRecord> writer,
+                               RecordWriter<SpanRecord>::Make(env_, span_file));
+        MAXRS_RETURN_IF_ERROR(writer.Finish());
+      } else if (span_parts.size() == 1) {
+        span_file = span_parts[0];
+      } else {
+        const size_t fan_in = QueryMergeFanIn(options_.memory_bytes,
+                                              env_.block_size());
+        span_file = temps.NewName("q_spans");
+        MAXRS_RETURN_IF_ERROR(MergeSortedParts<SpanRecord>(
+            env_, temps, span_parts, span_file, SpanYLess, fan_in));
+      }
+      std::vector<Interval> ranges;
+      ranges.reserve(num_shards);
+      for (const ShardInfo& shard : shards) ranges.push_back(shard.x_range);
+      root_file = temps.NewName("q_root");
+      MAXRS_RETURN_IF_ERROR(MergeSweep(env_, ranges, slab_files, span_file,
+                                       root_file,
+                                       SweepObjective::kMaximize));
+      for (const std::string& slab_file : slab_files) {
+        temps.Release(slab_file);
+      }
+      temps.Release(span_file);
+    }
+
+    // Extract the answer from the root slab-file stream.
+    core_internal::TopTupleTracker tracker(1);
+    {
+      MAXRS_ASSIGN_OR_RETURN(RecordReader<SlabTuple> reader,
+                             RecordReader<SlabTuple>::Make(env_, root_file));
+      SlabTuple t{};
+      while (reader.Next(&t)) tracker.Visit(t);
+      MAXRS_RETURN_IF_ERROR(reader.final_status());
+    }
+    temps.Release(root_file);
+
+    MaxRSResult result;
+    auto best = tracker.Finish();
+    if (best.empty()) {
+      result.region = Rect{-kInf, kInf, -kInf, kInf};
+    } else {
+      result.location = best[0].location;
+      result.total_weight = best[0].total_weight;
+      result.region = best[0].region;
+    }
+    result.stats.input_objects = dataset_.num_objects();
+    for (const MaxRSStats& s : shard_stats) {
+      result.stats.base_cases += s.base_cases;
+      result.stats.merges += s.merges;
+      result.stats.total_spans += s.total_spans;
+      result.stats.recursion_levels =
+          std::max(result.stats.recursion_levels,
+                   s.recursion_levels + (num_shards > 1 ? 1 : 0));
+    }
+    if (num_shards > 1) {
+      ++result.stats.merges;  // the cross-shard MergeSweep
+      result.stats.total_spans += num_spans;
+    }
+    return {std::move(result)};
+  };
+
+  Result<MaxRSResult> result = body();
+  if (result.ok()) {
+    result.value().stats.io = env_.stats().Snapshot() - io_before;
+    result.value().stats.wall_seconds = timer.ElapsedSeconds();
+  } else {
+    // Sweep every scratch file this query's manager named so repeated
+    // failing queries cannot grow the Env without bound.
+    temps.ReleaseAll();
+  }
+  return result;
+}
+
+Result<MaxRSResult> MaxRSServer::ExecuteGlobalMerge(double width,
+                                                    double height) {
   TempFileManager temps(env_, options_.work_prefix);
 
   auto body = [&]() -> Result<MaxRSResult> {
@@ -263,11 +757,8 @@ Result<MaxRSResult> MaxRSServer::ExecuteQuery(double width, double height) {
       piece_file = piece_parts[0];
       edge_file = edge_parts[0];
     } else {
-      // Guard the subtraction: blocks can be 0 for a sub-block budget
-      // (ValidateOptions rejects such budgets later, but fan_in must not
-      // wrap to SIZE_MAX meanwhile).
-      const size_t blocks = options_.memory_bytes / env_.block_size();
-      const size_t fan_in = std::max<size_t>(2, blocks > 1 ? blocks - 1 : 1);
+      const size_t fan_in = QueryMergeFanIn(options_.memory_bytes,
+                                            env_.block_size());
       piece_file = temps.NewName("q_pieces_sorted");
       edge_file = temps.NewName("q_edges_sorted");
       MAXRS_RETURN_IF_ERROR(MergeSortedParts<PieceRecord>(

@@ -3,35 +3,59 @@
 // rectangle sizes concurrently.
 //
 // Request path: Submit(w, h) consults a small LRU result cache keyed by the
-// exact (w, h) bit patterns (a warm hit performs zero I/O), otherwise
-// enqueues the request on a bounded MPMC queue (util/mpmc_queue.h) and
-// blocks on its future. `num_workers` long-running worker tasks — a
-// TaskGroup on the PR-2 ThreadPool — pop requests and execute them:
+// canonicalized (w, h) bit patterns (a warm hit performs zero I/O), then an
+// in-flight table (a duplicate of a query already executing attaches to the
+// leader's pending slot instead of executing again), otherwise enqueues the
+// request on a bounded MPMC queue (util/mpmc_queue.h) and blocks on its
+// future. `num_workers` long-running worker tasks — a TaskGroup on the PR-2
+// ThreadPool — pop requests and execute them. Two solve modes exist:
 //
-//   per shard   transform the y-sorted objects into the (already sorted)
-//               piece stream; 2-way-merge the x-sorted objects -/+ w/2 into
-//               the (already sorted) edge stream        — linear passes
-//   global      k-way-merge the per-shard streams                — one pass
-//   solve       RunExactMaxRSPrepared: division + merge-sweep    — as usual
+// kPerShard (default) — the x-slab shards ARE the top-level division:
 //
-// No external sort runs per query; only the rect-dependent transform,
-// merge, and division/merge-sweep work does. Each query executes on the
-// serial deterministic code path (num_threads = 1), so results are
-// bit-identical to a one-shot RunExactMaxRS at any thread count and
-// independent of worker count, schedule, and cache state; concurrency
-// comes from overlapping *queries*, not from splitting one query.
+//   route       per source shard, transform the y-sorted objects and route
+//               each piece by extent: clipped parts into the (at most two)
+//               partially covered shards, one SpanRecord for the fully
+//               covered shards between; route each vertical edge by value
+//                                                         — linear passes
+//   solve       per target shard, merge its (few, typically 2-3) incoming
+//               part streams and run division + plane-sweep *inside the
+//               shard* (core_internal::SolveSlab)     — O(shard) per task
+//   combine     one cross-shard MergeSweep over the shard slab-files and
+//               the boundary span file                — one linear sweep
 //
-// See docs/ARCHITECTURE.md ("The serve layer") for the design rationale.
+// kGlobalMerge (the PR-3 path, kept for comparison) — k-way-merge all
+// per-shard streams into one global prepared input, then run the whole
+// division from the top (RunExactMaxRSPrepared).
+//
+// No external sort runs per query in either mode; only rect-dependent
+// transform, merge, and division/merge-sweep work does. Per-shard solves
+// are scheduled as TaskGroup subtasks with a deterministic fan-in (results
+// land in slots indexed by shard), so answers are independent of worker
+// count, schedule, and cache state. The per-shard mode skips the global
+// piece merge and the root division pass entirely: answers are
+// bit-identical to one-shot RunExactMaxRS for any shard count whenever
+// weight sums are exact in double arithmetic (integer-valued weights —
+// the common case); with arbitrary real weights the per-shard division
+// tree may group floating-point additions differently than the one-shot
+// tree, so sums can differ in the last ulp (kGlobalMerge reproduces the
+// one-shot tree bit-for-bit unconditionally).
+//
+// See docs/ARCHITECTURE.md ("The serve layer") for the design rationale
+// and docs/IO_MODEL.md for the per-query I/O accounting of both modes.
 #ifndef MAXRS_SERVE_MAXRS_SERVER_H_
 #define MAXRS_SERVE_MAXRS_SERVER_H_
 
+#include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <future>
+#include <limits>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -44,6 +68,32 @@
 #include "util/thread_pool.h"
 
 namespace maxrs {
+
+/// How a worker executes one query against the sharded dataset.
+enum class ServeSolveMode {
+  /// Solve each x-slab shard independently (the shards are the top-level
+  /// division) and combine the shard slab-files with one cross-shard
+  /// MergeSweep; the global piece merge never runs. The default.
+  kPerShard,
+  /// K-way-merge all per-shard streams into one global prepared input and
+  /// divide from the top — the PR-3 path; reproduces the one-shot division
+  /// tree bit-for-bit for arbitrary (including non-integer) weights.
+  kGlobalMerge,
+};
+
+/// Canonical bit pattern of one cache-key dimension. Semantically equal
+/// dimensions must map onto one key, so -0.0 folds onto +0.0 and every NaN
+/// payload onto the canonical quiet NaN. (Submit rejects non-positive and
+/// non-finite dimensions today, so neither value reaches the cache — but
+/// the key derivation must not silently depend on that validation: raw bit
+/// patterns would split semantically equal queries into distinct entries.)
+inline uint64_t CanonicalDimensionBits(double v) {
+  if (std::isnan(v)) v = std::numeric_limits<double>::quiet_NaN();
+  if (v == 0.0) v = 0.0;  // folds -0.0 (compares equal to +0.0)
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
 
 /// Knobs for MaxRSServer.
 struct MaxRSServerOptions {
@@ -60,12 +110,23 @@ struct MaxRSServerOptions {
   /// Base-case threshold override (#pieces) for tests; 0 derives from M.
   uint64_t base_case_max_pieces = 0;
 
-  /// LRU result-cache entries keyed by exact (w, h); 0 disables caching.
+  /// LRU result-cache entries keyed by canonical (w, h); 0 disables caching.
   size_t cache_entries = 16;
+
+  /// Cache admission policy: a result is cached only if its rectangle
+  /// covers at most this fraction of the dataset extent's area (rect
+  /// dimensions clamped to the extent first, so an infinite-looking rect
+  /// counts as full cover). Huge analytical one-off rects otherwise evict
+  /// the steady-state working set. >= 1 admits everything; ignored when
+  /// the dataset's bounds are unknown (empty dataset, version-1 manifest).
+  double cache_max_extent_fraction = 0.5;
 
   /// Bound on queued (not yet executing) requests; submitters beyond it
   /// block — backpressure instead of unbounded queue growth.
   size_t queue_capacity = 64;
+
+  /// Per-query execution strategy; see ServeSolveMode.
+  ServeSolveMode solve_mode = ServeSolveMode::kPerShard;
 
   /// Env namespace prefix for per-query scratch files.
   std::string work_prefix = "maxrs_serve";
@@ -75,8 +136,10 @@ struct MaxRSServerOptions {
 struct ServerCounters {
   uint64_t submitted = 0;       ///< Submit() calls accepted.
   uint64_t cache_hits = 0;      ///< Served from the LRU without any I/O.
+  uint64_t dedup_hits = 0;      ///< Attached to an in-flight leader's slot.
   uint64_t executed = 0;        ///< Ran the full per-query pipeline.
   uint64_t failed = 0;          ///< Executions that returned an error.
+  uint64_t cache_rejects = 0;   ///< Results refused by the admission policy.
 };
 
 /// A long-lived MaxRS query server over one immutable ingested dataset.
@@ -113,14 +176,17 @@ class MaxRSServer {
   size_t queue_depth() const { return queue_.size(); }
 
  private:
-  /// One queued query: its dimensions and the promise Submit waits on.
+  /// One queued query: its dimensions and the promise Submit waits on. The
+  /// shared future is what the leader and any deduplicated followers wait
+  /// on; the worker fulfills the promise exactly once.
   struct Request {
     double width = 0.0;
     double height = 0.0;
     std::promise<Result<MaxRSResult>> promise;
   };
 
-  /// Exact-bit-pattern cache key; queries are cached per distinct (w, h).
+  /// Canonical-bit-pattern cache key; queries are cached per distinct
+  /// semantic (w, h) — see CanonicalDimensionBits.
   struct CacheKey {
     uint64_t width_bits = 0;
     uint64_t height_bits = 0;
@@ -143,17 +209,30 @@ class MaxRSServer {
   MaxRSOptions MakeQueryOptions(double width, double height) const;
   void WorkerLoop();
   Result<MaxRSResult> ExecuteQuery(double width, double height);
+  Result<MaxRSResult> ExecuteGlobalMerge(double width, double height);
+  Result<MaxRSResult> ExecutePerShard(double width, double height);
   std::optional<MaxRSResult> CacheLookup(const CacheKey& key);
   void CacheInsert(const CacheKey& key, const MaxRSResult& result);
+  bool AdmitToCache(double width, double height) const;
 
   Env& env_;
   const DatasetHandle& dataset_;
   MaxRSServerOptions options_;
   Status config_status_;  // from construction; every Submit fails fast on it
 
-  MpmcQueue<std::unique_ptr<Request>> queue_;
+  // shared_ptr, not unique_ptr: on a Push refused by a closed queue the
+  // queue drops its copy, but the submitting leader still owns the request
+  // and can fail the promise — otherwise deduplicated followers waiting on
+  // the shared future would see a broken promise.
+  MpmcQueue<std::shared_ptr<Request>> queue_;
+  // Workers are dedicated threads, NOT pool tasks: the pool is reserved
+  // for per-query shard subtasks. A worker loop parked in queue_.Pop on
+  // the pool would deadlock help-while-wait (a query's Wait could steal a
+  // not-yet-claimed worker-loop task and park inside it forever), and
+  // separating them lets idle pool threads run another query's shard
+  // subtasks instead of sitting in Pop.
   std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<TaskGroup> workers_;
+  std::vector<std::thread> worker_threads_;
   bool shut_down_ = false;
   std::mutex shutdown_mu_;
 
@@ -161,6 +240,15 @@ class MaxRSServer {
   std::list<std::pair<CacheKey, MaxRSResult>> lru_;  // front = most recent
   std::unordered_map<CacheKey, decltype(lru_)::iterator, CacheKeyHash>
       cache_index_;
+
+  // In-flight dedup: one entry per distinct rect currently queued or
+  // executing. Followers copy the leader's shared_future and wait on it;
+  // the worker erases the entry (after publishing to the cache) before
+  // fulfilling the promise, so late duplicates hit the cache instead.
+  mutable std::mutex pending_mu_;
+  std::unordered_map<CacheKey, std::shared_future<Result<MaxRSResult>>,
+                     CacheKeyHash>
+      pending_;
 
   mutable std::mutex counters_mu_;
   ServerCounters counters_;

@@ -12,6 +12,8 @@
 #include "core/exact_maxrs.h"
 #include "datagen/dataset_io.h"
 #include "io/env.h"
+#include "serve/dataset_handle.h"
+#include "serve/maxrs_server.h"
 #include "test_util.h"
 #include "util/rng.h"
 
@@ -94,6 +96,37 @@ void CheckAllImplementationsAgree(const std::vector<SpatialObject>& objects,
   ASSERT_TRUE(asb.ok());
   ASSERT_EQ(asb->total_weight, oracle.total_weight)
       << "aSB-tree diverged, config " << tag;
+
+  // Prepared/sharded serve path: per-shard solve with a cross-shard
+  // MergeSweep, under the same fuzzed memory/fan-out/base-case knobs as
+  // the external pipeline — a completely different division tree (the
+  // shards are the top-level cut), so agreement with the oracle is a
+  // genuine differential. The shard count varies with the data seed and
+  // is clamped by the ingest budget's stream-block cap.
+  {
+    DatasetHandleOptions ingest_options;
+    ingest_options.shard_count = 1 + c.data_seed % 7;
+    ingest_options.memory_bytes = c.memory_bytes;
+    ingest_options.prefix = "fuzz_sharded";
+    auto handle = DatasetHandle::Ingest(*env, "fuzz_data", ingest_options);
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+    MaxRSServerOptions server_options;
+    server_options.memory_bytes = c.memory_bytes;
+    server_options.fanout = c.fanout;
+    server_options.base_case_max_pieces = c.base_max;
+    server_options.solve_mode = ServeSolveMode::kPerShard;
+    MaxRSServer server(*env, *handle, server_options);
+    auto served = server.Submit(c.rect_w, c.rect_h);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    ASSERT_EQ(served->total_weight, oracle.total_weight)
+        << "sharded serve diverged, config " << tag << " ("
+        << handle->shards().size() << " shards)";
+    ASSERT_EQ(CoveredWeight(objects, Rect::Centered(served->location,
+                                                    c.rect_w, c.rect_h)),
+              oracle.total_weight)
+        << "sharded serve witness wrong, config " << tag;
+    ASSERT_TRUE(handle->Drop().ok());
+  }
 }
 
 class MaxRSFuzzTest : public ::testing::TestWithParam<uint64_t> {};

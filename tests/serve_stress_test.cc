@@ -1,0 +1,163 @@
+// Stress/soak battery for the server's concurrency features: 8 workers x
+// 64 in-flight queries with a 75% duplicate rate, exercising in-flight
+// dedup (duplicates of an executing query attach to the leader's pending
+// slot; exactly one leader solve runs per distinct rect), the LRU for
+// late duplicates, and the shutdown path under load. Built to run under
+// ThreadSanitizer (cmake -DMAXRS_SANITIZE=thread; see the `tsan` CI job):
+// the assertions are deterministic, so a pass is meaningful with and
+// without instrumentation.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/exact_maxrs.h"
+#include "datagen/dataset_io.h"
+#include "gtest/gtest.h"
+#include "io/env.h"
+#include "serve/dataset_handle.h"
+#include "serve/maxrs_server.h"
+#include "test_util.h"
+
+namespace maxrs {
+namespace {
+
+constexpr char kDatasetFile[] = "objects";
+constexpr size_t kClients = 8;
+constexpr size_t kQueries = 64;
+constexpr size_t kDistinct = 16;  // 64 queries over 16 rects = 75% dupes
+
+std::unique_ptr<Env> MakeEnv(std::vector<SpatialObject>* out = nullptr) {
+  auto env = NewMemEnv(4096);
+  std::vector<SpatialObject> objects = testing::RandomIntObjects(
+      /*n=*/1500, /*extent=*/2000, /*seed=*/23, /*random_weights=*/true);
+  EXPECT_TRUE(WriteDataset(*env, kDatasetFile, objects).ok());
+  if (out != nullptr) *out = objects;
+  return env;
+}
+
+// The scripted workload: query q uses rect q % kDistinct, so every distinct
+// rect appears exactly kQueries / kDistinct times.
+void RectOf(size_t q, double* w, double* h) {
+  const size_t r = q % kDistinct;
+  *w = 60.0 + 20.0 * static_cast<double>(r);
+  *h = 340.0 - 15.0 * static_cast<double>(r);
+}
+
+TEST(ServeStressTest, DedupedInFlightDuplicatesSolveOncePerRect) {
+  auto env = MakeEnv();
+  auto handle = [&] {
+    DatasetHandleOptions options;
+    options.shard_count = 4;
+    options.memory_bytes = 64 * 1024;
+    return DatasetHandle::Ingest(*env, kDatasetFile, options);
+  }();
+  ASSERT_TRUE(handle.ok());
+
+  MaxRSServerOptions options;
+  options.num_workers = kClients;
+  options.memory_bytes = 64 * 1024;
+  options.cache_entries = kDistinct;  // late duplicates hit the LRU
+  options.queue_capacity = kQueries;  // every query can be in flight at once
+  MaxRSServer server(*env, *handle, options);
+
+  // One-shot references for every distinct rect.
+  std::vector<MaxRSResult> expected(kDistinct);
+  {
+    auto reference_env = MakeEnv();
+    for (size_t r = 0; r < kDistinct; ++r) {
+      MaxRSOptions one_shot;
+      RectOf(r, &one_shot.rect_width, &one_shot.rect_height);
+      one_shot.memory_bytes = 64 * 1024;
+      auto result = RunExactMaxRS(*reference_env, kDatasetFile, one_shot);
+      ASSERT_TRUE(result.ok());
+      expected[r] = *result;
+    }
+  }
+
+  // Fire all 64 queries from 8 clients at once (atomic ticket draw, so the
+  // interleaving of duplicates across workers varies run to run — that is
+  // the point of a soak).
+  std::vector<MaxRSResult> got(kQueries);
+  std::vector<Status> statuses(kQueries, Status::OK());
+  std::atomic<size_t> ticket{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (;;) {
+        const size_t q = ticket.fetch_add(1);
+        if (q >= kQueries) return;
+        double w = 0.0, h = 0.0;
+        RectOf(q, &w, &h);
+        auto result = server.Submit(w, h);
+        statuses[q] = result.status();
+        if (result.ok()) got[q] = *result;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (size_t q = 0; q < kQueries; ++q) {
+    ASSERT_TRUE(statuses[q].ok()) << "query " << q << ": "
+                                  << statuses[q].ToString();
+    const MaxRSResult& want = expected[q % kDistinct];
+    EXPECT_EQ(got[q].total_weight, want.total_weight) << "query " << q;
+    EXPECT_EQ(got[q].location, want.location) << "query " << q;
+    EXPECT_EQ(got[q].region, want.region) << "query " << q;
+  }
+
+  // One leader solve per distinct rect; every duplicate either attached to
+  // an in-flight leader or hit the cache afterwards.
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.submitted, kQueries);
+  EXPECT_EQ(counters.executed, kDistinct);
+  EXPECT_EQ(counters.failed, 0u);
+  EXPECT_EQ(counters.dedup_hits + counters.cache_hits, kQueries - kDistinct);
+}
+
+TEST(ServeStressTest, ShutdownUnderLoadFailsFollowersCleanly) {
+  // Submitters racing a Shutdown must each get a definite outcome: a real
+  // result (the queue drains in-flight queries) or NotSupported — never a
+  // hang or a broken promise, including followers attached to a leader
+  // whose Push lost the race with Close.
+  auto env = MakeEnv();
+  auto handle = [&] {
+    DatasetHandleOptions options;
+    options.shard_count = 2;
+    options.memory_bytes = 64 * 1024;
+    return DatasetHandle::Ingest(*env, kDatasetFile, options);
+  }();
+  ASSERT_TRUE(handle.ok());
+
+  for (int round = 0; round < 4; ++round) {
+    MaxRSServerOptions options;
+    options.num_workers = 2;
+    options.memory_bytes = 64 * 1024;
+    options.cache_entries = 0;  // keep every submit on the execute path
+    MaxRSServer server(*env, *handle, options);
+
+    std::atomic<size_t> done{0};
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < 4; ++c) {
+      clients.emplace_back([&, c] {
+        for (size_t q = 0; q < 8; ++q) {
+          double w = 0.0, h = 0.0;
+          RectOf((c + q) % 3, &w, &h);  // heavy duplication across clients
+          auto result = server.Submit(w, h);
+          EXPECT_TRUE(result.ok() ||
+                      result.status().code() == Status::Code::kNotSupported)
+              << result.status().ToString();
+          done.fetch_add(1);
+        }
+      });
+    }
+    // Let some queries through, then slam the door mid-traffic.
+    while (done.load() < 2) std::this_thread::yield();
+    server.Shutdown();
+    for (std::thread& t : clients) t.join();
+    EXPECT_EQ(done.load(), 32u);
+  }
+}
+
+}  // namespace
+}  // namespace maxrs

@@ -3,7 +3,9 @@
 // ExactMaxRS across rect sizes and worker counts), concurrency (8 in-flight
 // queries, deterministic results), and cache semantics (a warm query
 // performs zero block transfers — in particular zero sort-phase I/O).
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -111,6 +113,11 @@ TEST(DatasetHandleTest, ManifestRoundtripAndDrop) {
   auto opened = DatasetHandle::Open(*env, ingested->prefix());
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
   EXPECT_EQ(opened->num_objects(), ingested->num_objects());
+  // The dataset extent (cache-admission input) survives the manifest
+  // roundtrip bit-for-bit.
+  ASSERT_TRUE(ingested->has_bounds());
+  ASSERT_TRUE(opened->has_bounds());
+  EXPECT_EQ(opened->bounds(), ingested->bounds());
   ASSERT_EQ(opened->shards().size(), ingested->shards().size());
   for (size_t i = 0; i < opened->shards().size(); ++i) {
     EXPECT_EQ(opened->shards()[i].x_range, ingested->shards()[i].x_range);
@@ -252,8 +259,11 @@ TEST(ServeTest, BitIdenticalAcrossWorkerCountsAndShardCounts) {
 
 TEST(ServeTest, MultiPassMergeWhenShardsExceedFanIn) {
   // 16KB budget = 4 blocks = fan-in 3, below the 4 shards: the per-query
-  // merge must go multi-pass to stay within M/B - 1 blocks, and the result
-  // must still be bit-identical to the one-shot run on the same budget.
+  // merges must go multi-pass to stay within M/B - 1 blocks, and the
+  // result must still be bit-identical to the one-shot run on the same
+  // budget — in the global-merge mode (whose k-way piece merge is the
+  // multi-pass one) and in the per-shard mode (where the cross-shard span
+  // merge sees up to 4 source parts).
   auto env = MakeEnvWithDataset(nullptr);
   MaxRSOptions one_shot_options = OneShotOptions(150, 300);
   one_shot_options.memory_bytes = 16 * 1024;
@@ -263,12 +273,90 @@ TEST(ServeTest, MultiPassMergeWhenShardsExceedFanIn) {
   auto handle = DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(4));
   ASSERT_TRUE(handle.ok());
   ASSERT_EQ(handle->shards().size(), 4u);
-  MaxRSServerOptions server_options = ServerOptions(1);
-  server_options.memory_bytes = 16 * 1024;
-  MaxRSServer server(*env, *handle, server_options);
-  auto served = server.Submit(150, 300);
-  ASSERT_TRUE(served.ok());
-  ExpectBitIdentical(*served, *one_shot);
+  for (ServeSolveMode mode :
+       {ServeSolveMode::kGlobalMerge, ServeSolveMode::kPerShard}) {
+    MaxRSServerOptions server_options = ServerOptions(1);
+    server_options.memory_bytes = 16 * 1024;
+    server_options.solve_mode = mode;
+    MaxRSServer server(*env, *handle, server_options);
+    auto served = server.Submit(150, 300);
+    ASSERT_TRUE(served.ok());
+    ExpectBitIdentical(*served, *one_shot);
+  }
+}
+
+TEST(ServeTest, CacheKeyCanonicalizesSemanticallyEqualDimensions) {
+  // Regression: the LRU key used raw (w, h) bit patterns, so semantically
+  // equal dimensions with distinct representations (-0.0 vs +0.0, NaN
+  // payloads) would miss each other. The canonicalizer folds them.
+  EXPECT_EQ(CanonicalDimensionBits(-0.0), CanonicalDimensionBits(0.0));
+  EXPECT_EQ(CanonicalDimensionBits(std::nan("0x123")),
+            CanonicalDimensionBits(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_EQ(CanonicalDimensionBits(-std::numeric_limits<double>::quiet_NaN()),
+            CanonicalDimensionBits(std::numeric_limits<double>::quiet_NaN()));
+  // Ordinary values keep their exact bit patterns — 1.0 and the next
+  // representable double above it stay distinct keys.
+  EXPECT_NE(CanonicalDimensionBits(1.0),
+            CanonicalDimensionBits(std::nextafter(1.0, 2.0)));
+
+  // Submit-level behavior: neither -0.0 nor NaN passes validation, so no
+  // canonicalized key ever reaches the cache — and the rejection performs
+  // zero I/O.
+  auto env = MakeEnvWithDataset(nullptr, /*n=*/100);
+  auto handle = DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(1));
+  ASSERT_TRUE(handle.ok());
+  MaxRSServer server(*env, *handle, ServerOptions(1));
+  const IoStatsSnapshot before = env->stats().Snapshot();
+  EXPECT_EQ(server.Submit(-0.0, 10.0).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(server.Submit(10.0, std::nan("")).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ((env->stats().Snapshot() - before).total(), 0u);
+  EXPECT_EQ(server.counters().submitted, 0u);
+}
+
+TEST(ServeTest, CacheAdmissionRefusesRectsCoveringMostOfTheExtent) {
+  std::vector<SpatialObject> objects;
+  auto env = MakeEnvWithDataset(&objects);
+  auto handle = DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(2));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(handle->has_bounds());
+  const double extent_w = handle->bounds().width();
+  const double extent_h = handle->bounds().height();
+  ASSERT_GT(extent_w, 0.0);
+  ASSERT_GT(extent_h, 0.0);
+
+  MaxRSServer server(*env, *handle, ServerOptions(1));  // fraction = 0.5
+
+  // 0.9 x 0.9 of the extent covers 81% > 50%: executed on every submit,
+  // never cached, counted as an admission reject.
+  const double huge_w = extent_w * 0.9, huge_h = extent_h * 0.9;
+  ASSERT_TRUE(server.Submit(huge_w, huge_h).ok());
+  ASSERT_TRUE(server.Submit(huge_w, huge_h).ok());
+  ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.executed, 2u);
+  EXPECT_EQ(counters.cache_hits, 0u);
+  EXPECT_EQ(counters.cache_rejects, 2u);
+
+  // 0.6 x 0.6 covers 36% <= 50%: cached as usual.
+  const double ok_w = extent_w * 0.6, ok_h = extent_h * 0.6;
+  ASSERT_TRUE(server.Submit(ok_w, ok_h).ok());
+  ASSERT_TRUE(server.Submit(ok_w, ok_h).ok());
+  counters = server.counters();
+  EXPECT_EQ(counters.executed, 3u);
+  EXPECT_EQ(counters.cache_hits, 1u);
+  EXPECT_EQ(counters.cache_rejects, 2u);
+
+  // Raising the threshold to 1.0 admits the huge rect too.
+  MaxRSServerOptions admit_all = ServerOptions(1);
+  admit_all.cache_max_extent_fraction = 1.0;
+  MaxRSServer permissive(*env, *handle, admit_all);
+  ASSERT_TRUE(permissive.Submit(huge_w, huge_h).ok());
+  ASSERT_TRUE(permissive.Submit(huge_w, huge_h).ok());
+  counters = permissive.counters();
+  EXPECT_EQ(counters.executed, 1u);
+  EXPECT_EQ(counters.cache_hits, 1u);
+  EXPECT_EQ(counters.cache_rejects, 0u);
 }
 
 TEST(ServeTest, ColdQuerySkipsTheSortPhase) {
