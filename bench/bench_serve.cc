@@ -14,6 +14,8 @@
 //   --threads=1,2,8    comma-separated worker counts
 //   --queries=32       distinct rects per round
 //   --shards=8         x-slab shard count (0 derives)
+//   --read_ahead       double-buffered async prefetch on ingest + queries
+//                      (round names gain a "+ra" suffix in the JSON)
 //   --json=PATH        output path (default BENCH_serve.json)
 //   --quick            small dataset / workload for CI smoke
 //   --seed=N           dataset seed
@@ -89,6 +91,7 @@ int main(int argc, char** argv) {
   const size_t num_queries =
       static_cast<size_t>(flags.GetInt("queries", quick ? 8 : 32));
   const size_t shard_count = static_cast<size_t>(flags.GetInt("shards", 8));
+  const bool read_ahead = flags.GetBool("read_ahead", false);
   const std::string json_path = flags.GetString("json", "BENCH_serve.json");
   const std::vector<uint64_t> thread_counts =
       ParseU64List(flags.GetString("threads", quick ? "1,2" : "1,2,8"));
@@ -115,6 +118,7 @@ int main(int argc, char** argv) {
     ingest_options.shard_count = shard_count;
     ingest_options.memory_bytes = kBufferSynthetic;
     ingest_options.num_threads = workers;
+    ingest_options.read_ahead = read_ahead;
     auto handle = DatasetHandle::Ingest(*env, "dataset", ingest_options);
     MAXRS_CHECK_MSG(handle.ok(), "ingest failed");
 
@@ -126,6 +130,7 @@ int main(int argc, char** argv) {
     // workload's rects are all well below half the extent, but the bench
     // should not silently depend on that.
     server_options.cache_max_extent_fraction = 1.0;
+    server_options.read_ahead = read_ahead;
     MaxRSServer server(*env, *handle, server_options);
 
     for (const bool warm : {false, true}) {
@@ -153,9 +158,11 @@ int main(int argc, char** argv) {
       // io_blocks records the round's TOTAL transfers: exact, so the CI
       // baseline diff flags any growth (a truncated per-query average
       // could hide a small regression).
-      records.push_back({"bench_serve", warm ? "serve_warm" : "serve_cold",
-                         "uniform", n, workers, kBufferSynthetic, per_query,
-                         io, weights[0]});
+      const std::string round_name =
+          std::string(warm ? "serve_warm" : "serve_cold") +
+          (read_ahead ? "+ra" : "");
+      records.push_back({"bench_serve", round_name, "uniform", n, workers,
+                         kBufferSynthetic, per_query, io, weights[0]});
     }
 
     // Mode comparison: the same workload, cold, through the global-merge
@@ -181,9 +188,11 @@ int main(int argc, char** argv) {
                   "cold_global", workers,
                   wall > 0.0 ? static_cast<double>(rects.size()) / wall : 0.0,
                   per_query, io / rects.size(), io);
-      records.push_back({"bench_serve", "serve_cold_globalmerge", "uniform",
-                         n, workers, kBufferSynthetic, per_query, io,
-                         weights[0]});
+      records.push_back({"bench_serve",
+                         std::string("serve_cold_globalmerge") +
+                             (read_ahead ? "+ra" : ""),
+                         "uniform", n, workers, kBufferSynthetic, per_query,
+                         io, weights[0]});
     }
   }
 

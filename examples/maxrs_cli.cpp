@@ -10,7 +10,9 @@
 // budget (--memory-kb, default 1024). --algo selects exact (default),
 // naive, or asb — the paper's comparison methods — for I/O comparisons on
 // your own data. --threads=T runs the exact solver on the parallel engine
-// (identical answer and I/O count at any thread count).
+// (identical answer and I/O count at any thread count); --read_ahead
+// double-buffers the sequential scans through the async prefetch layer
+// (identical answer and I/O count, fetch overlapped with compute).
 #include <cstdio>
 #include <string>
 
@@ -106,6 +108,7 @@ int main(int argc, char** argv) {
     options.rect_height = height;
     options.memory_bytes = memory;
     options.num_threads = static_cast<size_t>(flags.GetInt("threads", 1));
+    options.read_ahead = flags.GetBool("read_ahead", false);
     auto result = RunExactMaxRS(*env, "input", options);
     if (!result.ok()) {
       std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());

@@ -9,6 +9,7 @@
 #include "core/merge_sweep.h"
 #include "core/plane_sweep.h"
 #include "io/external_sort.h"
+#include "io/prefetch_reader.h"
 #include "io/record_io.h"
 #include "io/temp_manager.h"
 #include "util/check.h"
@@ -115,7 +116,8 @@ class Driver {
                                const std::string& edge_file,
                                const Interval& slab) {
     MAXRS_ASSIGN_OR_RETURN(std::vector<PieceRecord> pieces,
-                           ReadRecordFile<PieceRecord>(env_, piece_file));
+                           ReadRecordFilePrefetched<PieceRecord>(
+                               env_, piece_file, options_.read_ahead));
     temps_.Release(piece_file);
     temps_.Release(edge_file);
     const std::vector<SlabTuple> tuples =
@@ -154,7 +156,7 @@ class Driver {
     std::string out = temps_.NewName("slab");
     MAXRS_RETURN_IF_ERROR(MergeSweep(env_, division.children, child_slab_files,
                                      division.span_file, out,
-                                     options_.objective));
+                                     options_.objective, options_.read_ahead));
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_->merges;
@@ -188,8 +190,9 @@ Status SolvePreparedOnPool(Env& env, const PreparedInput& input,
       std::string root_slab_file,
       core_internal::SolveSlab(env, temps, input, options, stats, pool));
   {
-    MAXRS_ASSIGN_OR_RETURN(RecordReader<SlabTuple> reader,
-                           RecordReader<SlabTuple>::Make(env, root_slab_file));
+    MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SlabTuple> reader,
+                           PrefetchingReader<SlabTuple>::Make(
+                               env, root_slab_file, options.read_ahead));
     SlabTuple t{};
     while (reader.Next(&t)) visit(t);
     MAXRS_RETURN_IF_ERROR(reader.final_status());
@@ -287,8 +290,9 @@ Status VisitRootTuples(Env& env, const std::string& object_file,
   }
   const bool minimize = options.objective == SweepObjective::kMinimize;
 
-  MAXRS_ASSIGN_OR_RETURN(RecordReader<SpatialObject> objects,
-                         RecordReader<SpatialObject>::Make(env, object_file));
+  MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SpatialObject> objects,
+                         PrefetchingReader<SpatialObject>::Make(
+                             env, object_file, options.read_ahead));
   const uint64_t n = objects.total();
   stats->input_objects = n;
 
@@ -297,8 +301,9 @@ Status VisitRootTuples(Env& env, const std::string& object_file,
   // This needs one extra counted scan to find the box.
   Interval root_slab{-kInf, kInf};
   if (minimize) {
-    MAXRS_ASSIGN_OR_RETURN(RecordReader<SpatialObject> scan,
-                           RecordReader<SpatialObject>::Make(env, object_file));
+    MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SpatialObject> scan,
+                           PrefetchingReader<SpatialObject>::Make(
+                               env, object_file, options.read_ahead));
     Rect box{kInf, -kInf, kInf, -kInf};
     SpatialObject o{};
     bool any = false;
@@ -376,7 +381,8 @@ Status VisitRootTuples(Env& env, const std::string& object_file,
   // so with a pool they run concurrently (and each parallelizes internally);
   // both comparators are total orders, making the sorted files — and hence
   // everything downstream — canonical for any thread count.
-  ExternalSortOptions sort_options{options.memory_bytes, pool.get()};
+  ExternalSortOptions sort_options{options.memory_bytes, pool.get(),
+                                   options.read_ahead};
   std::string sorted_pieces = temps.NewName("pieces");
   std::string sorted_edges = temps.NewName("edges");
   {

@@ -64,6 +64,15 @@ struct MaxRSOptions {
   /// each buffering a wave of T run chunks of ~memory_bytes).
   size_t num_threads = 1;
 
+  /// Double-buffered asynchronous read-ahead (io/prefetch_reader.h) on the
+  /// hot sequential streams: the object/transform scans, external-sort run
+  /// formation and merge fan-in, MergeSweep inputs, and the root slab-file
+  /// scan. Block k+1 is fetched by a background I/O worker while block k is
+  /// deserialized. Results and block counts are bit-identical with the
+  /// synchronous path at any thread count; only the overlap of I/O and
+  /// compute changes. Costs one extra block of buffer per open stream.
+  bool read_ahead = false;
+
   /// kMaximize is the paper's MaxRS. kMinimize runs the MinRS extension's
   /// min-objective sweep with placements restricted to the dataset bounding
   /// box (unrestricted MinRS is trivially 0 in empty space); use RunMinRS

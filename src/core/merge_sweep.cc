@@ -2,24 +2,29 @@
 
 #include <limits>
 
+#include "io/prefetch_reader.h"
 #include "io/record_io.h"
 #include "util/check.h"
 
 namespace maxrs {
 namespace {
 
-/// RecordReader with one-record lookahead.
+/// Sequential reader with one-record lookahead; double-buffers blocks when
+/// constructed with read_ahead.
 template <typename T>
 class PeekedReader {
  public:
-  static Result<PeekedReader<T>> Make(Env& env, const std::string& name) {
-    MAXRS_ASSIGN_OR_RETURN(RecordReader<T> reader, RecordReader<T>::Make(env, name));
+  static Result<PeekedReader<T>> Make(Env& env, const std::string& name,
+                                      bool read_ahead) {
+    MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<T> reader,
+                           PrefetchingReader<T>::Make(env, name, read_ahead));
     PeekedReader<T> peeked(std::move(reader));
     MAXRS_RETURN_IF_ERROR(peeked.Advance());
     return {std::move(peeked)};
   }
 
-  explicit PeekedReader(RecordReader<T> reader) : reader_(std::move(reader)) {}
+  explicit PeekedReader(PrefetchingReader<T> reader)
+      : reader_(std::move(reader)) {}
 
   bool has_value() const { return has_value_; }
   const T& head() const { return head_; }
@@ -36,7 +41,7 @@ class PeekedReader {
   }
 
  private:
-  RecordReader<T> reader_;
+  PrefetchingReader<T> reader_;
   T head_{};
   bool has_value_ = false;
 };
@@ -46,35 +51,38 @@ class PeekedReader {
 Status MergeSweep(Env& env, const std::vector<ChildSlab>& children,
                   const std::vector<std::string>& child_slab_files,
                   const std::string& span_file, const std::string& output_file,
-                  SweepObjective objective) {
+                  SweepObjective objective, bool read_ahead) {
   std::vector<Interval> ranges;
   ranges.reserve(children.size());
   for (const ChildSlab& child : children) ranges.push_back(child.x_range);
   return MergeSweep(env, ranges, child_slab_files, span_file, output_file,
-                    objective);
+                    objective, read_ahead);
 }
 
 Status MergeSweep(Env& env, const std::vector<Interval>& child_ranges,
                   const std::vector<std::string>& child_slab_files,
                   const std::string& span_file, const std::string& output_file,
-                  SweepObjective objective) {
+                  SweepObjective objective, bool read_ahead) {
   const size_t m = child_ranges.size();
   MAXRS_CHECK(m >= 1 && child_slab_files.size() == m);
 
   std::vector<PeekedReader<SlabTuple>> slabs;
   slabs.reserve(m);
   for (size_t i = 0; i < m; ++i) {
-    MAXRS_ASSIGN_OR_RETURN(PeekedReader<SlabTuple> reader,
-                           PeekedReader<SlabTuple>::Make(env, child_slab_files[i]));
+    MAXRS_ASSIGN_OR_RETURN(
+        PeekedReader<SlabTuple> reader,
+        PeekedReader<SlabTuple>::Make(env, child_slab_files[i], read_ahead));
     slabs.push_back(std::move(reader));
   }
   // Two independent sequential scans over the span file: one delivering
   // bottom events (y_lo order), one delivering top events (y_hi order; equal
   // to y_lo order because all spans have the original height d2).
-  MAXRS_ASSIGN_OR_RETURN(PeekedReader<SpanRecord> bottoms,
-                         PeekedReader<SpanRecord>::Make(env, span_file));
-  MAXRS_ASSIGN_OR_RETURN(PeekedReader<SpanRecord> tops,
-                         PeekedReader<SpanRecord>::Make(env, span_file));
+  MAXRS_ASSIGN_OR_RETURN(
+      PeekedReader<SpanRecord> bottoms,
+      PeekedReader<SpanRecord>::Make(env, span_file, read_ahead));
+  MAXRS_ASSIGN_OR_RETURN(
+      PeekedReader<SpanRecord> tops,
+      PeekedReader<SpanRecord>::Make(env, span_file, read_ahead));
 
   MAXRS_ASSIGN_OR_RETURN(RecordWriter<SlabTuple> writer,
                          RecordWriter<SlabTuple>::Make(env, output_file));

@@ -29,10 +29,14 @@ namespace maxrs {
 /// Merges `child_slab_files[i]` (the slab-file of children[i]) plus the
 /// spanning file into the slab-file `output_file` for the union slab.
 /// The objective must match the one the child slab-files were built with.
+/// With `read_ahead`, every input stream double-buffers its next block via
+/// the shared IoExecutor (io/prefetch_reader.h); output and block counts
+/// are identical either way.
 Status MergeSweep(Env& env, const std::vector<ChildSlab>& children,
                   const std::vector<std::string>& child_slab_files,
                   const std::string& span_file, const std::string& output_file,
-                  SweepObjective objective = SweepObjective::kMaximize);
+                  SweepObjective objective = SweepObjective::kMaximize,
+                  bool read_ahead = false);
 
 /// MergeSweep over externally-produced sub-slab solutions: identical sweep,
 /// but the children are given as bare x-ranges instead of DivisionResult
@@ -46,7 +50,8 @@ Status MergeSweep(Env& env, const std::vector<ChildSlab>& children,
 Status MergeSweep(Env& env, const std::vector<Interval>& child_ranges,
                   const std::vector<std::string>& child_slab_files,
                   const std::string& span_file, const std::string& output_file,
-                  SweepObjective objective = SweepObjective::kMaximize);
+                  SweepObjective objective = SweepObjective::kMaximize,
+                  bool read_ahead = false);
 
 }  // namespace maxrs
 

@@ -4,6 +4,16 @@
 // provided: an in-memory Env (deterministic, fast, default for benchmarks)
 // and a POSIX Env backed by real files. The role of each layer in the
 // external-memory cost model is documented in docs/IO_MODEL.md.
+//
+// Concurrency contract of a BlockFile: distinct handles on the same file
+// may read concurrently, and a single handle may be used from alternating
+// threads provided the caller establishes happens-before between uses —
+// the async read-ahead layer (prefetch_reader.h) does exactly that,
+// handing one reader's co-owned handle back and forth between the
+// consumer thread and a background fetch worker (serialized, never
+// simultaneous). Implementations must not assume a handle is confined to
+// one thread. Writes are never concurrent with reads of the same blocks
+// at this layer — record files are immutable once Finish()ed.
 #ifndef MAXRS_IO_ENV_H_
 #define MAXRS_IO_ENV_H_
 

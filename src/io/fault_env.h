@@ -5,6 +5,7 @@
 #ifndef MAXRS_IO_FAULT_ENV_H_
 #define MAXRS_IO_FAULT_ENV_H_
 
+#include <atomic>
 #include <limits>
 #include <memory>
 #include <string>
@@ -19,11 +20,13 @@ class FaultEnv : public Env {
 
   /// Fails the `k`-th counted operation from now (1-based). Reads and writes
   /// share the countdown.
-  void ArmAfter(uint64_t k) { remaining_ = k; }
-  void Disarm() { remaining_ = std::numeric_limits<uint64_t>::max(); }
+  void ArmAfter(uint64_t k) { remaining_.store(k, std::memory_order_relaxed); }
+  void Disarm() { remaining_.store(kDisarmed, std::memory_order_relaxed); }
 
   /// Number of faults actually delivered.
-  uint64_t faults_delivered() const { return faults_delivered_; }
+  uint64_t faults_delivered() const {
+    return faults_delivered_.load(std::memory_order_relaxed);
+  }
 
   Result<std::unique_ptr<BlockFile>> Create(const std::string& name) override;
   Result<std::unique_ptr<BlockFile>> Open(const std::string& name) override;
@@ -38,22 +41,32 @@ class FaultEnv : public Env {
   IoStats& stats() override { return base_->stats(); }
 
   /// Returns true if the current operation must fail (internal use by the
-  /// wrapped files).
+  /// wrapped files). Lock-free CAS countdown: background prefetch workers
+  /// (io/prefetch_reader.h) issue counted reads concurrently with the
+  /// compute thread, and exactly one of the racing operations must take
+  /// the armed fault.
   bool ShouldFail() {
-    if (remaining_ == std::numeric_limits<uint64_t>::max()) return false;
-    if (remaining_ <= 1) {
-      Disarm();
-      ++faults_delivered_;
-      return true;
+    uint64_t current = remaining_.load(std::memory_order_relaxed);
+    while (true) {
+      if (current == kDisarmed) return false;
+      const uint64_t next = current <= 1 ? kDisarmed : current - 1;
+      if (remaining_.compare_exchange_weak(current, next,
+                                           std::memory_order_relaxed)) {
+        if (current <= 1) {
+          faults_delivered_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+        return false;
+      }
     }
-    --remaining_;
-    return false;
   }
 
  private:
+  static constexpr uint64_t kDisarmed = std::numeric_limits<uint64_t>::max();
+
   Env* base_;
-  uint64_t remaining_ = std::numeric_limits<uint64_t>::max();
-  uint64_t faults_delivered_ = 0;
+  std::atomic<uint64_t> remaining_{kDisarmed};
+  std::atomic<uint64_t> faults_delivered_{0};
 };
 
 }  // namespace maxrs

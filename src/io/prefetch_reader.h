@@ -1,0 +1,309 @@
+// Asynchronous read-ahead streaming: the latency-hiding layer between the
+// record streams and the Env.
+//
+// RecordReader (record_io.h) blocks the compute thread on every ReadBlock:
+// fetching block k+1 and deserializing block k are serialized, which is
+// exactly where the EM cost model says the time goes on a cold pass. A
+// PrefetchingReader double-buffers instead — while records of block k are
+// being consumed, block k+1 is already being fetched by a background
+// IoExecutor worker — so a sequential scan overlaps I/O with compute.
+//
+// Accounting contract (docs/IO_MODEL.md, "Read-ahead"): a prefetched block
+// is counted exactly once, by the worker's ReadBlock, at issue time; serving
+// it to the consumer is a buffer swap, never a second transfer. A fetch is
+// issued only when the header says its block will be needed, so a fully
+// consumed stream transfers precisely the blocks the synchronous reader
+// would have — block counts are bit-identical with read-ahead on or off.
+//
+// Error contract: an I/O error hit by an in-flight fetch (including
+// FaultEnv-injected faults and short files whose header promises more
+// blocks than exist) is parked in the completion slot and surfaced to the
+// consumer at the next Read()/Next() call; the worker itself never throws,
+// crashes, or touches reader state. Destroying a reader with a fetch in
+// flight joins the fetch first, so a worker can never write through a
+// dangling buffer or touch a dead Env.
+//
+// With `read_ahead = false` the reader never touches the executor and
+// performs the exact synchronous block schedule of RecordReader — the
+// serial fallback every consumer defaults to.
+#ifndef MAXRS_IO_PREFETCH_READER_H_
+#define MAXRS_IO_PREFETCH_READER_H_
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "io/env.h"
+#include "io/record_io.h"
+#include "util/check.h"
+#include "util/status.h"
+
+namespace maxrs {
+
+/// A small pool of dedicated background I/O workers draining one FIFO queue
+/// of fetch closures. Deliberately separate from the compute ThreadPool
+/// (util/thread_pool.h): fetch tasks are pure block reads that never spawn
+/// work or wait, so they can never participate in (or break) the compute
+/// pool's help-while-wait deadlock-avoidance protocol, and a saturated
+/// compute pool cannot starve the I/O that would un-block it.
+class IoExecutor {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit IoExecutor(size_t num_threads = 1);
+
+  /// Runs every task already queued, then joins the workers. Tasks are
+  /// never dropped: a reader joining an in-flight fetch always wakes.
+  ~IoExecutor();
+
+  IoExecutor(const IoExecutor&) = delete;
+  IoExecutor& operator=(const IoExecutor&) = delete;
+
+  /// Enqueues `fn` for execution on a background worker (FIFO).
+  void Submit(std::function<void()> fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// The process-wide shared executor every reader uses unless given its
+  /// own. Sized for double-buffering (one in-flight fetch per reader, many
+  /// readers): fetches are short and queue rather than contend.
+  static IoExecutor& Default();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+namespace prefetch_internal {
+
+/// Completion slot of one in-flight block fetch, shared (via shared_ptr)
+/// between the issuing reader and the executor task: whichever side finishes
+/// last frees it, so neither an abandoned fetch nor a destroyed reader can
+/// leave the other writing through a dangling pointer.
+struct BlockFetch {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  std::vector<char> buf;
+};
+
+}  // namespace prefetch_internal
+
+/// Drop-in replacement for RecordReader<T> (same surface: Read/Next/
+/// final_status/total/remaining, NotFound at end of stream) that overlaps
+/// the fetch of block k+1 with the consumption of block k when
+/// `read_ahead` is on. Costs one extra block of buffer memory (two blocks
+/// instead of RecordReader's one) while a fetch is in flight.
+template <typename T>
+class PrefetchingReader {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  /// Opens `name` in `env`. Read-ahead is opt-in (default false, matching
+  /// every read_ahead option in the library): without it the reader
+  /// performs the exact synchronous RecordReader schedule and never
+  /// touches the executor. `executor` defaults to the shared
+  /// IoExecutor::Default(). Only the header block is read here — the first
+  /// data-block fetch is issued lazily by the first Read(), so header-only
+  /// probes cost one block either way.
+  static Result<PrefetchingReader<T>> Make(Env& env, const std::string& name,
+                                           bool read_ahead = false,
+                                           IoExecutor* executor = nullptr) {
+    auto file_or = env.Open(name);
+    if (!file_or.ok()) return {file_or.status()};
+    PrefetchingReader<T> reader(std::move(file_or).value(), read_ahead,
+                                executor);
+    MAXRS_RETURN_IF_ERROR(reader.ReadHeader());
+    return {std::move(reader)};
+  }
+
+  explicit PrefetchingReader(std::unique_ptr<BlockFile> file,
+                             bool read_ahead = false,
+                             IoExecutor* executor = nullptr)
+      : file_(std::move(file)),
+        per_block_(file_->block_size() / sizeof(T)),
+        buf_(file_->block_size()),
+        read_ahead_(read_ahead),
+        executor_(executor) {
+    MAXRS_CHECK_MSG(per_block_ > 0, "record does not fit in a block");
+  }
+
+  /// Joins any in-flight fetch (its result is discarded) so no background
+  /// task can outlive the reader's file handle.
+  ~PrefetchingReader() { JoinInflight(); }
+
+  PrefetchingReader(PrefetchingReader&&) noexcept = default;
+  PrefetchingReader& operator=(PrefetchingReader&& other) noexcept {
+    if (this != &other) {
+      JoinInflight();
+      file_ = std::move(other.file_);
+      per_block_ = other.per_block_;
+      buf_ = std::move(other.buf_);
+      read_ahead_ = other.read_ahead_;
+      executor_ = other.executor_;
+      inflight_ = std::move(other.inflight_);
+      spare_ = std::move(other.spare_);
+      total_ = other.total_;
+      consumed_ = other.consumed_;
+      in_buf_ = other.in_buf_;
+      buffered_ = other.buffered_;
+      next_block_ = other.next_block_;
+      final_status_ = std::move(other.final_status_);
+    }
+    return *this;
+  }
+
+  /// Reads the next record into *out; returns false at end of stream OR on
+  /// an I/O error — the RecordReader iterator idiom. Callers iterating with
+  /// Next() must check final_status() when the loop ends.
+  bool Next(T* out) {
+    Status st = Read(out);
+    if (st.code() == Status::Code::kNotFound) return false;
+    if (!st.ok()) {
+      final_status_ = st;
+      return false;
+    }
+    return true;
+  }
+
+  /// OK unless a Next() iteration ended early due to an I/O error.
+  const Status& final_status() const { return final_status_; }
+
+  /// Status-returning variant: NotFound signals end-of-stream. An error
+  /// parked by an in-flight prefetch is returned here, on the Read() that
+  /// first needs the failed block.
+  Status Read(T* out) {
+    if (consumed_ == total_) return Status::NotFound("end of stream");
+    if (in_buf_ == buffered_) MAXRS_RETURN_IF_ERROR(FillBuffer());
+    std::memcpy(out, buf_.data() + in_buf_ * sizeof(T), sizeof(T));
+    ++in_buf_;
+    ++consumed_;
+    return Status::OK();
+  }
+
+  uint64_t total() const { return total_; }
+  uint64_t remaining() const { return total_ - consumed_; }
+
+ private:
+  Status ReadHeader() {
+    return record_internal::ReadAndValidateHeader(*file_, sizeof(T), &total_);
+  }
+
+  // Makes block `next_block_` current: adopts the in-flight fetch if one
+  // was issued, otherwise reads inline (first block, read-ahead off, or
+  // the retry after a surfaced prefetch error — next_block_ only advances
+  // on success, so the retry re-reads the same block, exactly like the
+  // synchronous reader). Then issues the next fetch if the header says
+  // that block will be needed.
+  Status FillBuffer() {
+    if (inflight_ != nullptr) {
+      std::shared_ptr<prefetch_internal::BlockFetch> fetch =
+          std::move(inflight_);
+      inflight_.reset();
+      {
+        std::unique_lock<std::mutex> lock(fetch->mu);
+        fetch->cv.wait(lock, [&fetch] { return fetch->done; });
+      }
+      // The worker is finished with the slot once done is set, so it (and
+      // its block buffer) is recycled for the next fetch — the steady
+      // state allocates nothing per block. On success the swap hands the
+      // just-consumed buffer to the slot.
+      Status st = fetch->status;
+      if (st.ok()) buf_.swap(fetch->buf);
+      spare_ = std::move(fetch);
+      MAXRS_RETURN_IF_ERROR(st);
+    } else {
+      MAXRS_RETURN_IF_ERROR(file_->ReadBlock(next_block_, buf_.data()));
+    }
+    ++next_block_;
+    in_buf_ = 0;
+    buffered_ = std::min<uint64_t>(per_block_, total_ - consumed_);
+    // Double-buffering: records beyond the block just adopted exist, so its
+    // successor is certain to be needed — fetch it while the consumer
+    // deserializes. (Never issued for the last block: a synchronous reader
+    // would not touch anything past it, and neither do we.)
+    if (read_ahead_ && consumed_ + buffered_ < total_) IssuePrefetch();
+    return Status::OK();
+  }
+
+  void IssuePrefetch() {
+    // The shared executor is resolved lazily, here — the only path gated
+    // on read_ahead_ — so synchronous readers never spawn its threads
+    // (the "never touches the executor" contract of Make).
+    if (executor_ == nullptr) executor_ = &IoExecutor::Default();
+    std::shared_ptr<prefetch_internal::BlockFetch> fetch;
+    if (spare_ != nullptr) {
+      fetch = std::move(spare_);
+      spare_.reset();
+      fetch->done = false;
+      fetch->status = Status::OK();
+    } else {
+      fetch = std::make_shared<prefetch_internal::BlockFetch>();
+      fetch->buf.resize(file_->block_size());
+    }
+    std::shared_ptr<BlockFile> file = file_;
+    const uint64_t block = next_block_;
+    inflight_ = fetch;
+    executor_->Submit([fetch, file, block] {
+      Status st = file->ReadBlock(block, fetch->buf.data());
+      std::lock_guard<std::mutex> lock(fetch->mu);
+      fetch->status = std::move(st);
+      fetch->done = true;
+      fetch->cv.notify_all();
+    });
+  }
+
+  void JoinInflight() {
+    if (inflight_ == nullptr) return;
+    std::unique_lock<std::mutex> lock(inflight_->mu);
+    inflight_->cv.wait(lock, [this] { return inflight_->done; });
+    lock.unlock();
+    inflight_.reset();
+  }
+
+  // shared_ptr (not unique_ptr): in-flight fetch tasks co-own the file so
+  // the handle outlives any read the worker already started.
+  std::shared_ptr<BlockFile> file_;
+  size_t per_block_;
+  std::vector<char> buf_;
+  bool read_ahead_ = false;
+  // Null until the first prefetch is issued; synchronous readers never
+  // resolve (or construct) the shared executor.
+  IoExecutor* executor_ = nullptr;
+  std::shared_ptr<prefetch_internal::BlockFetch> inflight_;
+  // Recycled completion slot + buffer of the last adopted fetch; one slot
+  // suffices because at most one fetch is ever in flight per reader.
+  std::shared_ptr<prefetch_internal::BlockFetch> spare_;
+  uint64_t total_ = 0;
+  uint64_t consumed_ = 0;
+  size_t in_buf_ = 0;
+  uint64_t buffered_ = 0;
+  uint64_t next_block_ = 1;
+  Status final_status_;
+};
+
+/// Convenience: reads a whole record file into memory, optionally with
+/// read-ahead — the prefetching counterpart of ReadRecordFile.
+template <typename T>
+Result<std::vector<T>> ReadRecordFilePrefetched(Env& env,
+                                                const std::string& name,
+                                                bool read_ahead) {
+  MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<T> reader,
+                         PrefetchingReader<T>::Make(env, name, read_ahead));
+  return record_internal::DrainToVector<T>(reader);
+}
+
+}  // namespace maxrs
+
+#endif  // MAXRS_IO_PREFETCH_READER_H_

@@ -29,6 +29,43 @@ struct Header {
   uint64_t record_size;
   uint64_t record_count;
 };
+
+/// Reads and validates the header block of `file` against `record_size`,
+/// storing the record count in *total. An empty file is a valid zero-record
+/// stream. Shared by RecordReader and PrefetchingReader (prefetch_reader.h)
+/// so the two readers can never diverge on what a valid file is.
+inline Status ReadAndValidateHeader(BlockFile& file, uint64_t record_size,
+                                    uint64_t* total) {
+  if (file.NumBlocks() == 0) {
+    *total = 0;  // Empty file: treated as zero records.
+    return Status::OK();
+  }
+  std::vector<char> hbuf(file.block_size());
+  MAXRS_RETURN_IF_ERROR(file.ReadBlock(0, hbuf.data()));
+  Header header;
+  std::memcpy(&header, hbuf.data(), sizeof(header));
+  if (header.magic != kMagic) {
+    return Status::Corruption("bad magic in " + file.name());
+  }
+  if (header.record_size != record_size) {
+    return Status::Corruption("record size mismatch in " + file.name());
+  }
+  *total = header.record_count;
+  return Status::OK();
+}
+
+/// Drains a sequential reader (RecordReader or PrefetchingReader — anything
+/// with total/Next/final_status) into a vector. The single implementation
+/// behind the ReadRecordFile* conveniences.
+template <typename T, typename Reader>
+Result<std::vector<T>> DrainToVector(Reader& reader) {
+  std::vector<T> records;
+  records.reserve(reader.total());
+  T rec{};
+  while (reader.Next(&rec)) records.push_back(rec);
+  MAXRS_RETURN_IF_ERROR(reader.final_status());
+  return {std::move(records)};
+}
 }  // namespace record_internal
 
 /// Appends records of type T to a fresh file. Call Finish() to persist the
@@ -162,22 +199,7 @@ class RecordReader {
 
  private:
   Status ReadHeader() {
-    if (file_->NumBlocks() == 0) {
-      total_ = 0;  // Empty file: treated as zero records.
-      return Status::OK();
-    }
-    std::vector<char> hbuf(file_->block_size());
-    MAXRS_RETURN_IF_ERROR(file_->ReadBlock(0, hbuf.data()));
-    record_internal::Header header;
-    std::memcpy(&header, hbuf.data(), sizeof(header));
-    if (header.magic != record_internal::kMagic) {
-      return Status::Corruption("bad magic in " + file_->name());
-    }
-    if (header.record_size != sizeof(T)) {
-      return Status::Corruption("record size mismatch in " + file_->name());
-    }
-    total_ = header.record_count;
-    return Status::OK();
+    return record_internal::ReadAndValidateHeader(*file_, sizeof(T), &total_);
   }
 
   std::unique_ptr<BlockFile> file_;
@@ -204,12 +226,7 @@ Status WriteRecordFile(Env& env, const std::string& name,
 template <typename T>
 Result<std::vector<T>> ReadRecordFile(Env& env, const std::string& name) {
   MAXRS_ASSIGN_OR_RETURN(RecordReader<T> reader, RecordReader<T>::Make(env, name));
-  std::vector<T> records;
-  records.reserve(reader.total());
-  T rec{};
-  while (reader.Next(&rec)) records.push_back(rec);
-  MAXRS_RETURN_IF_ERROR(reader.final_status());
-  return {std::move(records)};
+  return record_internal::DrainToVector<T>(reader);
 }
 
 }  // namespace maxrs

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "io/external_sort.h"
+#include "io/prefetch_reader.h"
 #include "io/record_io.h"
 #include "io/temp_manager.h"
 #include "util/stopwatch.h"
@@ -70,7 +71,8 @@ Status IngestInto(Env& env, const std::string& object_file,
     if (options.num_threads > 1) {
       pool = std::make_unique<ThreadPool>(options.num_threads);
     }
-    ExternalSortOptions sort_options{options.memory_bytes, pool.get()};
+    ExternalSortOptions sort_options{options.memory_bytes, pool.get(),
+                                     options.read_ahead};
     {
       TaskGroup sorts(pool.get());
       sorts.Run([&] {
@@ -104,8 +106,9 @@ Status IngestInto(Env& env, const std::string& object_file,
       return Status::OK();
     };
     {
-      MAXRS_ASSIGN_OR_RETURN(RecordReader<SpatialObject> reader,
-                             RecordReader<SpatialObject>::Make(env, x_sorted));
+      MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SpatialObject> reader,
+                             PrefetchingReader<SpatialObject>::Make(
+                                 env, x_sorted, options.read_ahead));
       MAXRS_RETURN_IF_ERROR(open_shard(-kInf));
       SpatialObject o{};
       double prev_x = 0.0;
@@ -144,8 +147,9 @@ Status IngestInto(Env& env, const std::string& object_file,
             RecordWriter<SpatialObject>::Make(env, info.y_file));
         y_writers.push_back(std::move(writer));
       }
-      MAXRS_ASSIGN_OR_RETURN(RecordReader<SpatialObject> reader,
-                             RecordReader<SpatialObject>::Make(env, y_sorted));
+      MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SpatialObject> reader,
+                             PrefetchingReader<SpatialObject>::Make(
+                                 env, y_sorted, options.read_ahead));
       SpatialObject o{};
       bool any = false;
       while (reader.Next(&o)) {

@@ -71,6 +71,12 @@ struct DatasetHandleOptions {
   /// and parallelize internally, exactly as in RunExactMaxRS).
   size_t num_threads = 1;
 
+  /// Double-buffered read-ahead (io/prefetch_reader.h) on the ingest's
+  /// sequential scans: both external sorts plus the shard cut and routing
+  /// passes. Shard files, manifest, and block counts are bit-identical
+  /// either way.
+  bool read_ahead = false;
+
   /// Env namespace the shard files and manifest live under. Also the
   /// dataset's identity for DatasetHandle::Open.
   std::string prefix = "maxrs_dataset";

@@ -7,6 +7,7 @@
 #include "core/merge_sweep.h"
 #include "core/records.h"
 #include "io/external_sort.h"
+#include "io/prefetch_reader.h"
 #include "io/record_io.h"
 #include "io/temp_manager.h"
 #include "util/stopwatch.h"
@@ -33,9 +34,10 @@ namespace {
 // with a real sort (correctness over speed on degenerate data).
 Status TransformShardPieces(Env& env, const ShardInfo& shard, double width,
                             double height, const std::string& out,
-                            bool* canonical) {
-  MAXRS_ASSIGN_OR_RETURN(RecordReader<SpatialObject> reader,
-                         RecordReader<SpatialObject>::Make(env, shard.y_file));
+                            bool* canonical, bool read_ahead) {
+  MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SpatialObject> reader,
+                         PrefetchingReader<SpatialObject>::Make(
+                             env, shard.y_file, read_ahead));
   MAXRS_ASSIGN_OR_RETURN(RecordWriter<PieceRecord> writer,
                          RecordWriter<PieceRecord>::Make(env, out));
   *canonical = true;
@@ -62,11 +64,13 @@ Status TransformShardPieces(Env& env, const ShardInfo& shard, double width,
 // colliding values are byte-identical and every merge order yields the
 // same file.
 Status BuildShardEdges(Env& env, const ShardInfo& shard, double width,
-                       const std::string& out) {
-  MAXRS_ASSIGN_OR_RETURN(RecordReader<SpatialObject> left,
-                         RecordReader<SpatialObject>::Make(env, shard.x_file));
-  MAXRS_ASSIGN_OR_RETURN(RecordReader<SpatialObject> right,
-                         RecordReader<SpatialObject>::Make(env, shard.x_file));
+                       const std::string& out, bool read_ahead) {
+  MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SpatialObject> left,
+                         PrefetchingReader<SpatialObject>::Make(
+                             env, shard.x_file, read_ahead));
+  MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SpatialObject> right,
+                         PrefetchingReader<SpatialObject>::Make(
+                             env, shard.x_file, read_ahead));
   MAXRS_ASSIGN_OR_RETURN(RecordWriter<EdgeRecord> writer,
                          RecordWriter<EdgeRecord>::Make(env, out));
   const double half_w = width / 2.0;
@@ -190,7 +194,8 @@ struct RoutedSource {
 Status RouteSourceShard(Env& env, TempFileManager& temps,
                         const std::vector<ShardInfo>& shards,
                         const std::vector<double>& bounds, size_t source,
-                        double width, double height, RoutedSource* out) {
+                        double width, double height, bool read_ahead,
+                        RoutedSource* out) {
   const size_t num_shards = shards.size();
   const std::string source_tag = std::to_string(source);
 
@@ -211,9 +216,9 @@ Status RouteSourceShard(Env& env, TempFileManager& temps,
       return spans->Append(span);
     };
 
-    MAXRS_ASSIGN_OR_RETURN(
-        RecordReader<SpatialObject> reader,
-        RecordReader<SpatialObject>::Make(env, shards[source].y_file));
+    MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SpatialObject> reader,
+                           PrefetchingReader<SpatialObject>::Make(
+                               env, shards[source].y_file, read_ahead));
     SpatialObject o{};
     while (reader.Next(&o)) {
       const PieceRecord p = TransformObject(o, width, height);
@@ -274,12 +279,12 @@ Status RouteSourceShard(Env& env, TempFileManager& temps,
       return edges.Append(std::min(ShardOf(bounds, x), num_shards - 1),
                           EdgeRecord{x});
     };
-    MAXRS_ASSIGN_OR_RETURN(
-        RecordReader<SpatialObject> left,
-        RecordReader<SpatialObject>::Make(env, shards[source].x_file));
-    MAXRS_ASSIGN_OR_RETURN(
-        RecordReader<SpatialObject> right,
-        RecordReader<SpatialObject>::Make(env, shards[source].x_file));
+    MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SpatialObject> left,
+                           PrefetchingReader<SpatialObject>::Make(
+                               env, shards[source].x_file, read_ahead));
+    MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SpatialObject> right,
+                           PrefetchingReader<SpatialObject>::Make(
+                               env, shards[source].x_file, read_ahead));
     const double half_w = width / 2.0;
     SpatialObject lo{}, hi{};
     bool have_lo = left.Next(&lo);
@@ -352,7 +357,8 @@ Result<std::string> SolveTargetShard(Env& env, TempFileManager& temps,
   } else {
     input.piece_file = temps.NewName("q_pieces");
     MAXRS_RETURN_IF_ERROR(MergeSortedParts<PieceRecord>(
-        env, temps, piece_parts, input.piece_file, PieceYLess, fan_in));
+        env, temps, piece_parts, input.piece_file, PieceYLess, fan_in,
+        /*pool=*/nullptr, /*passes_out=*/nullptr, options.read_ahead));
   }
   if (edge_parts.size() == 1) {
     input.edge_file = edge_parts[0];
@@ -368,7 +374,8 @@ Result<std::string> SolveTargetShard(Env& env, TempFileManager& temps,
       MAXRS_RETURN_IF_ERROR(writer.Finish());
     } else {
       MAXRS_RETURN_IF_ERROR(MergeSortedParts<EdgeRecord>(
-          env, temps, edge_parts, input.edge_file, EdgeXLess, fan_in));
+          env, temps, edge_parts, input.edge_file, EdgeXLess, fan_in,
+          /*pool=*/nullptr, /*passes_out=*/nullptr, options.read_ahead));
     }
   }
   return core_internal::SolveSlab(env, temps, input, options, stats,
@@ -426,8 +433,10 @@ MaxRSOptions MaxRSServer::MakeQueryOptions(double width, double height) const {
   query_options.work_prefix = options_.work_prefix;
   // Queries parallelize across workers and across shard subtasks, not
   // inside one slab solve: the serial path is the deterministic one, and
-  // it keeps per-query memory at one M.
+  // it keeps per-query memory at one M (plus one extra block per open
+  // stream while a read-ahead fetch is in flight — see IO_MODEL.md).
   query_options.num_threads = 1;
+  query_options.read_ahead = options_.read_ahead;
   return query_options;
 }
 
@@ -600,7 +609,7 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShard(double width, double height) {
       for (size_t s = 0; s < num_shards; ++s) {
         group.Run([&, s]() -> Status {
           return RouteSourceShard(env_, temps, shards, bounds, s, width,
-                                  height, &routed[s]);
+                                  height, options_.read_ahead, &routed[s]);
         });
       }
       MAXRS_RETURN_IF_ERROR(group.Wait());
@@ -650,15 +659,16 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShard(double width, double height) {
                                               env_.block_size());
         span_file = temps.NewName("q_spans");
         MAXRS_RETURN_IF_ERROR(MergeSortedParts<SpanRecord>(
-            env_, temps, span_parts, span_file, SpanYLess, fan_in));
+            env_, temps, span_parts, span_file, SpanYLess, fan_in,
+            /*pool=*/nullptr, /*passes_out=*/nullptr, options_.read_ahead));
       }
       std::vector<Interval> ranges;
       ranges.reserve(num_shards);
       for (const ShardInfo& shard : shards) ranges.push_back(shard.x_range);
       root_file = temps.NewName("q_root");
       MAXRS_RETURN_IF_ERROR(MergeSweep(env_, ranges, slab_files, span_file,
-                                       root_file,
-                                       SweepObjective::kMaximize));
+                                       root_file, SweepObjective::kMaximize,
+                                       options_.read_ahead));
       for (const std::string& slab_file : slab_files) {
         temps.Release(slab_file);
       }
@@ -668,8 +678,9 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShard(double width, double height) {
     // Extract the answer from the root slab-file stream.
     core_internal::TopTupleTracker tracker(1);
     {
-      MAXRS_ASSIGN_OR_RETURN(RecordReader<SlabTuple> reader,
-                             RecordReader<SlabTuple>::Make(env_, root_file));
+      MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SlabTuple> reader,
+                             PrefetchingReader<SlabTuple>::Make(
+                                 env_, root_file, options_.read_ahead));
       SlabTuple t{};
       while (reader.Next(&t)) tracker.Visit(t);
       MAXRS_RETURN_IF_ERROR(reader.final_status());
@@ -730,21 +741,24 @@ Result<MaxRSResult> MaxRSServer::ExecuteGlobalMerge(double width,
       edge_parts[i] = temps.NewName("q_edges");
       bool canonical = true;
       MAXRS_RETURN_IF_ERROR(TransformShardPieces(
-          env_, shards[i], width, height, piece_parts[i], &canonical));
+          env_, shards[i], width, height, piece_parts[i], &canonical,
+          options_.read_ahead));
       if (!canonical) {
         // Sub-ulp coordinate collapse (see TransformShardPieces) broke the
         // derived order; fall back to a real sort for this shard so the
         // stream is canonical and bit-identity with one-shot runs holds
         // even on degenerate data. Never taken for ordinarily-spaced input.
         const std::string resorted = temps.NewName("q_pieces_resort");
-        ExternalSortOptions sort_options{options_.memory_bytes, nullptr};
+        ExternalSortOptions sort_options{options_.memory_bytes, nullptr,
+                                         options_.read_ahead};
         MAXRS_RETURN_IF_ERROR(ExternalSort<PieceRecord>(
             env_, piece_parts[i], resorted, PieceYLess, sort_options));
         temps.Release(piece_parts[i]);
         piece_parts[i] = resorted;
       }
-      MAXRS_RETURN_IF_ERROR(
-          BuildShardEdges(env_, shards[i], width, edge_parts[i]));
+      MAXRS_RETURN_IF_ERROR(BuildShardEdges(env_, shards[i], width,
+                                            edge_parts[i],
+                                            options_.read_ahead));
     }
 
     // Assemble the two global division-phase inputs. Shards partition the
@@ -762,9 +776,11 @@ Result<MaxRSResult> MaxRSServer::ExecuteGlobalMerge(double width,
       piece_file = temps.NewName("q_pieces_sorted");
       edge_file = temps.NewName("q_edges_sorted");
       MAXRS_RETURN_IF_ERROR(MergeSortedParts<PieceRecord>(
-          env_, temps, piece_parts, piece_file, PieceYLess, fan_in));
+          env_, temps, piece_parts, piece_file, PieceYLess, fan_in,
+          /*pool=*/nullptr, /*passes_out=*/nullptr, options_.read_ahead));
       MAXRS_RETURN_IF_ERROR(MergeSortedParts<EdgeRecord>(
-          env_, temps, edge_parts, edge_file, EdgeXLess, fan_in));
+          env_, temps, edge_parts, edge_file, EdgeXLess, fan_in,
+          /*pool=*/nullptr, /*passes_out=*/nullptr, options_.read_ahead));
     }
 
     PreparedInput input;

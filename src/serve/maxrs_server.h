@@ -128,6 +128,13 @@ struct MaxRSServerOptions {
   /// Per-query execution strategy; see ServeSolveMode.
   ServeSolveMode solve_mode = ServeSolveMode::kPerShard;
 
+  /// Double-buffered read-ahead (io/prefetch_reader.h) on every sequential
+  /// per-query stream: shard routing scans, per-shard part merges, the
+  /// cross-shard MergeSweep inputs, and the root slab-file scan (plus the
+  /// global-merge mode's stream merges). Answers and per-query block
+  /// counts are bit-identical either way at any shard/worker count.
+  bool read_ahead = false;
+
   /// Env namespace prefix for per-query scratch files.
   std::string work_prefix = "maxrs_serve";
 };

@@ -94,11 +94,20 @@ TEST_P(ExactMaxRSFaultTest, SurfacesFaultsAtEveryStage) {
   options.fanout = 3;
   options.base_case_max_pieces = 64;
 
-  env.ArmAfter(GetParam());
-  auto result = RunExactMaxRS(env, "data", options);
-  env.Disarm();
-  ASSERT_FALSE(result.ok()) << "fault at op " << GetParam() << " swallowed";
-  EXPECT_EQ(result.status().code(), Status::Code::kIOError);
+  // Both block schedules: synchronous, and double-buffered read-ahead
+  // (where the fault may land on an in-flight background fetch — it must
+  // still surface as a Status at the consumer, never crash a worker).
+  for (bool read_ahead : {false, true}) {
+    options.read_ahead = read_ahead;
+    env.ArmAfter(GetParam());
+    auto result = RunExactMaxRS(env, "data", options);
+    env.Disarm();
+    ASSERT_FALSE(result.ok()) << "fault at op " << GetParam()
+                              << " swallowed (read_ahead=" << read_ahead
+                              << ")";
+    EXPECT_EQ(result.status().code(), Status::Code::kIOError)
+        << "read_ahead=" << read_ahead;
+  }
 }
 
 // Operation indices chosen to land in: dataset read, transform writes, sort
