@@ -6,19 +6,38 @@
 #include "util/check.h"
 
 namespace maxrs {
-namespace {
 
-/// Child index containing coordinate v. `bounds` holds the m-1 interior
-/// boundaries s_1 < ... < s_{m-1}; child k covers [s_k, s_{k+1}) with
-/// s_0 = slab.lo, s_m = slab.hi. Values equal to slab.hi are clamped into
-/// the last child (pieces are clipped to the slab, so x_hi == slab.hi is
-/// legal and must not fall off the end).
-size_t ChildOf(const std::vector<double>& bounds, double v) {
-  return static_cast<size_t>(
-      std::upper_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+namespace division_internal {
+
+Result<std::vector<double>> ComputeEdgeBounds(Env& env,
+                                              const std::string& edge_file,
+                                              size_t m, uint64_t* num_edges) {
+  // Cut after every ~n_e/m edges, but only where the value strictly
+  // increases, so that routing by value reproduces the chunks exactly.
+  std::vector<double> bounds;
+  MAXRS_ASSIGN_OR_RETURN(RecordReader<EdgeRecord> reader,
+                         RecordReader<EdgeRecord>::Make(env, edge_file));
+  *num_edges = reader.total();
+  const uint64_t target = (*num_edges + m - 1) / m;  // ceil
+  uint64_t in_chunk = 0;
+  bool have_prev = false;
+  double prev = 0.0;
+  EdgeRecord e{};
+  while (reader.Next(&e)) {
+    if (have_prev && in_chunk >= target && e.x > prev &&
+        bounds.size() + 1 < m) {
+      bounds.push_back(e.x);
+      in_chunk = 0;
+    }
+    prev = e.x;
+    have_prev = true;
+    ++in_chunk;
+  }
+  MAXRS_RETURN_IF_ERROR(reader.final_status());
+  return {std::move(bounds)};
 }
 
-}  // namespace
+}  // namespace division_internal
 
 Result<DivisionResult> DividePieces(TempFileManager& temps,
                                     const std::string& piece_file,
@@ -28,31 +47,10 @@ Result<DivisionResult> DividePieces(TempFileManager& temps,
   MAXRS_CHECK(m >= 2);
 
   // --- Pass 1: choose interior boundaries from edge-count quantiles. ---
-  // Cut after every ~n_e/m edges, but only where the value strictly
-  // increases, so that routing by value reproduces the chunks exactly.
-  std::vector<double> bounds;
   uint64_t num_edges = 0;
-  {
-    MAXRS_ASSIGN_OR_RETURN(RecordReader<EdgeRecord> reader,
-                           RecordReader<EdgeRecord>::Make(env, edge_file));
-    num_edges = reader.total();
-    const uint64_t target = (num_edges + m - 1) / m;  // ceil
-    uint64_t in_chunk = 0;
-    bool have_prev = false;
-    double prev = 0.0;
-    EdgeRecord e{};
-    while (reader.Next(&e)) {
-      if (have_prev && in_chunk >= target && e.x > prev &&
-          bounds.size() + 1 < m) {
-        bounds.push_back(e.x);
-        in_chunk = 0;
-      }
-      prev = e.x;
-      have_prev = true;
-      ++in_chunk;
-    }
-    MAXRS_RETURN_IF_ERROR(reader.final_status());
-  }
+  MAXRS_ASSIGN_OR_RETURN(
+      std::vector<double> bounds,
+      division_internal::ComputeEdgeBounds(env, edge_file, m, &num_edges));
   if (bounds.empty()) {
     return {Status::InvalidArgument(
         "division cannot split: all edges share one x-coordinate")};
@@ -61,10 +59,12 @@ Result<DivisionResult> DividePieces(TempFileManager& temps,
 
   DivisionResult result;
   result.children.resize(num_children);
+  std::vector<Interval> ranges(num_children);
   for (size_t k = 0; k < num_children; ++k) {
     ChildSlab& child = result.children[k];
     child.x_range.lo = (k == 0) ? slab.lo : bounds[k - 1];
     child.x_range.hi = (k + 1 == num_children) ? slab.hi : bounds[k];
+    ranges[k] = child.x_range;
     child.piece_file = temps.NewName("pieces");
     child.edge_file = temps.NewName("edges");
   }
@@ -84,7 +84,8 @@ Result<DivisionResult> DividePieces(TempFileManager& temps,
     }
     EdgeRecord e{};
     while (reader.Next(&e)) {
-      size_t k = std::min(ChildOf(bounds, e.x), num_children - 1);
+      size_t k = std::min(division_internal::IndexOf(bounds, e.x),
+                          num_children - 1);
       MAXRS_RETURN_IF_ERROR(writers[k].Append(e));
     }
     MAXRS_RETURN_IF_ERROR(reader.final_status());
@@ -111,48 +112,12 @@ Result<DivisionResult> DividePieces(TempFileManager& temps,
 
     PieceRecord p{};
     while (reader.Next(&p)) {
-      // Children touched by the piece: i (contains x_lo) through j. A piece
-      // ending exactly at a child's lower boundary never enters that child.
-      const size_t i = std::min(ChildOf(bounds, p.x_lo), num_children - 1);
-      size_t j = std::min(ChildOf(bounds, p.x_hi), num_children - 1);
-      if (j > i && p.x_hi == result.children[j].x_range.lo) --j;
-
-      // A part that covers its child's entire x-range is *spanning* and must
-      // not descend (Sec. 5.2.1: spanning rectangles would defeat Lemma 1's
-      // termination argument). Child i is fully covered iff the piece starts
-      // at its lower bound; child j iff the piece ends at its upper bound;
-      // every child strictly between i and j is always fully covered.
-      const bool left_full = (p.x_lo == result.children[i].x_range.lo);
-      const bool right_full = (p.x_hi == result.children[j].x_range.hi);
-
-      if (i == j) {
-        if (left_full && right_full) {
-          SpanRecord span{p.y_lo, p.y_hi, p.w, static_cast<int32_t>(i),
-                          static_cast<int32_t>(i)};
-          MAXRS_RETURN_IF_ERROR(span_writer.Append(span));
-        } else {
-          MAXRS_RETURN_IF_ERROR(writers[i].Append(p));
-        }
-        continue;
-      }
-
-      const size_t span_lo = left_full ? i : i + 1;
-      const size_t span_hi = right_full ? j : j - 1;
-      if (!left_full) {
-        PieceRecord left = p;  // [x_lo, s_i): keeps a real edge strictly inside
-        left.x_hi = result.children[i].x_range.hi;
-        MAXRS_RETURN_IF_ERROR(writers[i].Append(left));
-      }
-      if (!right_full) {
-        PieceRecord right = p;  // [s_{j-1}, x_hi)
-        right.x_lo = result.children[j].x_range.lo;
-        MAXRS_RETURN_IF_ERROR(writers[j].Append(right));
-      }
-      if (span_lo <= span_hi) {
-        SpanRecord span{p.y_lo, p.y_hi, p.w, static_cast<int32_t>(span_lo),
-                        static_cast<int32_t>(span_hi)};
-        MAXRS_RETURN_IF_ERROR(span_writer.Append(span));
-      }
+      MAXRS_RETURN_IF_ERROR(division_internal::RoutePiece(
+          bounds, ranges, p,
+          [&](size_t k, const PieceRecord& piece) {
+            return writers[k].Append(piece);
+          },
+          [&](const SpanRecord& span) { return span_writer.Append(span); }));
     }
     MAXRS_RETURN_IF_ERROR(reader.final_status());
     for (size_t k = 0; k < num_children; ++k) {

@@ -12,15 +12,96 @@
 #ifndef MAXRS_CORE_DIVISION_H_
 #define MAXRS_CORE_DIVISION_H_
 
+#include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/records.h"
 #include "geom/geometry.h"
+#include "io/env.h"
 #include "io/temp_manager.h"
 #include "util/status.h"
 
 namespace maxrs {
+
+namespace division_internal {
+
+/// Pass 1 of a division: chooses at most m-1 interior slab boundaries from
+/// the (x-sorted) edge file's count quantiles, cutting only where the value
+/// strictly increases so routing by value reproduces the chunks exactly.
+/// Stores the edge count in *num_edges. An empty result means the file
+/// cannot be split (all edges share one x) — callers fall back to their
+/// base case.
+Result<std::vector<double>> ComputeEdgeBounds(Env& env,
+                                              const std::string& edge_file,
+                                              size_t m, uint64_t* num_edges);
+
+/// Index of the slab containing coordinate v. `bounds` holds the interior
+/// boundaries s_1 < ... < s_{m-1}; slab k covers [s_k, s_{k+1}) with
+/// s_0 = -inf / slab.lo and s_m = +inf / slab.hi. The caller clamps to the
+/// last slab (values equal to the outer hi are legal for clipped pieces).
+inline size_t IndexOf(const std::vector<double>& bounds, double v) {
+  return static_cast<size_t>(
+      std::upper_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+}
+
+/// Routes one piece of a y-sorted stream across the slabs defined by
+/// `bounds`/`ranges` (ranges[k] is slab k's x-interval; ranges.size() ==
+/// bounds.size() + 1): emits clipped sub-pieces via emit_piece(slab, piece)
+/// and at most one spanning record via emit_span(span) — the Sec. 5.2.1
+/// clipping rule shared verbatim by the recursion's division pass, the
+/// serve layer's per-query shard routing, and the streaming pipeline, so
+/// the three can never diverge. Both emitters return Status.
+template <typename EmitPiece, typename EmitSpan>
+Status RoutePiece(const std::vector<double>& bounds,
+                  const std::vector<Interval>& ranges, const PieceRecord& p,
+                  EmitPiece&& emit_piece, EmitSpan&& emit_span) {
+  const size_t num_slabs = ranges.size();
+  // Slabs touched by the piece: i (contains x_lo) through j. A piece
+  // ending exactly at a slab's lower boundary never enters that slab.
+  const size_t i = std::min(IndexOf(bounds, p.x_lo), num_slabs - 1);
+  size_t j = std::min(IndexOf(bounds, p.x_hi), num_slabs - 1);
+  if (j > i && p.x_hi == ranges[j].lo) --j;
+
+  // A part that covers its slab's entire x-range is *spanning* and must
+  // not descend (Sec. 5.2.1: spanning rectangles would defeat Lemma 1's
+  // termination argument). Slab i is fully covered iff the piece starts
+  // at its lower bound; slab j iff the piece ends at its upper bound;
+  // every slab strictly between i and j is always fully covered.
+  const bool left_full = (p.x_lo == ranges[i].lo);
+  const bool right_full = (p.x_hi == ranges[j].hi);
+
+  if (i == j) {
+    if (left_full && right_full) {
+      SpanRecord span{p.y_lo, p.y_hi, p.w, static_cast<int32_t>(i),
+                      static_cast<int32_t>(i)};
+      return emit_span(span);
+    }
+    return emit_piece(i, p);
+  }
+
+  const size_t span_lo = left_full ? i : i + 1;
+  const size_t span_hi = right_full ? j : j - 1;
+  if (!left_full) {
+    PieceRecord left = p;  // [x_lo, s_i): keeps a real edge strictly inside
+    left.x_hi = ranges[i].hi;
+    MAXRS_RETURN_IF_ERROR(emit_piece(i, left));
+  }
+  if (!right_full) {
+    PieceRecord right = p;  // [s_{j-1}, x_hi)
+    right.x_lo = ranges[j].lo;
+    MAXRS_RETURN_IF_ERROR(emit_piece(j, right));
+  }
+  if (span_lo <= span_hi) {
+    SpanRecord span{p.y_lo, p.y_hi, p.w, static_cast<int32_t>(span_lo),
+                    static_cast<int32_t>(span_hi)};
+    return emit_span(span);
+  }
+  return Status::OK();
+}
+
+}  // namespace division_internal
 
 /// One child of a division: its slab x-range and its two input files.
 struct ChildSlab {

@@ -85,6 +85,201 @@ class Driver {
   uint64_t base_max() const { return base_max_; }
   TempFileManager& temps() { return temps_; }
 
+  /// Streaming counterpart of Solve: consumes a *stream* of the slab's
+  /// y-sorted pieces instead of a piece file, so the caller's routing and
+  /// this node's solve overlap. Stats counters (levels, base cases, merges,
+  /// spans) are identical to Solve over a file of the same stream — the
+  /// division decisions depend only on the record sequence, which is the
+  /// same — while per-child piece files are replaced by SPSC channels
+  /// (io/record_stream.h) that spill deterministically beyond the cap.
+  Result<std::string> StreamSolve(
+      RecordSource<PieceRecord>* source,
+      const core_internal::EdgeFileProvider& edge_provider,
+      const Interval& slab, uint64_t depth) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_->recursion_levels = std::max(stats_->recursion_levels, depth);
+    }
+    // Buffer up to the base-case threshold: a stream that ends within it
+    // is solved in memory with no division (or edge) I/O at all.
+    std::vector<PieceRecord> buffer;
+    bool overflow = false;
+    {
+      PieceRecord p{};
+      while (true) {
+        Status st = source->Read(&p);
+        if (st.code() == Status::Code::kNotFound) break;
+        MAXRS_RETURN_IF_ERROR(st);
+        buffer.push_back(p);
+        if (buffer.size() > base_max_) {
+          overflow = true;
+          break;
+        }
+      }
+    }
+    if (!overflow) return StreamBaseCase(std::move(buffer), slab);
+
+    // Overflow: the node divides. Only now is the edge file needed.
+    MAXRS_ASSIGN_OR_RETURN(std::string edge_file, edge_provider());
+    uint64_t num_edges = 0;
+    MAXRS_ASSIGN_OR_RETURN(std::vector<double> bounds,
+                           division_internal::ComputeEdgeBounds(
+                               env_, edge_file, fanout_, &num_edges));
+    if (bounds.empty()) {
+      // Degenerate (all edges share one x): the slab cannot be split —
+      // drain the stream and fall through to the in-memory base case,
+      // exactly like the materialized division's InvalidArgument fallback.
+      PieceRecord p{};
+      while (true) {
+        Status st = source->Read(&p);
+        if (st.code() == Status::Code::kNotFound) break;
+        MAXRS_RETURN_IF_ERROR(st);
+        buffer.push_back(p);
+      }
+      return StreamBaseCase(std::move(buffer), slab);
+    }
+
+    const size_t num_children = bounds.size() + 1;
+    std::vector<Interval> ranges(num_children);
+    for (size_t k = 0; k < num_children; ++k) {
+      ranges[k].lo = (k == 0) ? slab.lo : bounds[k - 1];
+      ranges[k].hi = (k + 1 == num_children) ? slab.hi : bounds[k];
+    }
+
+    // Pass 2 (eager, as in DividePieces): route edges into per-child files
+    // — the lazily-claimed inputs of whichever children overflow in turn.
+    std::vector<std::string> child_edge_files(num_children);
+    {
+      MAXRS_ASSIGN_OR_RETURN(RecordReader<EdgeRecord> reader,
+                             RecordReader<EdgeRecord>::Make(env_, edge_file));
+      std::vector<RecordWriter<EdgeRecord>> writers;
+      writers.reserve(num_children);
+      for (size_t k = 0; k < num_children; ++k) {
+        child_edge_files[k] = temps_.NewName("edges");
+        MAXRS_ASSIGN_OR_RETURN(
+            RecordWriter<EdgeRecord> w,
+            RecordWriter<EdgeRecord>::Make(env_, child_edge_files[k]));
+        writers.push_back(std::move(w));
+      }
+      EdgeRecord e{};
+      while (reader.Next(&e)) {
+        size_t k = std::min(division_internal::IndexOf(bounds, e.x),
+                            num_children - 1);
+        MAXRS_RETURN_IF_ERROR(writers[k].Append(e));
+      }
+      MAXRS_RETURN_IF_ERROR(reader.final_status());
+      for (size_t k = 0; k < num_children; ++k) {
+        MAXRS_RETURN_IF_ERROR(writers[k].Finish());
+      }
+    }
+
+    // Pass 3: the streamed division. Per-child piece channels consumed by
+    // the recursive child solves while this thread routes into them.
+    std::vector<std::unique_ptr<RecordChannel<PieceRecord>>> channels;
+    channels.reserve(num_children);
+    for (size_t k = 0; k < num_children; ++k) {
+      channels.push_back(std::make_unique<RecordChannel<PieceRecord>>(
+          env_, temps_.NewName("spill"), options_.stream_channel_bytes,
+          options_.write_behind));
+    }
+    std::string span_file = temps_.NewName("spans");
+    uint64_t num_spans = 0;
+
+    // Routes the buffered prefix, then the rest of the stream, closing
+    // every channel with the final status no matter what — an unclosed
+    // channel would hang its consumer forever.
+    auto route_and_close = [&]() -> Status {
+      Status st = [&]() -> Status {
+        MAXRS_ASSIGN_OR_RETURN(
+            RecordWriter<SpanRecord> span_writer,
+            RecordWriter<SpanRecord>::Make(env_, span_file,
+                                           options_.write_behind));
+        auto emit_piece = [&](size_t k, const PieceRecord& piece) {
+          return channels[k]->Append(piece);
+        };
+        auto emit_span = [&](const SpanRecord& s) {
+          return span_writer.Append(s);
+        };
+        for (const PieceRecord& buffered : buffer) {
+          MAXRS_RETURN_IF_ERROR(division_internal::RoutePiece(
+              bounds, ranges, buffered, emit_piece, emit_span));
+        }
+        std::vector<PieceRecord>().swap(buffer);
+        PieceRecord p{};
+        while (true) {
+          Status read_st = source->Read(&p);
+          if (read_st.code() == Status::Code::kNotFound) break;
+          MAXRS_RETURN_IF_ERROR(read_st);
+          MAXRS_RETURN_IF_ERROR(division_internal::RoutePiece(
+              bounds, ranges, p, emit_piece, emit_span));
+        }
+        MAXRS_RETURN_IF_ERROR(span_writer.Finish());
+        num_spans = span_writer.count();
+        return Status::OK();
+      }();
+      for (auto& channel : channels) {
+        Status close_st = channel->Close(st);
+        if (st.ok() && !close_st.ok()) st = close_st;
+      }
+      return st;
+    };
+
+    std::vector<std::string> child_slab_files(num_children);
+    Status route_status;
+    Status child_status;
+    {
+      TaskGroup group(pool_);
+      auto submit_children = [&] {
+        for (size_t k = 0; k < num_children; ++k) {
+          group.Run([this, k, &channels, &child_slab_files, &child_edge_files,
+                     &ranges, depth]() -> Status {
+            core_internal::EdgeFileProvider provider =
+                [&child_edge_files, k]() -> Result<std::string> {
+              return {child_edge_files[k]};
+            };
+            auto slab_or =
+                StreamSolve(channels[k].get(), provider, ranges[k], depth + 1);
+            if (!slab_or.ok()) return slab_or.status();
+            child_slab_files[k] = std::move(slab_or).value();
+            return Status::OK();
+          });
+        }
+      };
+      if (pool_ == nullptr) {
+        // Serial: a Run() executes inline and would park forever on an
+        // open channel, so route first (the closed channels then act as
+        // deterministic buffers) and solve the children afterwards.
+        route_status = route_and_close();
+        if (route_status.ok()) submit_children();
+      } else {
+        // Parallel: children first — they start solving the moment their
+        // first records arrive — then feed them from this thread. The
+        // producer (this thread) is running and never blocks, so parked
+        // consumers always make progress (record_stream.h, "Threading").
+        submit_children();
+        route_status = route_and_close();
+      }
+      child_status = group.Wait();
+    }
+    for (const std::string& f : child_edge_files) temps_.Release(f);
+    MAXRS_RETURN_IF_ERROR(route_status);
+    MAXRS_RETURN_IF_ERROR(child_status);
+
+    std::string out = temps_.NewName("slab");
+    MAXRS_RETURN_IF_ERROR(MergeSweep(env_, ranges, child_slab_files, span_file,
+                                     out, options_.objective,
+                                     options_.read_ahead,
+                                     options_.write_behind));
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_->merges;
+      stats_->total_spans += num_spans;
+    }
+    for (const std::string& f : child_slab_files) temps_.Release(f);
+    temps_.Release(span_file);
+    return {std::move(out)};
+  }
+
   /// Solves the sub-problem of `slab`, consuming (and deleting) the two
   /// input files; returns the name of the slab-file produced.
   Result<std::string> Solve(const std::string& piece_file,
@@ -112,6 +307,22 @@ class Driver {
   }
 
  private:
+  /// In-memory base case over an already-buffered piece vector: the stream
+  /// ended (or could not be split) within the memory budget, so no piece or
+  /// edge file is ever materialized for this node.
+  Result<std::string> StreamBaseCase(std::vector<PieceRecord> pieces,
+                                     const Interval& slab) {
+    const std::vector<SlabTuple> tuples =
+        PlaneSweep(pieces, slab, options_.objective);
+    std::string out = temps_.NewName("slab");
+    MAXRS_RETURN_IF_ERROR(WriteRecordFile(env_, out, tuples));
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_->base_cases;
+    }
+    return {std::move(out)};
+  }
+
   Result<std::string> BaseCase(const std::string& piece_file,
                                const std::string& edge_file,
                                const Interval& slab) {
@@ -156,7 +367,8 @@ class Driver {
     std::string out = temps_.NewName("slab");
     MAXRS_RETURN_IF_ERROR(MergeSweep(env_, division.children, child_slab_files,
                                      division.span_file, out,
-                                     options_.objective, options_.read_ahead));
+                                     options_.objective, options_.read_ahead,
+                                     options_.write_behind));
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_->merges;
@@ -215,8 +427,39 @@ Result<std::string> SolveSlab(Env& env, TempFileManager& temps,
                               ThreadPool* pool) {
   MAXRS_RETURN_IF_ERROR(ValidateOptions(options, env.block_size()));
   Driver driver(env, temps, options, stats, pool);
+  if (options.streaming_division) {
+    // Stream the piece file through the channel-based division instead of
+    // materializing per-child piece files. Results, stats, and division
+    // decisions are bit-identical to the materialized path below.
+    Result<std::string> out = [&]() -> Result<std::string> {
+      MAXRS_ASSIGN_OR_RETURN(FileRecordSource<PieceRecord> source,
+                             FileRecordSource<PieceRecord>::Make(
+                                 env, input.piece_file, options.read_ahead));
+      core_internal::EdgeFileProvider provider =
+          [&input]() -> Result<std::string> { return {input.edge_file}; };
+      return driver.StreamSolve(&source, provider, input.x_range, /*depth=*/0);
+    }();
+    // The source is closed before the inputs are released; the edge file is
+    // owned by the caller's temp manager, so release both here as Solve does.
+    if (out.ok()) {
+      temps.Release(input.piece_file);
+      temps.Release(input.edge_file);
+    }
+    return out;
+  }
   return driver.Solve(input.piece_file, input.edge_file, input.x_range,
                       input.num_pieces, /*depth=*/0);
+}
+
+Result<std::string> SolveSlabStream(Env& env, TempFileManager& temps,
+                                    RecordSource<PieceRecord>* pieces,
+                                    const EdgeFileProvider& edge_provider,
+                                    const Interval& x_range,
+                                    const MaxRSOptions& options,
+                                    MaxRSStats* stats, ThreadPool* pool) {
+  MAXRS_RETURN_IF_ERROR(ValidateOptions(options, env.block_size()));
+  Driver driver(env, temps, options, stats, pool);
+  return driver.StreamSolve(pieces, edge_provider, x_range, /*depth=*/0);
 }
 
 void TopTupleTracker::Visit(const SlabTuple& t) {

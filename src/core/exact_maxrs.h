@@ -28,6 +28,7 @@
 #include "geom/geometry.h"
 #include "io/env.h"
 #include "io/io_stats.h"
+#include "io/record_stream.h"
 #include "io/temp_manager.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -78,6 +79,32 @@ struct MaxRSOptions {
   /// box (unrestricted MinRS is trivially 0 in empty space); use RunMinRS
   /// from core/extensions.h rather than setting this directly.
   SweepObjective objective = SweepObjective::kMaximize;
+
+  /// Zero-materialization division (io/record_stream.h): route each
+  /// recursion node's pieces into per-child SPSC channels consumed by the
+  /// child solves directly — children start solving while the parent is
+  /// still routing — instead of materializing per-child piece files. A
+  /// channel spills to a scratch file only beyond stream_channel_bytes.
+  /// Results, stats counters, and division decisions are bit-identical to
+  /// the materialized path; only the I/O schedule (and count) changes.
+  /// Off by default: the materialized path remains the reference block
+  /// schedule that the determinism goldens pin.
+  bool streaming_division = false;
+
+  /// Per-channel in-memory cap (bytes) for streaming_division's child
+  /// piece channels. A node's resident routing memory is bounded by
+  /// fanout x min(cap, child size); records beyond the cap spill to one
+  /// scratch file per channel, deterministically (a pure function of the
+  /// routed records and the cap — never of scheduling). 0 spills
+  /// everything (the fully-external schedule); SIZE_MAX never spills.
+  size_t stream_channel_bytes = 1 << 20;
+
+  /// Double-buffered asynchronous write-behind (io/record_io.h) on the hot
+  /// sequential writers — the dual of read_ahead: block k is flushed by a
+  /// background I/O worker while block k+1 is serialized. Applied to the
+  /// MergeSweep output writers and the streaming division's span/spill
+  /// writers. Results and block counts are bit-identical either way.
+  bool write_behind = false;
 };
 
 /// Execution statistics of one ExactMaxRS run.
@@ -183,6 +210,30 @@ Result<std::string> SolveSlab(Env& env, TempFileManager& temps,
                               const PreparedInput& input,
                               const MaxRSOptions& options, MaxRSStats* stats,
                               ThreadPool* pool);
+
+/// Lazily produces the x-sorted edge file of a slab being stream-solved.
+/// Invoked at most once, and only if the slab overflows the in-memory base
+/// case (a base-case slab needs no edges at all). The file it names is
+/// released by its creator, never by the stream solver.
+using EdgeFileProvider = std::function<Result<std::string>()>;
+
+/// Zero-materialization counterpart of SolveSlab: solves the slab
+/// `x_range` from a *stream* of its y-sorted pieces instead of a piece
+/// file, so the caller's routing pass and this solve overlap. The solver
+/// buffers up to the base-case threshold; if the stream ends within it the
+/// slab is solved in memory with no division I/O at all, otherwise
+/// `edge_provider` supplies the edge file and the node divides, feeding
+/// its children through per-child channels in turn (recursively streamed).
+/// Returns the slab-file name, registered under `temps` (caller releases).
+/// Results and stats counters are bit-identical to SolveSlab over a file
+/// holding the same stream. Maximize objective only; `options` is
+/// validated. `pool` parallelizes child sub-slabs (null = serial).
+Result<std::string> SolveSlabStream(Env& env, TempFileManager& temps,
+                                    RecordSource<PieceRecord>* pieces,
+                                    const EdgeFileProvider& edge_provider,
+                                    const Interval& x_range,
+                                    const MaxRSOptions& options,
+                                    MaxRSStats* stats, ThreadPool* pool);
 
 /// Streams the tuples of the *root* slab-file (y-ascending) produced by a
 /// full ExactMaxRS pipeline run to `visit`. This is the shared engine under

@@ -51,18 +51,20 @@ class PeekedReader {
 Status MergeSweep(Env& env, const std::vector<ChildSlab>& children,
                   const std::vector<std::string>& child_slab_files,
                   const std::string& span_file, const std::string& output_file,
-                  SweepObjective objective, bool read_ahead) {
+                  SweepObjective objective, bool read_ahead,
+                  bool write_behind) {
   std::vector<Interval> ranges;
   ranges.reserve(children.size());
   for (const ChildSlab& child : children) ranges.push_back(child.x_range);
   return MergeSweep(env, ranges, child_slab_files, span_file, output_file,
-                    objective, read_ahead);
+                    objective, read_ahead, write_behind);
 }
 
 Status MergeSweep(Env& env, const std::vector<Interval>& child_ranges,
                   const std::vector<std::string>& child_slab_files,
                   const std::string& span_file, const std::string& output_file,
-                  SweepObjective objective, bool read_ahead) {
+                  SweepObjective objective, bool read_ahead,
+                  bool write_behind) {
   const size_t m = child_ranges.size();
   MAXRS_CHECK(m >= 1 && child_slab_files.size() == m);
 
@@ -85,7 +87,8 @@ Status MergeSweep(Env& env, const std::vector<Interval>& child_ranges,
       PeekedReader<SpanRecord>::Make(env, span_file, read_ahead));
 
   MAXRS_ASSIGN_OR_RETURN(RecordWriter<SlabTuple> writer,
-                         RecordWriter<SlabTuple>::Make(env, output_file));
+                         RecordWriter<SlabTuple>::Make(env, output_file,
+                                                       write_behind));
 
   // Sweep state (Algorithm 1 lines 1-4): per-child latest max-interval and
   // the spanning weight currently over it.

@@ -30,13 +30,14 @@ namespace maxrs {
 /// spanning file into the slab-file `output_file` for the union slab.
 /// The objective must match the one the child slab-files were built with.
 /// With `read_ahead`, every input stream double-buffers its next block via
-/// the shared IoExecutor (io/prefetch_reader.h); output and block counts
-/// are identical either way.
+/// the shared IoExecutor (io/prefetch_reader.h); with `write_behind`, the
+/// output writer flushes its blocks on the same executor (io/record_io.h).
+/// Output and block counts are identical in every schedule combination.
 Status MergeSweep(Env& env, const std::vector<ChildSlab>& children,
                   const std::vector<std::string>& child_slab_files,
                   const std::string& span_file, const std::string& output_file,
                   SweepObjective objective = SweepObjective::kMaximize,
-                  bool read_ahead = false);
+                  bool read_ahead = false, bool write_behind = false);
 
 /// MergeSweep over externally-produced sub-slab solutions: identical sweep,
 /// but the children are given as bare x-ranges instead of DivisionResult
@@ -51,7 +52,7 @@ Status MergeSweep(Env& env, const std::vector<Interval>& child_ranges,
                   const std::vector<std::string>& child_slab_files,
                   const std::string& span_file, const std::string& output_file,
                   SweepObjective objective = SweepObjective::kMaximize,
-                  bool read_ahead = false);
+                  bool read_ahead = false, bool write_behind = false);
 
 }  // namespace maxrs
 

@@ -11,9 +11,13 @@
 // the async read-ahead layer (prefetch_reader.h) does exactly that,
 // handing one reader's co-owned handle back and forth between the
 // consumer thread and a background fetch worker (serialized, never
-// simultaneous). Implementations must not assume a handle is confined to
-// one thread. Writes are never concurrent with reads of the same blocks
-// at this layer — record files are immutable once Finish()ed.
+// simultaneous), and the write-behind layer (record_io.h) is its dual: a
+// writer's co-owned handle alternates between the producer thread and the
+// flush worker, joined before the next block is issued, so a handle never
+// sees two simultaneous writers either. Implementations must not assume a
+// handle is confined to one thread. Writes are never concurrent with reads
+// of the same blocks at this layer — record files are immutable once
+// Finish()ed.
 #ifndef MAXRS_IO_ENV_H_
 #define MAXRS_IO_ENV_H_
 

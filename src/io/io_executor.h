@@ -1,0 +1,77 @@
+// The background I/O executor shared by the asynchronous block schedules:
+// read-ahead (prefetch_reader.h) and write-behind (record_io.h).
+//
+// Deliberately separate from the compute ThreadPool (util/thread_pool.h):
+// fetch/flush tasks are pure block transfers that never spawn work or wait,
+// so they can never participate in (or break) the compute pool's
+// help-while-wait deadlock-avoidance protocol, and a saturated compute pool
+// cannot starve the I/O that would un-block it.
+#ifndef MAXRS_IO_IO_EXECUTOR_H_
+#define MAXRS_IO_IO_EXECUTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace maxrs {
+
+/// A small pool of dedicated background I/O workers draining one FIFO queue
+/// of block-transfer closures.
+class IoExecutor {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit IoExecutor(size_t num_threads = 1);
+
+  /// Runs every task already queued, then joins the workers. Tasks are
+  /// never dropped: a stream joining an in-flight transfer always wakes.
+  ~IoExecutor();
+
+  IoExecutor(const IoExecutor&) = delete;
+  IoExecutor& operator=(const IoExecutor&) = delete;
+
+  /// Enqueues `fn` for execution on a background worker (FIFO).
+  void Submit(std::function<void()> fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// The process-wide shared executor every stream uses unless given its
+  /// own. Sized for double-buffering (one in-flight transfer per stream,
+  /// many streams): transfers are short and queue rather than contend.
+  static IoExecutor& Default();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+namespace prefetch_internal {
+
+/// Completion slot of one in-flight block transfer, shared (via shared_ptr)
+/// between the issuing stream and the executor task: whichever side finishes
+/// last frees it, so neither an abandoned transfer nor a destroyed stream
+/// can leave the other writing through a dangling pointer. Used by both the
+/// read-ahead reader (buf holds the fetched block) and the write-behind
+/// writer (buf holds the block being flushed).
+struct BlockFetch {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  std::vector<char> buf;
+};
+
+}  // namespace prefetch_internal
+
+}  // namespace maxrs
+
+#endif  // MAXRS_IO_IO_EXECUTOR_H_

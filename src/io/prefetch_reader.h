@@ -31,74 +31,18 @@
 
 #include <condition_variable>
 #include <cstring>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "io/env.h"
+#include "io/io_executor.h"
 #include "io/record_io.h"
 #include "util/check.h"
 #include "util/status.h"
 
 namespace maxrs {
-
-/// A small pool of dedicated background I/O workers draining one FIFO queue
-/// of fetch closures. Deliberately separate from the compute ThreadPool
-/// (util/thread_pool.h): fetch tasks are pure block reads that never spawn
-/// work or wait, so they can never participate in (or break) the compute
-/// pool's help-while-wait deadlock-avoidance protocol, and a saturated
-/// compute pool cannot starve the I/O that would un-block it.
-class IoExecutor {
- public:
-  /// Spawns `num_threads` workers (clamped to at least 1).
-  explicit IoExecutor(size_t num_threads = 1);
-
-  /// Runs every task already queued, then joins the workers. Tasks are
-  /// never dropped: a reader joining an in-flight fetch always wakes.
-  ~IoExecutor();
-
-  IoExecutor(const IoExecutor&) = delete;
-  IoExecutor& operator=(const IoExecutor&) = delete;
-
-  /// Enqueues `fn` for execution on a background worker (FIFO).
-  void Submit(std::function<void()> fn);
-
-  size_t num_threads() const { return threads_.size(); }
-
-  /// The process-wide shared executor every reader uses unless given its
-  /// own. Sized for double-buffering (one in-flight fetch per reader, many
-  /// readers): fetches are short and queue rather than contend.
-  static IoExecutor& Default();
-
- private:
-  void WorkerLoop();
-
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
-  std::vector<std::thread> threads_;
-};
-
-namespace prefetch_internal {
-
-/// Completion slot of one in-flight block fetch, shared (via shared_ptr)
-/// between the issuing reader and the executor task: whichever side finishes
-/// last frees it, so neither an abandoned fetch nor a destroyed reader can
-/// leave the other writing through a dangling pointer.
-struct BlockFetch {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  Status status;
-  std::vector<char> buf;
-};
-
-}  // namespace prefetch_internal
 
 /// Drop-in replacement for RecordReader<T> (same surface: Read/Next/
 /// final_status/total/remaining, NotFound at end of stream) that overlaps

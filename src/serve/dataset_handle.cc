@@ -100,7 +100,8 @@ Status IngestInto(Env& env, const std::string& object_file,
       info.x_file = ShardXName(prefix, shards->size());
       MAXRS_ASSIGN_OR_RETURN(
           RecordWriter<SpatialObject> writer,
-          RecordWriter<SpatialObject>::Make(env, info.x_file));
+          RecordWriter<SpatialObject>::Make(env, info.x_file,
+                                            options.write_behind));
       x_writer = std::move(writer);
       shards->push_back(std::move(info));
       return Status::OK();
@@ -144,7 +145,8 @@ Status IngestInto(Env& env, const std::string& object_file,
       for (const ShardInfo& info : *shards) {
         MAXRS_ASSIGN_OR_RETURN(
             RecordWriter<SpatialObject> writer,
-            RecordWriter<SpatialObject>::Make(env, info.y_file));
+            RecordWriter<SpatialObject>::Make(env, info.y_file,
+                                              options.write_behind));
         y_writers.push_back(std::move(writer));
       }
       MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SpatialObject> reader,
@@ -175,7 +177,8 @@ Status IngestInto(Env& env, const std::string& object_file,
     // to Open and treated as a failed ingest.
     MAXRS_ASSIGN_OR_RETURN(
         RecordWriter<ShardManifestRecord> manifest,
-        RecordWriter<ShardManifestRecord>::Make(env, ManifestName(prefix)));
+        RecordWriter<ShardManifestRecord>::Make(env, ManifestName(prefix),
+                                                options.write_behind));
     MAXRS_RETURN_IF_ERROR(manifest.Append(
         ShardManifestRecord{0, kManifestFormatVersion, num_objects, 0.0, 0.0}));
     if (num_objects > 0) {

@@ -4,11 +4,15 @@
 #include <cmath>
 #include <optional>
 
+#include <condition_variable>
+
+#include "core/division.h"
 #include "core/merge_sweep.h"
 #include "core/records.h"
 #include "io/external_sort.h"
 #include "io/prefetch_reader.h"
 #include "io/record_io.h"
+#include "io/record_stream.h"
 #include "io/temp_manager.h"
 #include "util/stopwatch.h"
 
@@ -216,49 +220,23 @@ Status RouteSourceShard(Env& env, TempFileManager& temps,
       return spans->Append(span);
     };
 
+    // The clipping rule is division.cc pass 3 with the shard grid as the
+    // cut — shared via division_internal::RoutePiece so the recursion, this
+    // pass, and the streaming routing pass can never diverge.
+    std::vector<Interval> ranges;
+    ranges.reserve(num_shards);
+    for (const ShardInfo& shard : shards) ranges.push_back(shard.x_range);
+    auto emit_piece = [&](size_t target, const PieceRecord& piece) {
+      return pieces.Append(target, piece);
+    };
     MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SpatialObject> reader,
                            PrefetchingReader<SpatialObject>::Make(
                                env, shards[source].y_file, read_ahead));
     SpatialObject o{};
     while (reader.Next(&o)) {
       const PieceRecord p = TransformObject(o, width, height);
-      // Shards touched by the piece: i (contains x_lo) through j. A piece
-      // ending exactly at a shard's lower boundary never enters that shard.
-      const size_t i = std::min(ShardOf(bounds, p.x_lo), num_shards - 1);
-      size_t j = std::min(ShardOf(bounds, p.x_hi), num_shards - 1);
-      if (j > i && p.x_hi == shards[j].x_range.lo) --j;
-
-      const bool left_full = (p.x_lo == shards[i].x_range.lo);
-      const bool right_full = (p.x_hi == shards[j].x_range.hi);
-
-      if (i == j) {
-        if (left_full && right_full) {
-          MAXRS_RETURN_IF_ERROR(append_span(
-              SpanRecord{p.y_lo, p.y_hi, p.w, static_cast<int32_t>(i),
-                         static_cast<int32_t>(i)}));
-        } else {
-          MAXRS_RETURN_IF_ERROR(pieces.Append(i, p));
-        }
-        continue;
-      }
-
-      const size_t span_lo = left_full ? i : i + 1;
-      const size_t span_hi = right_full ? j : j - 1;
-      if (!left_full) {
-        PieceRecord left = p;  // [x_lo, s_i): keeps a real edge inside i
-        left.x_hi = shards[i].x_range.hi;
-        MAXRS_RETURN_IF_ERROR(pieces.Append(i, left));
-      }
-      if (!right_full) {
-        PieceRecord right = p;  // [s_{j-1}, x_hi)
-        right.x_lo = shards[j].x_range.lo;
-        MAXRS_RETURN_IF_ERROR(pieces.Append(j, right));
-      }
-      if (span_lo <= span_hi) {
-        MAXRS_RETURN_IF_ERROR(append_span(
-            SpanRecord{p.y_lo, p.y_hi, p.w, static_cast<int32_t>(span_lo),
-                       static_cast<int32_t>(span_hi)}));
-      }
+      MAXRS_RETURN_IF_ERROR(division_internal::RoutePiece(
+          bounds, ranges, p, emit_piece, append_span));
     }
     MAXRS_RETURN_IF_ERROR(reader.final_status());
     MAXRS_RETURN_IF_ERROR(pieces.FinishAll());
@@ -382,6 +360,242 @@ Result<std::string> SolveTargetShard(Env& env, TempFileManager& temps,
                                   /*pool=*/nullptr);
 }
 
+// ---------------------------------------------------------------------------
+// Streaming per-shard routing (ServeRoutingMode::kStreaming): the routing
+// passes above, but every routed record travels through a RecordChannel
+// (io/record_stream.h) instead of an Env part file, and each target solve
+// (core_internal::SolveSlabStream) starts the moment the piece channels of
+// its column have their first heads — while the source routing passes are
+// still running. Liveness protocol (record_stream.h, "Threading"): channel
+// producers never block and are submitted to the FIFO pool BEFORE every
+// consumer, so a parked consumer always has running producers destined to
+// close its channels. Producers are raw pool submissions joined by a latch,
+// NOT TaskGroup tasks: a group no-ops queued tasks after its first error,
+// and a no-op'd producer would never close its channels, hanging every
+// consumer already running.
+// ---------------------------------------------------------------------------
+
+// One-shot join latch for the raw producer submissions of one query.
+class JoinLatch {
+ public:
+  explicit JoinLatch(size_t count) : remaining_(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t remaining_;
+};
+
+// All channels of one streaming query: piece and edge channels form S x S
+// grids (producer-major: source s feeds row s, target t drains column t),
+// spans one channel per source (drained by the query worker after the
+// joins). Created eagerly on the submitting thread so the spill names are
+// allocated in a deterministic order.
+struct StreamingChannels {
+  StreamingChannels(Env& env, TempFileManager& temps, size_t num_shards,
+                    size_t cap_bytes, bool write_behind)
+      : num_shards(num_shards) {
+    pieces.reserve(num_shards * num_shards);
+    edges.reserve(num_shards * num_shards);
+    spans.reserve(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      const std::string tag = std::to_string(s);
+      for (size_t t = 0; t < num_shards; ++t) {
+        const std::string cell = tag + "_" + std::to_string(t);
+        pieces.push_back(std::make_unique<RecordChannel<PieceRecord>>(
+            env, temps.NewName("q_chp" + cell), cap_bytes, write_behind));
+        edges.push_back(std::make_unique<RecordChannel<EdgeRecord>>(
+            env, temps.NewName("q_che" + cell), cap_bytes, write_behind));
+      }
+      spans.push_back(std::make_unique<RecordChannel<SpanRecord>>(
+          env, temps.NewName("q_chs" + tag), cap_bytes, write_behind));
+    }
+  }
+
+  RecordChannel<PieceRecord>* piece(size_t s, size_t t) {
+    return pieces[s * num_shards + t].get();
+  }
+  RecordChannel<EdgeRecord>* edge(size_t s, size_t t) {
+    return edges[s * num_shards + t].get();
+  }
+
+  size_t num_shards;
+  std::vector<std::unique_ptr<RecordChannel<PieceRecord>>> pieces;
+  std::vector<std::unique_ptr<RecordChannel<EdgeRecord>>> edges;
+  std::vector<std::unique_ptr<RecordChannel<SpanRecord>>> spans;
+};
+
+// Streaming Phase A for source shard `source`: the RouteSourceShard passes
+// with channels as the targets. The piece/span pass runs first and closes
+// its sinks before the edge pass starts, so target solves whose piece
+// streams are complete can probe and begin solving while this source is
+// still routing edges. Every sink of row `source` is closed exactly once on
+// every path — an unclosed channel would park its consumer forever.
+Status RouteSourceShardStreaming(Env& env, StreamingChannels& channels,
+                                 const std::vector<ShardInfo>& shards,
+                                 const std::vector<double>& bounds,
+                                 const std::vector<Interval>& ranges,
+                                 size_t source, double width, double height,
+                                 bool read_ahead) {
+  const size_t num_shards = shards.size();
+
+  // Pieces + spans: one pass over the shard's ObjectYLess-sorted objects.
+  Status piece_status = [&]() -> Status {
+    auto emit_piece = [&](size_t target, const PieceRecord& piece) {
+      return channels.piece(source, target)->Append(piece);
+    };
+    auto emit_span = [&](const SpanRecord& span) {
+      return channels.spans[source]->Append(span);
+    };
+    MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SpatialObject> reader,
+                           PrefetchingReader<SpatialObject>::Make(
+                               env, shards[source].y_file, read_ahead));
+    SpatialObject o{};
+    while (reader.Next(&o)) {
+      const PieceRecord p = TransformObject(o, width, height);
+      MAXRS_RETURN_IF_ERROR(division_internal::RoutePiece(
+          bounds, ranges, p, emit_piece, emit_span));
+    }
+    return reader.final_status();
+  }();
+  for (size_t t = 0; t < num_shards; ++t) {
+    Status close_st = channels.piece(source, t)->Close(piece_status);
+    if (piece_status.ok()) piece_status = close_st;
+  }
+  {
+    Status close_st = channels.spans[source]->Close(piece_status);
+    if (piece_status.ok()) piece_status = close_st;
+  }
+  if (!piece_status.ok()) {
+    // The edge pass is pointless now, but its sinks still must close so
+    // consumers blocked on edge heads observe the error instead of hanging.
+    for (size_t t = 0; t < num_shards; ++t) {
+      (void)channels.edge(source, t)->Close(piece_status);
+    }
+    return piece_status;
+  }
+
+  // Edges: the BuildShardEdges 2-way self-merge, routed by value.
+  Status edge_status = [&]() -> Status {
+    auto route_edge = [&](double x) -> Status {
+      const size_t target = std::min(ShardOf(bounds, x), num_shards - 1);
+      return channels.edge(source, target)->Append(EdgeRecord{x});
+    };
+    MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SpatialObject> left,
+                           PrefetchingReader<SpatialObject>::Make(
+                               env, shards[source].x_file, read_ahead));
+    MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SpatialObject> right,
+                           PrefetchingReader<SpatialObject>::Make(
+                               env, shards[source].x_file, read_ahead));
+    const double half_w = width / 2.0;
+    SpatialObject lo{}, hi{};
+    bool have_lo = left.Next(&lo);
+    bool have_hi = right.Next(&hi);
+    while (have_lo || have_hi) {
+      bool take_lo = have_lo;
+      if (have_lo && have_hi) {
+        take_lo = DoubleOrderKey(lo.x - half_w) <= DoubleOrderKey(hi.x + half_w);
+      }
+      if (take_lo) {
+        MAXRS_RETURN_IF_ERROR(route_edge(lo.x - half_w));
+        have_lo = left.Next(&lo);
+      } else {
+        MAXRS_RETURN_IF_ERROR(route_edge(hi.x + half_w));
+        have_hi = right.Next(&hi);
+      }
+    }
+    MAXRS_RETURN_IF_ERROR(left.final_status());
+    return right.final_status();
+  }();
+  for (size_t t = 0; t < num_shards; ++t) {
+    Status close_st = channels.edge(source, t)->Close(edge_status);
+    if (edge_status.ok()) edge_status = close_st;
+  }
+  return edge_status;
+}
+
+// Streaming Phase B for target shard `target`: merge the piece channels of
+// column `target` on the fly (MergingSource selects heads exactly like the
+// materialized MergeSortedParts chain, so the merged stream is
+// byte-identical) and solve the shard via the streaming recursion. The
+// edge stream is claimed lazily: only a shard that overflows its base case
+// ever drains its edge column (into one scratch file, since the division's
+// bounds pass reads the edges twice); a base-case shard abandons the
+// column untouched — what those channels buffered or spilled is a pure
+// function of the routed records, so block counts stay deterministic.
+Status SolveTargetShardStreaming(Env& env, TempFileManager& temps,
+                                 StreamingChannels& channels,
+                                 const Interval& slab, size_t target,
+                                 const MaxRSOptions& options,
+                                 MaxRSStats* stats, bool write_behind,
+                                 std::string* slab_file_out) {
+  const size_t num_shards = channels.num_shards;
+  std::vector<RecordSource<PieceRecord>*> piece_column;
+  piece_column.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    piece_column.push_back(channels.piece(s, target));
+  }
+  MergingSource<PieceRecord, decltype(&PieceYLess)> pieces(
+      std::move(piece_column), &PieceYLess);
+
+  // Probe the first record: a shard no piece overlaps (fully spanned
+  // shards are handled by the cross-shard sweep's upSum) produces an empty
+  // slab-file without ever invoking the solver — same as the materialized
+  // path, which also leaves its stats block untouched in that case.
+  PieceRecord first{};
+  Status probe = pieces.Read(&first);
+  if (probe.code() == Status::Code::kNotFound) {
+    std::string out = temps.NewName("q_slab");
+    MAXRS_ASSIGN_OR_RETURN(RecordWriter<SlabTuple> writer,
+                           RecordWriter<SlabTuple>::Make(env, out));
+    MAXRS_RETURN_IF_ERROR(writer.Finish());
+    *slab_file_out = std::move(out);
+    return Status::OK();
+  }
+  MAXRS_RETURN_IF_ERROR(probe);
+  PrependedSource<PieceRecord> stream(first, &pieces);
+
+  std::string edge_file;  // set iff the provider runs (base-case overflow)
+  core_internal::EdgeFileProvider edge_provider =
+      [&]() -> Result<std::string> {
+    std::vector<RecordSource<EdgeRecord>*> edge_column;
+    edge_column.reserve(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      edge_column.push_back(channels.edge(s, target));
+    }
+    MergingSource<EdgeRecord, decltype(&EdgeXLess)> edges(
+        std::move(edge_column), &EdgeXLess);
+    edge_file = temps.NewName("q_edges");
+    MAXRS_ASSIGN_OR_RETURN(
+        RecordWriter<EdgeRecord> writer,
+        RecordWriter<EdgeRecord>::Make(env, edge_file, write_behind));
+    EdgeRecord e{};
+    while (edges.Next(&e)) MAXRS_RETURN_IF_ERROR(writer.Append(e));
+    MAXRS_RETURN_IF_ERROR(edges.final_status());
+    MAXRS_RETURN_IF_ERROR(writer.Finish());
+    return {edge_file};
+  };
+
+  auto slab_or = core_internal::SolveSlabStream(env, temps, &stream,
+                                                edge_provider, slab, options,
+                                                stats, /*pool=*/nullptr);
+  // The provider's creator owns the drained edge file (exact_maxrs.h).
+  if (!edge_file.empty()) temps.Release(edge_file);
+  if (!slab_or.ok()) return slab_or.status();
+  *slab_file_out = std::move(slab_or).value();
+  return Status::OK();
+}
+
 }  // namespace
 
 MaxRSServer::MaxRSServer(Env& env, const DatasetHandle& dataset,
@@ -437,6 +651,8 @@ MaxRSOptions MaxRSServer::MakeQueryOptions(double width, double height) const {
   // stream while a read-ahead fetch is in flight — see IO_MODEL.md).
   query_options.num_threads = 1;
   query_options.read_ahead = options_.read_ahead;
+  query_options.write_behind = options_.write_behind;
+  query_options.stream_channel_bytes = options_.stream_channel_bytes;
   return query_options;
 }
 
@@ -585,6 +801,159 @@ Result<MaxRSResult> MaxRSServer::ExecuteQuery(double width, double height) {
 }
 
 Result<MaxRSResult> MaxRSServer::ExecutePerShard(double width, double height) {
+  return options_.routing_mode == ServeRoutingMode::kStreaming
+             ? ExecutePerShardStreaming(width, height)
+             : ExecutePerShardMaterialized(width, height);
+}
+
+Result<MaxRSResult> MaxRSServer::ExecutePerShardStreaming(double width,
+                                                          double height) {
+  TempFileManager temps(env_, options_.work_prefix);
+  const IoStatsSnapshot io_before = env_.stats().Snapshot();
+  Stopwatch timer;
+
+  auto body = [&]() -> Result<MaxRSResult> {
+    const std::vector<ShardInfo>& shards = dataset_.shards();
+    const size_t num_shards = shards.size();
+    std::vector<double> bounds;  // interior shard boundaries
+    bounds.reserve(num_shards - 1);
+    for (size_t k = 1; k < num_shards; ++k) {
+      bounds.push_back(shards[k].x_range.lo);
+    }
+    std::vector<Interval> ranges;
+    ranges.reserve(num_shards);
+    for (const ShardInfo& shard : shards) ranges.push_back(shard.x_range);
+    const MaxRSOptions query_options = MakeQueryOptions(width, height);
+
+    // Channels first (deterministic spill-name order), then the producers
+    // as raw pool submissions, then the consumers as a TaskGroup — the
+    // FIFO-before order the liveness protocol requires. The latch is
+    // waited on before `channels` goes out of scope on EVERY path below:
+    // producers hold raw pointers into it.
+    StreamingChannels channels(env_, temps, num_shards,
+                               options_.stream_channel_bytes,
+                               options_.write_behind);
+    std::vector<Status> producer_status(num_shards);
+    JoinLatch producers_done(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      pool_->Submit([&, s] {
+        producer_status[s] =
+            RouteSourceShardStreaming(env_, channels, shards, bounds, ranges,
+                                      s, width, height, options_.read_ahead);
+        producers_done.CountDown();
+      });
+    }
+
+    std::vector<std::string> slab_files(num_shards);
+    std::vector<MaxRSStats> shard_stats(num_shards);
+    Status consumers_status;
+    {
+      TaskGroup group(pool_.get());
+      for (size_t t = 0; t < num_shards; ++t) {
+        group.Run([&, t]() -> Status {
+          return SolveTargetShardStreaming(
+              env_, temps, channels, shards[t].x_range, t, query_options,
+              &shard_stats[t], options_.write_behind, &slab_files[t]);
+        });
+      }
+      consumers_status = group.Wait();
+    }
+    // Join the producers unconditionally — consumers done does not imply
+    // producers done (a base-case consumer abandons its edge column), and
+    // an early return would destroy the channels under their feet.
+    producers_done.Wait();
+    MAXRS_RETURN_IF_ERROR(consumers_status);
+    for (const Status& st : producer_status) MAXRS_RETURN_IF_ERROR(st);
+
+    // Phase C: cross-shard combine, identical to the materialized path
+    // except the merged span file is drained from the span channels (all
+    // closed by now — they act as deterministic buffers) instead of
+    // k-way-merging span part files.
+    uint64_t num_spans = 0;
+    std::string root_file;
+    if (num_shards == 1) {
+      root_file = std::move(slab_files[0]);
+    } else {
+      std::string span_file = temps.NewName("q_spans");
+      {
+        std::vector<RecordSource<SpanRecord>*> span_sources;
+        span_sources.reserve(num_shards);
+        for (auto& ch : channels.spans) span_sources.push_back(ch.get());
+        MergingSource<SpanRecord, decltype(&SpanYLess)> spans(
+            std::move(span_sources), &SpanYLess);
+        MAXRS_ASSIGN_OR_RETURN(
+            RecordWriter<SpanRecord> writer,
+            RecordWriter<SpanRecord>::Make(env_, span_file,
+                                           options_.write_behind));
+        SpanRecord span{};
+        while (spans.Next(&span)) MAXRS_RETURN_IF_ERROR(writer.Append(span));
+        MAXRS_RETURN_IF_ERROR(spans.final_status());
+        MAXRS_RETURN_IF_ERROR(writer.Finish());
+        num_spans = writer.count();
+      }
+      root_file = temps.NewName("q_root");
+      MAXRS_RETURN_IF_ERROR(MergeSweep(env_, ranges, slab_files, span_file,
+                                       root_file, SweepObjective::kMaximize,
+                                       options_.read_ahead,
+                                       options_.write_behind));
+      for (const std::string& slab_file : slab_files) {
+        temps.Release(slab_file);
+      }
+      temps.Release(span_file);
+    }
+
+    // Extract the answer from the root slab-file stream.
+    core_internal::TopTupleTracker tracker(1);
+    {
+      MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SlabTuple> reader,
+                             PrefetchingReader<SlabTuple>::Make(
+                                 env_, root_file, options_.read_ahead));
+      SlabTuple t{};
+      while (reader.Next(&t)) tracker.Visit(t);
+      MAXRS_RETURN_IF_ERROR(reader.final_status());
+    }
+    temps.Release(root_file);
+
+    MaxRSResult result;
+    auto best = tracker.Finish();
+    if (best.empty()) {
+      result.region = Rect{-kInf, kInf, -kInf, kInf};
+    } else {
+      result.location = best[0].location;
+      result.total_weight = best[0].total_weight;
+      result.region = best[0].region;
+    }
+    result.stats.input_objects = dataset_.num_objects();
+    for (const MaxRSStats& s : shard_stats) {
+      result.stats.base_cases += s.base_cases;
+      result.stats.merges += s.merges;
+      result.stats.total_spans += s.total_spans;
+      result.stats.recursion_levels =
+          std::max(result.stats.recursion_levels,
+                   s.recursion_levels + (num_shards > 1 ? 1 : 0));
+    }
+    if (num_shards > 1) {
+      ++result.stats.merges;  // the cross-shard MergeSweep
+      result.stats.total_spans += num_spans;
+    }
+    return {std::move(result)};
+  };
+
+  Result<MaxRSResult> result = body();
+  if (result.ok()) {
+    result.value().stats.io = env_.stats().Snapshot() - io_before;
+    result.value().stats.wall_seconds = timer.ElapsedSeconds();
+  } else {
+    // Sweep every scratch file this query's manager named so repeated
+    // failing queries cannot grow the Env without bound. (The channels'
+    // spill files were already deleted by their destructors.)
+    temps.ReleaseAll();
+  }
+  return result;
+}
+
+Result<MaxRSResult> MaxRSServer::ExecutePerShardMaterialized(double width,
+                                                             double height) {
   TempFileManager temps(env_, options_.work_prefix);
   const IoStatsSnapshot io_before = env_.stats().Snapshot();
   Stopwatch timer;
@@ -668,7 +1037,8 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShard(double width, double height) {
       root_file = temps.NewName("q_root");
       MAXRS_RETURN_IF_ERROR(MergeSweep(env_, ranges, slab_files, span_file,
                                        root_file, SweepObjective::kMaximize,
-                                       options_.read_ahead));
+                                       options_.read_ahead,
+                                       options_.write_behind));
       for (const std::string& slab_file : slab_files) {
         temps.Release(slab_file);
       }

@@ -23,6 +23,13 @@
 //   combine     one cross-shard MergeSweep over the shard slab-files and
 //               the boundary span file                — one linear sweep
 //
+// Under the default ServeRoutingMode::kStreaming the route and solve
+// stages overlap: routed records travel through bounded in-memory channels
+// (io/record_stream.h) instead of Env part files, each target solve starts
+// on its first arriving block, and the Env is touched only when a channel
+// exceeds its memory cap. kMaterialized keeps the PR-4 file-based handoff
+// as the equivalence oracle.
+//
 // kGlobalMerge (the PR-3 path, kept for comparison) — k-way-merge all
 // per-shard streams into one global prepared input, then run the whole
 // division from the top (RunExactMaxRSPrepared).
@@ -81,6 +88,23 @@ enum class ServeSolveMode {
   kGlobalMerge,
 };
 
+/// How the per-shard mode moves routed records from source-shard routing
+/// passes into target-shard solves.
+enum class ServeRoutingMode {
+  /// Zero-materialization streaming: each source shard's routing pass feeds
+  /// per-target bounded SPSC channels (io/record_stream.h) and each target
+  /// solve starts the moment its first routed block arrives, while routing
+  /// is still running. Records touch the Env only when a channel exceeds
+  /// its memory cap (it spills to a part file) or a target overflows its
+  /// base case. Answers are bit-identical to kMaterialized, and per-query
+  /// I/O never exceeds it. The default.
+  kStreaming,
+  /// Materialize every routed stream as Env part files, then merge them per
+  /// target after all routing completes — the PR-4 path, kept as the
+  /// equivalence oracle for the streaming pipeline.
+  kMaterialized,
+};
+
 /// Canonical bit pattern of one cache-key dimension. Semantically equal
 /// dimensions must map onto one key, so -0.0 folds onto +0.0 and every NaN
 /// payload onto the canonical quiet NaN. (Submit rejects non-positive and
@@ -127,6 +151,25 @@ struct MaxRSServerOptions {
 
   /// Per-query execution strategy; see ServeSolveMode.
   ServeSolveMode solve_mode = ServeSolveMode::kPerShard;
+
+  /// How routed records travel from routing passes to shard solves in
+  /// kPerShard mode (ignored by kGlobalMerge); see ServeRoutingMode.
+  ServeRoutingMode routing_mode = ServeRoutingMode::kStreaming;
+
+  /// Per-channel in-memory byte cap for kStreaming routing: a channel
+  /// holding more than this spills the excess to one Env part file. 0
+  /// forces every record through a spill file (the materialization
+  /// worst case); SIZE_MAX never spills. The spill decision is a pure
+  /// function of the bytes produced, never of consumer timing, so block
+  /// counts stay schedule-independent.
+  size_t stream_channel_bytes = 1 << 20;
+
+  /// Write-behind (io/record_io.h) on per-query output streams: spill
+  /// writers, per-shard scratch, and the cross-shard merge output flush
+  /// their data blocks on the shared IoExecutor while the producer keeps
+  /// running — the write-side dual of read_ahead. Answers and block
+  /// counts are bit-identical either way.
+  bool write_behind = false;
 
   /// Double-buffered read-ahead (io/prefetch_reader.h) on every sequential
   /// per-query stream: shard routing scans, per-shard part merges, the
@@ -218,6 +261,8 @@ class MaxRSServer {
   Result<MaxRSResult> ExecuteQuery(double width, double height);
   Result<MaxRSResult> ExecuteGlobalMerge(double width, double height);
   Result<MaxRSResult> ExecutePerShard(double width, double height);
+  Result<MaxRSResult> ExecutePerShardStreaming(double width, double height);
+  Result<MaxRSResult> ExecutePerShardMaterialized(double width, double height);
   std::optional<MaxRSResult> CacheLookup(const CacheKey& key);
   void CacheInsert(const CacheKey& key, const MaxRSResult& result);
   bool AdmitToCache(double width, double height) const;

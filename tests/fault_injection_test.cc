@@ -8,6 +8,8 @@
 #include "datagen/dataset_io.h"
 #include "io/external_sort.h"
 #include "io/record_io.h"
+#include "serve/dataset_handle.h"
+#include "serve/maxrs_server.h"
 #include "test_util.h"
 
 namespace maxrs {
@@ -94,19 +96,25 @@ TEST_P(ExactMaxRSFaultTest, SurfacesFaultsAtEveryStage) {
   options.fanout = 3;
   options.base_case_max_pieces = 64;
 
-  // Both block schedules: synchronous, and double-buffered read-ahead
-  // (where the fault may land on an in-flight background fetch — it must
-  // still surface as a Status at the consumer, never crash a worker).
-  for (bool read_ahead : {false, true}) {
-    options.read_ahead = read_ahead;
-    env.ArmAfter(GetParam());
-    auto result = RunExactMaxRS(env, "data", options);
-    env.Disarm();
-    ASSERT_FALSE(result.ok()) << "fault at op " << GetParam()
-                              << " swallowed (read_ahead=" << read_ahead
-                              << ")";
-    EXPECT_EQ(result.status().code(), Status::Code::kIOError)
-        << "read_ahead=" << read_ahead;
+  // Both block schedules (synchronous and double-buffered read-ahead, where
+  // the fault may land on an in-flight background fetch) crossed with both
+  // division modes (materialized part files and streaming channels at a
+  // zero cap, where the fault lands on spill traffic). Every combination
+  // must surface the fault as a Status at the caller, never crash a worker.
+  for (bool streaming : {false, true}) {
+    for (bool read_ahead : {false, true}) {
+      options.streaming_division = streaming;
+      options.stream_channel_bytes = 0;
+      options.read_ahead = read_ahead;
+      env.ArmAfter(GetParam());
+      auto result = RunExactMaxRS(env, "data", options);
+      env.Disarm();
+      ASSERT_FALSE(result.ok())
+          << "fault at op " << GetParam() << " swallowed (read_ahead="
+          << read_ahead << ", streaming=" << streaming << ")";
+      EXPECT_EQ(result.status().code(), Status::Code::kIOError)
+          << "read_ahead=" << read_ahead << ", streaming=" << streaming;
+    }
   }
 }
 
@@ -114,6 +122,56 @@ TEST_P(ExactMaxRSFaultTest, SurfacesFaultsAtEveryStage) {
 // runs, merge passes, division routing, plane-sweep slab write, merge sweep.
 INSTANTIATE_TEST_SUITE_P(Depths, ExactMaxRSFaultTest,
                          ::testing::Values(1, 3, 20, 100, 300, 700, 1200));
+
+TEST(StreamingSpillFaultTest, SpillFaultSurfacesAtSubmitWithoutWedgingServer) {
+  // Streaming serve with a zero channel cap: every routed record takes the
+  // spill path, so armed faults land on spill writes (and spill read-backs)
+  // mid-routing. Each fault must surface as kIOError from Submit — no hang,
+  // and the server must stay serviceable afterwards (workers alive, scratch
+  // released), which the follow-up healthy Submit proves.
+  auto base = NewMemEnv(512);
+  auto objects = testing::RandomIntObjects(1500, 500, 7);
+  ASSERT_TRUE(WriteDataset(*base, "data", objects).ok());
+  FaultEnv env(*base);
+  DatasetHandleOptions ingest;
+  ingest.shard_count = 5;
+  ingest.memory_bytes = 1 << 13;
+  auto handle = DatasetHandle::Ingest(env, "data", ingest);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+
+  for (bool write_behind : {false, true}) {
+    MaxRSServerOptions options;
+    options.memory_bytes = 1 << 13;
+    options.num_workers = 2;
+    options.cache_entries = 0;
+    options.routing_mode = ServeRoutingMode::kStreaming;
+    options.stream_channel_bytes = 0;
+    options.write_behind = write_behind;
+    MaxRSServer server(env, *handle, options);
+
+    // Healthy run first: pins the answer and proves the sweep's failures
+    // below are injected, not latent.
+    auto want = server.Submit(24, 24);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+    for (uint64_t k : {3u, 15u, 40u, 90u, 250u}) {
+      env.ArmAfter(k);
+      auto result = server.Submit(24, 24);
+      env.Disarm();
+      ASSERT_FALSE(result.ok()) << "spill-path fault at op " << k
+                                << " swallowed (write_behind=" << write_behind
+                                << ")";
+      EXPECT_EQ(result.status().code(), Status::Code::kIOError)
+          << "op " << k << ", write_behind=" << write_behind;
+      auto after = server.Submit(24, 24);
+      ASSERT_TRUE(after.ok())
+          << "server wedged after fault at op " << k
+          << " (write_behind=" << write_behind << "): "
+          << after.status().ToString();
+      EXPECT_EQ(after->total_weight, want->total_weight);
+    }
+  }
+}
 
 TEST(FaultRecoveryTest, RerunAfterFaultSucceeds) {
   // After a failed run, the Env may hold leftover scratch files, but a fresh

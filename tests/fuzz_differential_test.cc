@@ -82,6 +82,23 @@ void CheckAllImplementationsAgree(const std::vector<SpatialObject>& objects,
             oracle.total_weight)
       << "external witness wrong, config " << tag;
 
+  // Streaming division: the same recursion fed through channels instead of
+  // materialized part files, once with a cap small enough that every
+  // division spills mid-stream and once with the pure in-memory hand-off.
+  for (size_t cap : {size_t{256}, size_t{1} << 20}) {
+    MaxRSOptions streaming = options;
+    streaming.streaming_division = true;
+    streaming.stream_channel_bytes = cap;
+    auto streamed = RunExactMaxRS(*env, objects, streaming);
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    ASSERT_EQ(streamed->total_weight, oracle.total_weight)
+        << "streaming division diverged, config " << tag << " (cap " << cap
+        << ")";
+    ASSERT_EQ(streamed->location, external->location)
+        << "streaming division witness moved, config " << tag << " (cap "
+        << cap << ")";
+  }
+
   // Baselines (cheap enough at fuzz sizes).
   ASSERT_TRUE(WriteDataset(*env, "fuzz_data", objects).ok());
   BaselineOptions baseline_options;
@@ -110,21 +127,39 @@ void CheckAllImplementationsAgree(const std::vector<SpatialObject>& objects,
     ingest_options.prefix = "fuzz_sharded";
     auto handle = DatasetHandle::Ingest(*env, "fuzz_data", ingest_options);
     ASSERT_TRUE(handle.ok()) << handle.status().ToString();
-    MaxRSServerOptions server_options;
-    server_options.memory_bytes = c.memory_bytes;
-    server_options.fanout = c.fanout;
-    server_options.base_case_max_pieces = c.base_max;
-    server_options.solve_mode = ServeSolveMode::kPerShard;
-    MaxRSServer server(*env, *handle, server_options);
-    auto served = server.Submit(c.rect_w, c.rect_h);
-    ASSERT_TRUE(served.ok()) << served.status().ToString();
-    ASSERT_EQ(served->total_weight, oracle.total_weight)
-        << "sharded serve diverged, config " << tag << " ("
-        << handle->shards().size() << " shards)";
-    ASSERT_EQ(CoveredWeight(objects, Rect::Centered(served->location,
-                                                    c.rect_w, c.rect_h)),
-              oracle.total_weight)
-        << "sharded serve witness wrong, config " << tag;
+    // Three routings of the same per-shard solve: materialized part files,
+    // streaming channels (the default), and streaming with a cap of zero so
+    // every routed record takes the spill path.
+    struct ServeRouting {
+      const char* name;
+      ServeRoutingMode mode;
+      size_t channel_bytes;
+    };
+    const ServeRouting routings[] = {
+        {"materialized", ServeRoutingMode::kMaterialized, 1 << 20},
+        {"streaming", ServeRoutingMode::kStreaming, 1 << 20},
+        {"streaming/spill", ServeRoutingMode::kStreaming, 0},
+    };
+    for (const ServeRouting& routing : routings) {
+      MaxRSServerOptions server_options;
+      server_options.memory_bytes = c.memory_bytes;
+      server_options.fanout = c.fanout;
+      server_options.base_case_max_pieces = c.base_max;
+      server_options.solve_mode = ServeSolveMode::kPerShard;
+      server_options.routing_mode = routing.mode;
+      server_options.stream_channel_bytes = routing.channel_bytes;
+      MaxRSServer server(*env, *handle, server_options);
+      auto served = server.Submit(c.rect_w, c.rect_h);
+      ASSERT_TRUE(served.ok()) << served.status().ToString();
+      ASSERT_EQ(served->total_weight, oracle.total_weight)
+          << "sharded serve (" << routing.name << ") diverged, config " << tag
+          << " (" << handle->shards().size() << " shards)";
+      ASSERT_EQ(CoveredWeight(objects, Rect::Centered(served->location,
+                                                      c.rect_w, c.rect_h)),
+                oracle.total_weight)
+          << "sharded serve (" << routing.name << ") witness wrong, config "
+          << tag;
+    }
     ASSERT_TRUE(handle->Drop().ok());
   }
 }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "io/env.h"
+#include "io/fault_env.h"
 
 namespace maxrs {
 namespace {
@@ -97,6 +98,62 @@ TEST(RecordIoTest, IoIsCountedPerBlock) {
   const IoStatsSnapshot after_read = env->stats().Snapshot();
   // Header + 4 data blocks.
   EXPECT_EQ(after_read.blocks_read - after_write.blocks_read, 5u);
+}
+
+TEST(RecordIoTest, WriteBehindMatchesSynchronousContentAndBlockCounts) {
+  // The deferred block schedule must be invisible at every quiescent point:
+  // same bytes on disk, same counter deltas as the synchronous writer.
+  auto env = NewMemEnv(4096);
+  std::vector<Rec> records(1000);  // 3 full data blocks + a partial fourth
+  for (uint64_t i = 0; i < records.size(); ++i) records[i] = {i, i * 0.25};
+
+  IoStatsSnapshot before = env->stats().Snapshot();
+  {
+    auto writer_or = RecordWriter<Rec>::Make(*env, "sync");
+    ASSERT_TRUE(writer_or.ok());
+    for (const Rec& r : records) ASSERT_TRUE(writer_or->Append(r).ok());
+    ASSERT_TRUE(writer_or->Finish().ok());
+  }
+  const IoStatsSnapshot sync_io = env->stats().Snapshot() - before;
+
+  before = env->stats().Snapshot();
+  {
+    auto writer_or = RecordWriter<Rec>::Make(*env, "behind",
+                                             /*write_behind=*/true);
+    ASSERT_TRUE(writer_or.ok());
+    for (const Rec& r : records) ASSERT_TRUE(writer_or->Append(r).ok());
+    ASSERT_TRUE(writer_or->Finish().ok());
+  }
+  const IoStatsSnapshot behind_io = env->stats().Snapshot() - before;
+  EXPECT_EQ(behind_io.blocks_written, sync_io.blocks_written);
+  EXPECT_EQ(behind_io.blocks_read, sync_io.blocks_read);
+
+  auto sync_back = ReadRecordFile<Rec>(*env, "sync");
+  auto behind_back = ReadRecordFile<Rec>(*env, "behind");
+  ASSERT_TRUE(sync_back.ok());
+  ASSERT_TRUE(behind_back.ok());
+  ASSERT_EQ(behind_back->size(), sync_back->size());
+  for (size_t i = 0; i < sync_back->size(); ++i) {
+    EXPECT_EQ((*behind_back)[i].id, (*sync_back)[i].id);
+    EXPECT_EQ((*behind_back)[i].value, (*sync_back)[i].value);
+  }
+}
+
+TEST(RecordIoTest, WriteBehindFaultSurfacesBeforeFinishSucceeds) {
+  // A fault on a deferred flush parks in the in-flight slot and must
+  // surface at the join — a later Append or, at the latest, Finish. It
+  // must never be swallowed into a "successful" file.
+  auto base = NewMemEnv(512);
+  FaultEnv env(*base);
+  auto writer_or = RecordWriter<Rec>::Make(env, "f", /*write_behind=*/true);
+  ASSERT_TRUE(writer_or.ok());
+  env.ArmAfter(2);  // header reservation is op 1; fault the first data flush
+  Status st = Status::OK();
+  for (uint64_t i = 0; i < 512 && st.ok(); ++i) st = writer_or->Append({i, 0});
+  if (st.ok()) st = writer_or->Finish();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kIOError);
+  EXPECT_EQ(env.faults_delivered(), 1u);
 }
 
 TEST(RecordIoTest, WorksOnPosixEnv) {
