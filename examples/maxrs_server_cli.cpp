@@ -6,13 +6,16 @@
 //   $ ./maxrs_server_cli --demo --queries=1000x1000,500x2000,250x250
 //   $ ./maxrs_server_cli --input=points.csv --queries=800x800 --repeat=3
 //   $ ./maxrs_server_cli --demo --workers=4 --shards=8
+//   $ ./maxrs_server_cli --demo --chaos_seed=7 --retry_budget=5 --deadline_ms=2000
 //
 // Each query line reports the optimal location, the covered weight, and the
 // block I/O the query added — repeat rounds hit the LRU cache and report 0.
 // --workers=K serves up to K queries concurrently (submitted from K client
 // threads); results are identical for any worker count.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,6 +23,8 @@
 #include "datagen/dataset_io.h"
 #include "datagen/generators.h"
 #include "io/env.h"
+#include "io/fault_env.h"
+#include "io/retry_env.h"
 #include "serve/dataset_handle.h"
 #include "serve/maxrs_server.h"
 #include "util/flags.h"
@@ -73,7 +78,11 @@ int main(int argc, char** argv) {
           "usage: maxrs_server_cli --input=points.csv --queries=WxH[,WxH...]\n"
           "       maxrs_server_cli --demo [--n=100000]\n"
           "flags: --workers=K --shards=S --repeat=R --cache=E --memory-kb=M\n"
-          "       --mode=per-shard|global-merge --read_ahead\n");
+          "       --mode=per-shard|global-merge --read_ahead\n"
+          "       --deadline_ms=D (per-query deadline; 0 = none)\n"
+          "       --retry_budget=R (transient-fault retries per block op)\n"
+          "       --chaos_seed=S (inject a seeded fault schedule at serve "
+          "time)\n");
       return 2;
     }
     auto loaded = LoadCsv(input);
@@ -127,12 +136,44 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(handle->ingest_stats().io.total()),
               handle->ingest_stats().wall_seconds);
 
+  // Serve-time robustness stack: ingest above ran clean on the base Env
+  // (recovery of damaged persistent state is DatasetHandle::Open's job);
+  // --chaos_seed injects a seeded fault schedule into every query-time
+  // block transfer, and --retry_budget absorbs the transient share of it.
+  Env* serve_env = env.get();
+  std::unique_ptr<ChaosEnv> chaos;
+  const int64_t chaos_seed = flags.GetInt("chaos_seed", 0);
+  if (chaos_seed > 0) {
+    ChaosOptions chaos_options;
+    chaos_options.seed = static_cast<uint64_t>(chaos_seed);
+    chaos_options.transient_fault_p = 0.01;
+    chaos_options.permanent_fault_p = 0.0005;
+    chaos_options.bit_flip_read_p = 0.0005;
+    chaos_options.torn_write_p = 0.0005;
+    chaos = std::make_unique<ChaosEnv>(*serve_env, chaos_options);
+    serve_env = chaos.get();
+    std::printf("chaos: seed %lld fault schedule armed on serve-time I/O\n",
+                static_cast<long long>(chaos_seed));
+  }
+  std::unique_ptr<RetryEnv> retry;
+  const int64_t retry_budget =
+      flags.GetInt("retry_budget", chaos_seed > 0 ? 3 : 0);
+  if (retry_budget > 0) {
+    RetryPolicy policy;
+    policy.max_retries = static_cast<int>(retry_budget);
+    policy.initial_backoff = std::chrono::microseconds(100);
+    retry = std::make_unique<RetryEnv>(*serve_env, policy);
+    serve_env = retry.get();
+  }
+
   MaxRSServerOptions server_options;
   server_options.num_workers = workers;
   server_options.memory_bytes = memory_bytes;
   server_options.read_ahead = read_ahead;
   server_options.cache_entries =
       static_cast<size_t>(flags.GetInt("cache", 16));
+  server_options.deadline_ms =
+      static_cast<int64_t>(flags.GetInt("deadline_ms", 0));
   const std::string mode = flags.GetString("mode", "per-shard");
   if (mode == "global-merge") {
     server_options.solve_mode = ServeSolveMode::kGlobalMerge;
@@ -140,7 +181,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad --mode; expected per-shard or global-merge\n");
     return 2;
   }
-  MaxRSServer server(*env, *handle, server_options);
+  MaxRSServer server(*serve_env, *handle, server_options);
 
   std::printf("\n%-6s%14s%14s%24s%16s%14s\n", "round", "rect", "weight",
               "location", "I/O (blocks)", "result");
@@ -198,5 +239,22 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(counters.cache_hits),
               static_cast<unsigned long long>(counters.dedup_hits),
               static_cast<unsigned long long>(counters.cache_rejects));
+  const IoStatsSnapshot io = env->stats().Snapshot();
+  std::printf("robustness: %llu shed, %llu degraded, %llu deadline-expired, "
+              "%llu corruption-rejected; %llu reads + %llu writes retried\n",
+              static_cast<unsigned long long>(counters.shed),
+              static_cast<unsigned long long>(counters.degraded),
+              static_cast<unsigned long long>(counters.deadlines),
+              static_cast<unsigned long long>(counters.corruptions),
+              static_cast<unsigned long long>(io.reads_retried),
+              static_cast<unsigned long long>(io.writes_retried));
+  if (chaos != nullptr) {
+    std::printf("chaos delivered: %llu transient, %llu permanent, "
+                "%llu bit flips, %llu torn writes\n",
+                static_cast<unsigned long long>(chaos->transient_faults()),
+                static_cast<unsigned long long>(chaos->permanent_faults()),
+                static_cast<unsigned long long>(chaos->bit_flips()),
+                static_cast<unsigned long long>(chaos->torn_writes()));
+  }
   return failed ? 1 : 0;
 }

@@ -100,6 +100,9 @@ class Driver {
       std::lock_guard<std::mutex> lock(stats_mu_);
       stats_->recursion_levels = std::max(stats_->recursion_levels, depth);
     }
+    // Node-entry deadline poll: a cancelled query unwinds through the
+    // ordinary error paths, so channels close and scratch files release.
+    MAXRS_RETURN_IF_ERROR(CheckCancel(options_.cancel));
     // Buffer up to the base-case threshold: a stream that ends within it
     // is solved in memory with no division (or edge) I/O at all.
     std::vector<PieceRecord> buffer;
@@ -163,6 +166,7 @@ class Driver {
       }
       EdgeRecord e{};
       while (reader.Next(&e)) {
+        MAXRS_RETURN_IF_ERROR(CheckCancel(options_.cancel));
         size_t k = std::min(division_internal::IndexOf(bounds, e.x),
                             num_children - 1);
         MAXRS_RETURN_IF_ERROR(writers[k].Append(e));
@@ -207,6 +211,7 @@ class Driver {
         std::vector<PieceRecord>().swap(buffer);
         PieceRecord p{};
         while (true) {
+          MAXRS_RETURN_IF_ERROR(CheckCancel(options_.cancel));
           Status read_st = source->Read(&p);
           if (read_st.code() == Status::Code::kNotFound) break;
           MAXRS_RETURN_IF_ERROR(read_st);
@@ -268,8 +273,8 @@ class Driver {
     std::string out = temps_.NewName("slab");
     MAXRS_RETURN_IF_ERROR(MergeSweep(env_, ranges, child_slab_files, span_file,
                                      out, options_.objective,
-                                     options_.read_ahead,
-                                     options_.write_behind));
+                                     options_.read_ahead, options_.write_behind,
+                                     options_.cancel));
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_->merges;
@@ -289,6 +294,7 @@ class Driver {
       std::lock_guard<std::mutex> lock(stats_mu_);
       stats_->recursion_levels = std::max(stats_->recursion_levels, depth);
     }
+    MAXRS_RETURN_IF_ERROR(CheckCancel(options_.cancel));
 
     if (num_pieces > base_max_) {
       auto division_or =
@@ -368,7 +374,7 @@ class Driver {
     MAXRS_RETURN_IF_ERROR(MergeSweep(env_, division.children, child_slab_files,
                                      division.span_file, out,
                                      options_.objective, options_.read_ahead,
-                                     options_.write_behind));
+                                     options_.write_behind, options_.cancel));
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_->merges;

@@ -30,6 +30,7 @@
 #include "io/io_stats.h"
 #include "io/record_stream.h"
 #include "io/temp_manager.h"
+#include "util/cancel.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -105,6 +106,13 @@ struct MaxRSOptions {
   /// MergeSweep output writers and the streaming division's span/spill
   /// writers. Results and block counts are bit-identical either way.
   bool write_behind = false;
+
+  /// Optional cooperative cancellation (util/cancel.h), not owned; must
+  /// outlive the run. Polled at every recursion-node entry, routing loop,
+  /// and MergeSweep record loop: an expired token aborts the run with a
+  /// clean kDeadlineExceeded through the ordinary error paths (scratch
+  /// files released, channels closed). Null = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Execution statistics of one ExactMaxRS run.

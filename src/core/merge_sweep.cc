@@ -51,20 +51,20 @@ class PeekedReader {
 Status MergeSweep(Env& env, const std::vector<ChildSlab>& children,
                   const std::vector<std::string>& child_slab_files,
                   const std::string& span_file, const std::string& output_file,
-                  SweepObjective objective, bool read_ahead,
-                  bool write_behind) {
+                  SweepObjective objective, bool read_ahead, bool write_behind,
+                  const CancelToken* cancel) {
   std::vector<Interval> ranges;
   ranges.reserve(children.size());
   for (const ChildSlab& child : children) ranges.push_back(child.x_range);
   return MergeSweep(env, ranges, child_slab_files, span_file, output_file,
-                    objective, read_ahead, write_behind);
+                    objective, read_ahead, write_behind, cancel);
 }
 
 Status MergeSweep(Env& env, const std::vector<Interval>& child_ranges,
                   const std::vector<std::string>& child_slab_files,
                   const std::string& span_file, const std::string& output_file,
-                  SweepObjective objective, bool read_ahead,
-                  bool write_behind) {
+                  SweepObjective objective, bool read_ahead, bool write_behind,
+                  const CancelToken* cancel) {
   const size_t m = child_ranges.size();
   MAXRS_CHECK(m >= 1 && child_slab_files.size() == m);
 
@@ -99,6 +99,7 @@ Status MergeSweep(Env& env, const std::vector<Interval>& child_ranges,
 
   const double inf = std::numeric_limits<double>::infinity();
   while (true) {
+    MAXRS_RETURN_IF_ERROR(CheckCancel(cancel));
     // Next event y across all inputs.
     double y = inf;
     for (const auto& s : slabs) {

@@ -22,6 +22,7 @@
 #include "core/plane_sweep.h"
 #include "core/records.h"
 #include "io/env.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace maxrs {
@@ -33,11 +34,14 @@ namespace maxrs {
 /// the shared IoExecutor (io/prefetch_reader.h); with `write_behind`, the
 /// output writer flushes its blocks on the same executor (io/record_io.h).
 /// Output and block counts are identical in every schedule combination.
+/// A non-null `cancel` token is polled once per sweep event; an expired
+/// token aborts the merge with kDeadlineExceeded.
 Status MergeSweep(Env& env, const std::vector<ChildSlab>& children,
                   const std::vector<std::string>& child_slab_files,
                   const std::string& span_file, const std::string& output_file,
                   SweepObjective objective = SweepObjective::kMaximize,
-                  bool read_ahead = false, bool write_behind = false);
+                  bool read_ahead = false, bool write_behind = false,
+                  const CancelToken* cancel = nullptr);
 
 /// MergeSweep over externally-produced sub-slab solutions: identical sweep,
 /// but the children are given as bare x-ranges instead of DivisionResult
@@ -52,7 +56,8 @@ Status MergeSweep(Env& env, const std::vector<Interval>& child_ranges,
                   const std::vector<std::string>& child_slab_files,
                   const std::string& span_file, const std::string& output_file,
                   SweepObjective objective = SweepObjective::kMaximize,
-                  bool read_ahead = false, bool write_behind = false);
+                  bool read_ahead = false, bool write_behind = false,
+                  const CancelToken* cancel = nullptr);
 
 }  // namespace maxrs
 

@@ -66,6 +66,15 @@ class Env {
   virtual Result<std::unique_ptr<BlockFile>> Open(const std::string& name) = 0;
 
   virtual Status Delete(const std::string& name) = 0;
+
+  /// Atomically renames `from` to `to`, replacing `to` if it exists. The
+  /// atomicity is the crash-consistency primitive of the library: a manifest
+  /// is written under a temp name, Finish()ed, then Rename()d into place, so
+  /// readers observe either the old state or the complete new file — never a
+  /// partial one (docs/ROBUSTNESS.md, "Crash consistency").
+  /// NotFound if `from` does not exist.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
   virtual bool Exists(const std::string& name) const = 0;
   virtual std::vector<std::string> ListFiles() const = 0;
 

@@ -1,5 +1,8 @@
 #include "io/fault_env.h"
 
+#include <cstring>
+#include <vector>
+
 namespace maxrs {
 namespace {
 
@@ -34,6 +37,68 @@ class FaultBlockFile : public BlockFile {
   FaultEnv* env_;
 };
 
+class ChaosBlockFile : public BlockFile {
+ public:
+  ChaosBlockFile(std::unique_ptr<BlockFile> base, ChaosEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status ReadBlock(uint64_t index, void* buf) override {
+    uint64_t bit = 0;
+    switch (env_->DrawReadFault(&bit)) {
+      case ChaosEnv::Fault::kTransient:
+        return Status::Unavailable("chaos: transient read fault on " +
+                                   base_->name());
+      case ChaosEnv::Fault::kPermanent:
+        return Status::IOError("chaos: permanent read fault on " +
+                               base_->name());
+      case ChaosEnv::Fault::kCorrupt: {
+        MAXRS_RETURN_IF_ERROR(base_->ReadBlock(index, buf));
+        auto* bytes = static_cast<unsigned char*>(buf);
+        bit %= base_->block_size() * 8;
+        bytes[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+        return Status::OK();
+      }
+      case ChaosEnv::Fault::kNone:
+        break;
+    }
+    return base_->ReadBlock(index, buf);
+  }
+
+  Status WriteBlock(uint64_t index, const void* buf) override {
+    switch (env_->DrawWriteFault()) {
+      case ChaosEnv::Fault::kTransient:
+        return Status::Unavailable("chaos: transient write fault on " +
+                                   base_->name());
+      case ChaosEnv::Fault::kPermanent:
+        return Status::IOError("chaos: permanent write fault on " +
+                               base_->name());
+      case ChaosEnv::Fault::kCorrupt: {
+        // Torn write: the first half of the block lands, the tail is
+        // garbage, and the writer is told everything went fine.
+        const size_t n = base_->block_size();
+        std::vector<unsigned char> torn(n);
+        std::memcpy(torn.data(), buf, n);
+        for (size_t i = n / 2; i < n; ++i) torn[i] ^= 0xA5;
+        return base_->WriteBlock(index, torn.data());
+      }
+      case ChaosEnv::Fault::kNone:
+        break;
+    }
+    return base_->WriteBlock(index, buf);
+  }
+
+  uint64_t NumBlocks() const override { return base_->NumBlocks(); }
+  Status Truncate(uint64_t num_blocks) override {
+    return base_->Truncate(num_blocks);
+  }
+  size_t block_size() const override { return base_->block_size(); }
+  const std::string& name() const override { return base_->name(); }
+
+ private:
+  std::unique_ptr<BlockFile> base_;
+  ChaosEnv* env_;
+};
+
 }  // namespace
 
 Result<std::unique_ptr<BlockFile>> FaultEnv::Create(const std::string& name) {
@@ -48,6 +113,67 @@ Result<std::unique_ptr<BlockFile>> FaultEnv::Open(const std::string& name) {
   if (!base_or.ok()) return base_or;
   return {std::unique_ptr<BlockFile>(
       new FaultBlockFile(std::move(base_or).value(), this))};
+}
+
+Result<std::unique_ptr<BlockFile>> ChaosEnv::Create(const std::string& name) {
+  auto base_or = base_->Create(name);
+  if (!base_or.ok()) return base_or;
+  return {std::unique_ptr<BlockFile>(
+      new ChaosBlockFile(std::move(base_or).value(), this))};
+}
+
+Result<std::unique_ptr<BlockFile>> ChaosEnv::Open(const std::string& name) {
+  auto base_or = base_->Open(name);
+  if (!base_or.ok()) return base_or;
+  return {std::unique_ptr<BlockFile>(
+      new ChaosBlockFile(std::move(base_or).value(), this))};
+}
+
+ChaosEnv::Fault ChaosEnv::DrawReadFault(uint64_t* detail) {
+  double u;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    u = std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+    *detail = rng_();
+  }
+  if (u < options_.transient_fault_p) {
+    transient_faults_.fetch_add(1, std::memory_order_relaxed);
+    return Fault::kTransient;
+  }
+  u -= options_.transient_fault_p;
+  if (u < options_.permanent_fault_p) {
+    permanent_faults_.fetch_add(1, std::memory_order_relaxed);
+    return Fault::kPermanent;
+  }
+  u -= options_.permanent_fault_p;
+  if (u < options_.bit_flip_read_p) {
+    bit_flips_.fetch_add(1, std::memory_order_relaxed);
+    return Fault::kCorrupt;
+  }
+  return Fault::kNone;
+}
+
+ChaosEnv::Fault ChaosEnv::DrawWriteFault() {
+  double u;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    u = std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+  }
+  if (u < options_.transient_fault_p) {
+    transient_faults_.fetch_add(1, std::memory_order_relaxed);
+    return Fault::kTransient;
+  }
+  u -= options_.transient_fault_p;
+  if (u < options_.permanent_fault_p) {
+    permanent_faults_.fetch_add(1, std::memory_order_relaxed);
+    return Fault::kPermanent;
+  }
+  u -= options_.permanent_fault_p;
+  if (u < options_.torn_write_p) {
+    torn_writes_.fetch_add(1, std::memory_order_relaxed);
+    return Fault::kCorrupt;
+  }
+  return Fault::kNone;
 }
 
 }  // namespace maxrs

@@ -16,12 +16,21 @@ namespace maxrs {
 struct IoStatsSnapshot {
   uint64_t blocks_read = 0;
   uint64_t blocks_written = 0;
+  /// Retry attempts recorded by io/retry_env.h. Each retried transfer that
+  /// reaches the base Env is *also* counted in blocks_read/blocks_written —
+  /// the retry counters say how many of those transfers were repeat
+  /// attempts, keeping accounting exact (docs/IO_MODEL.md, "Retried and
+  /// checksummed blocks").
+  uint64_t reads_retried = 0;
+  uint64_t writes_retried = 0;
 
   uint64_t total() const { return blocks_read + blocks_written; }
 
   IoStatsSnapshot operator-(const IoStatsSnapshot& other) const {
     return {blocks_read - other.blocks_read,
-            blocks_written - other.blocks_written};
+            blocks_written - other.blocks_written,
+            reads_retried - other.reads_retried,
+            writes_retried - other.writes_retried};
   }
 };
 
@@ -51,20 +60,32 @@ class IoStats {
   void RecordWrite(uint64_t blocks) {
     blocks_written_.fetch_add(blocks, std::memory_order_relaxed);
   }
+  void RecordReadRetry(uint64_t blocks) {
+    reads_retried_.fetch_add(blocks, std::memory_order_relaxed);
+  }
+  void RecordWriteRetry(uint64_t blocks) {
+    writes_retried_.fetch_add(blocks, std::memory_order_relaxed);
+  }
 
   IoStatsSnapshot Snapshot() const {
     return {blocks_read_.load(std::memory_order_relaxed),
-            blocks_written_.load(std::memory_order_relaxed)};
+            blocks_written_.load(std::memory_order_relaxed),
+            reads_retried_.load(std::memory_order_relaxed),
+            writes_retried_.load(std::memory_order_relaxed)};
   }
 
   void Reset() {
     blocks_read_.store(0, std::memory_order_relaxed);
     blocks_written_.store(0, std::memory_order_relaxed);
+    reads_retried_.store(0, std::memory_order_relaxed);
+    writes_retried_.store(0, std::memory_order_relaxed);
   }
 
  private:
   std::atomic<uint64_t> blocks_read_{0};
   std::atomic<uint64_t> blocks_written_{0};
+  std::atomic<uint64_t> reads_retried_{0};
+  std::atomic<uint64_t> writes_retried_{0};
 };
 
 }  // namespace maxrs

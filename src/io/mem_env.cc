@@ -103,6 +103,17 @@ class MemEnv : public Env {
     return Status::OK();
   }
 
+  Status Rename(const std::string& from, const std::string& to) override {
+    // One critical section = atomic: no observer can see `to` absent while
+    // `from` is already gone, or both present.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(from);
+    if (it == files_.end()) return Status::NotFound("no such file: " + from);
+    files_[to] = it->second;
+    files_.erase(it);
+    return Status::OK();
+  }
+
   bool Exists(const std::string& name) const override {
     std::lock_guard<std::mutex> lock(mu_);
     return files_.count(name) > 0;

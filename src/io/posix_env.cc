@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 
@@ -115,6 +116,17 @@ class PosixEnv : public Env {
   Status Delete(const std::string& name) override {
     if (unlink(PathFor(name).c_str()) != 0) {
       return Status::NotFound("no such file: " + name);
+    }
+    return Status::OK();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    // POSIX rename(2) atomically replaces the target within one filesystem;
+    // the whole namespace lives in one directory, so this always qualifies.
+    if (::rename(PathFor(from).c_str(), PathFor(to).c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + from);
+      return Status::IOError("rename " + from + " -> " + to + ": " +
+                             std::strerror(errno));
     }
     return Status::OK();
   }

@@ -98,6 +98,7 @@ class PrefetchingReader {
       executor_ = other.executor_;
       inflight_ = std::move(other.inflight_);
       spare_ = std::move(other.spare_);
+      sums_ = std::move(other.sums_);
       total_ = other.total_;
       consumed_ = other.consumed_;
       in_buf_ = other.in_buf_;
@@ -141,7 +142,8 @@ class PrefetchingReader {
 
  private:
   Status ReadHeader() {
-    return record_internal::ReadAndValidateHeader(*file_, sizeof(T), &total_);
+    return record_internal::ReadAndValidateHeader(*file_, sizeof(T), &total_,
+                                                  &sums_);
   }
 
   // Makes block `next_block_` current: adopts the in-flight fetch if one
@@ -170,6 +172,11 @@ class PrefetchingReader {
     } else {
       MAXRS_RETURN_IF_ERROR(file_->ReadBlock(next_block_, buf_.data()));
     }
+    // Verified on the consumer thread (for prefetched blocks too): the
+    // worker only moves bytes; corruption surfaces here as a sticky
+    // kCorruption before next_block_ advances.
+    MAXRS_RETURN_IF_ERROR(record_internal::VerifyBlockChecksum(
+        sums_, *file_, next_block_, buf_.data(), buf_.size()));
     ++next_block_;
     in_buf_ = 0;
     buffered_ = std::min<uint64_t>(per_block_, total_ - consumed_);
@@ -229,6 +236,7 @@ class PrefetchingReader {
   // Recycled completion slot + buffer of the last adopted fetch; one slot
   // suffices because at most one fetch is ever in flight per reader.
   std::shared_ptr<prefetch_internal::BlockFetch> spare_;
+  record_internal::BlockChecksums sums_;
   uint64_t total_ = 0;
   uint64_t consumed_ = 0;
   size_t in_buf_ = 0;

@@ -1,0 +1,89 @@
+#include "io/retry_env.h"
+
+#include <thread>
+
+namespace maxrs {
+namespace {
+
+class RetryBlockFile : public BlockFile {
+ public:
+  RetryBlockFile(std::unique_ptr<BlockFile> base, RetryEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status ReadBlock(uint64_t index, void* buf) override {
+    Status s = base_->ReadBlock(index, buf);
+    for (int attempt = 0; !s.ok() && env_->ShouldRetry(s) &&
+                          attempt < env_->policy().max_retries;
+         ++attempt) {
+      env_->OnRetry(attempt);
+      env_->stats().RecordReadRetry(1);
+      s = base_->ReadBlock(index, buf);
+    }
+    return s;
+  }
+
+  Status WriteBlock(uint64_t index, const void* buf) override {
+    Status s = base_->WriteBlock(index, buf);
+    for (int attempt = 0; !s.ok() && env_->ShouldRetry(s) &&
+                          attempt < env_->policy().max_retries;
+         ++attempt) {
+      env_->OnRetry(attempt);
+      env_->stats().RecordWriteRetry(1);
+      s = base_->WriteBlock(index, buf);
+    }
+    return s;
+  }
+
+  uint64_t NumBlocks() const override { return base_->NumBlocks(); }
+  Status Truncate(uint64_t num_blocks) override {
+    return base_->Truncate(num_blocks);
+  }
+  size_t block_size() const override { return base_->block_size(); }
+  const std::string& name() const override { return base_->name(); }
+
+ private:
+  std::unique_ptr<BlockFile> base_;
+  RetryEnv* env_;
+};
+
+}  // namespace
+
+void RetryEnv::OnRetry(int attempt) {
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  if (policy_.initial_backoff.count() <= 0) return;
+  auto backoff = std::chrono::duration_cast<std::chrono::microseconds>(
+      policy_.initial_backoff);
+  for (int i = 0; i < attempt; ++i) {
+    backoff = std::chrono::microseconds(static_cast<int64_t>(
+        static_cast<double>(backoff.count()) * policy_.backoff_multiplier));
+  }
+  std::this_thread::sleep_for(backoff);
+}
+
+Result<std::unique_ptr<BlockFile>> RetryEnv::Create(const std::string& name) {
+  auto base_or = base_->Create(name);
+  for (int attempt = 0; !base_or.ok() && ShouldRetry(base_or.status()) &&
+                        attempt < policy_.max_retries;
+       ++attempt) {
+    OnRetry(attempt);
+    base_or = base_->Create(name);
+  }
+  if (!base_or.ok()) return base_or;
+  return {std::unique_ptr<BlockFile>(
+      new RetryBlockFile(std::move(base_or).value(), this))};
+}
+
+Result<std::unique_ptr<BlockFile>> RetryEnv::Open(const std::string& name) {
+  auto base_or = base_->Open(name);
+  for (int attempt = 0; !base_or.ok() && ShouldRetry(base_or.status()) &&
+                        attempt < policy_.max_retries;
+       ++attempt) {
+    OnRetry(attempt);
+    base_or = base_->Open(name);
+  }
+  if (!base_or.ok()) return base_or;
+  return {std::unique_ptr<BlockFile>(
+      new RetryBlockFile(std::move(base_or).value(), this))};
+}
+
+}  // namespace maxrs

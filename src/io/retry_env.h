@@ -1,0 +1,87 @@
+// RetryEnv: an Env wrapper that absorbs transient faults with bounded
+// retries + exponential backoff. The retry taxonomy lives in Status
+// (util/status.h): kUnavailable is retryable; everything else is terminal
+// unless the policy opts plain kIOError in (for storage whose drivers
+// report transient errors that way).
+//
+// Accounting (docs/IO_MODEL.md, "Retried and checksummed blocks"): every
+// retried attempt that reaches the base Env is counted there as usual; in
+// addition each retry attempt increments IoStats reads_retried /
+// writes_retried, so `blocks_read - reads_retried_that_transferred` style
+// audits are possible and a converged transient-only chaos schedule shows
+// base counts identical to a fault-free run.
+#ifndef MAXRS_IO_RETRY_ENV_H_
+#define MAXRS_IO_RETRY_ENV_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "io/env.h"
+
+namespace maxrs {
+
+/// Bounds and pacing for RetryEnv.
+struct RetryPolicy {
+  /// Retries after the first attempt; 3 means up to 4 attempts total.
+  int max_retries = 3;
+  /// Sleep before the first retry; doubles (×backoff_multiplier) each retry.
+  /// Zero disables sleeping — useful in tests and on in-memory Envs.
+  std::chrono::microseconds initial_backoff{0};
+  double backoff_multiplier = 2.0;
+  /// Treat plain kIOError as transient too. Off by default: a POSIX EIO is
+  /// permanent more often than not, and retrying corruption is never right.
+  bool retry_io_errors = false;
+};
+
+/// Env wrapper retrying retryable failures of block transfers and of
+/// Create/Open. Namespace mutations (Delete, Rename) pass through unretried:
+/// they are not idempotent under concurrent observers, and the fault
+/// injectors never fault them.
+class RetryEnv : public Env {
+ public:
+  RetryEnv(Env& base, const RetryPolicy& policy)
+      : base_(&base), policy_(policy) {}
+
+  Result<std::unique_ptr<BlockFile>> Create(const std::string& name) override;
+  Result<std::unique_ptr<BlockFile>> Open(const std::string& name) override;
+  Status Delete(const std::string& name) override { return base_->Delete(name); }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return base_->Rename(from, to);
+  }
+  bool Exists(const std::string& name) const override {
+    return base_->Exists(name);
+  }
+  std::vector<std::string> ListFiles() const override {
+    return base_->ListFiles();
+  }
+  size_t block_size() const override { return base_->block_size(); }
+  IoStats& stats() override { return base_->stats(); }
+
+  /// Total retry attempts performed (reads + writes + open/create).
+  uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+
+  const RetryPolicy& policy() const { return policy_; }
+
+  /// True if `s` should be retried under this policy (internal use).
+  bool ShouldRetry(const Status& s) const {
+    return s.is_retryable() ||
+           (policy_.retry_io_errors && s.code() == Status::Code::kIOError);
+  }
+
+  /// Sleeps for the backoff of retry attempt `attempt` (0-based) and bumps
+  /// the retry counter (internal use by the wrapped files).
+  void OnRetry(int attempt);
+
+ private:
+  Env* base_;
+  RetryPolicy policy_;
+  std::atomic<uint64_t> retries_{0};
+};
+
+}  // namespace maxrs
+
+#endif  // MAXRS_IO_RETRY_ENV_H_

@@ -27,6 +27,13 @@ std::string ManifestName(const std::string& prefix) {
   return prefix + "/manifest";
 }
 
+// The manifest is assembled here and atomically Rename()d into place once
+// complete, so a crash mid-ingest leaves at worst this orphan — never a
+// partial manifest under the published name.
+std::string TempManifestName(const std::string& prefix) {
+  return prefix + "/manifest.tmp";
+}
+
 std::string ShardYName(const std::string& prefix, size_t index) {
   return prefix + "/shard_" + std::to_string(index) + "_y";
 }
@@ -174,10 +181,13 @@ Status IngestInto(Env& env, const std::string& object_file,
     }
 
     // The manifest is the commit point: a dataset without one is invisible
-    // to Open and treated as a failed ingest.
+    // to Open and treated as a failed ingest. It is written under a temp
+    // name and published by an atomic Rename once fully Finish()ed, so no
+    // observer (and no crash) can ever see a half-written manifest under
+    // the published name — a torn ingest leaves only the orphan .tmp.
     MAXRS_ASSIGN_OR_RETURN(
         RecordWriter<ShardManifestRecord> manifest,
-        RecordWriter<ShardManifestRecord>::Make(env, ManifestName(prefix),
+        RecordWriter<ShardManifestRecord>::Make(env, TempManifestName(prefix),
                                                 options.write_behind));
     MAXRS_RETURN_IF_ERROR(manifest.Append(
         ShardManifestRecord{0, kManifestFormatVersion, num_objects, 0.0, 0.0}));
@@ -192,7 +202,8 @@ Status IngestInto(Env& env, const std::string& object_file,
       MAXRS_RETURN_IF_ERROR(manifest.Append(ShardManifestRecord{
           1, i, info.num_objects, info.x_range.lo, info.x_range.hi}));
     }
-    return manifest.Finish();
+    MAXRS_RETURN_IF_ERROR(manifest.Finish());
+    return env.Rename(TempManifestName(prefix), ManifestName(prefix));
   };
 
   Status st = body();
@@ -238,15 +249,15 @@ Result<DatasetHandle> DatasetHandle::Ingest(Env& env,
                          &handle.shards_, &handle.bounds_);
   if (!st.ok()) {
     // Roll back partially written shard files AND a partially written
-    // manifest (Create happens before the appends, so the file can exist
-    // without being valid); otherwise the prefix would be permanently
-    // bricked — re-Ingest refuses it and Open rejects it.
+    // temp manifest (Create happens before the appends, so the file can
+    // exist without being valid). The published name needs no rollback —
+    // only a fully Finish()ed manifest is ever Rename()d onto it.
     for (const ShardInfo& info : handle.shards_) {
       Status ignored = env.Delete(info.y_file);
       ignored = env.Delete(info.x_file);
       (void)ignored;
     }
-    Status ignored = env.Delete(ManifestName(options.prefix));
+    Status ignored = env.Delete(TempManifestName(options.prefix));
     (void)ignored;
     return st;
   }
@@ -325,6 +336,8 @@ Status DatasetHandle::Drop() {
     note(env_->Delete(info.x_file));
   }
   note(env_->Delete(ManifestName(prefix_)));
+  // A crashed ingest may have left an unpublished temp manifest behind.
+  note(env_->Delete(TempManifestName(prefix_)));
   shards_.clear();
   num_objects_ = 0;
   has_bounds_ = false;

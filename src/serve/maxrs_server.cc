@@ -1,6 +1,7 @@
 #include "serve/maxrs_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <optional>
 
@@ -38,7 +39,8 @@ namespace {
 // with a real sort (correctness over speed on degenerate data).
 Status TransformShardPieces(Env& env, const ShardInfo& shard, double width,
                             double height, const std::string& out,
-                            bool* canonical, bool read_ahead) {
+                            bool* canonical, bool read_ahead,
+                            const CancelToken* cancel) {
   MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SpatialObject> reader,
                          PrefetchingReader<SpatialObject>::Make(
                              env, shard.y_file, read_ahead));
@@ -49,6 +51,7 @@ Status TransformShardPieces(Env& env, const ShardInfo& shard, double width,
   bool have_prev = false;
   SpatialObject o{};
   while (reader.Next(&o)) {
+    MAXRS_RETURN_IF_ERROR(CheckCancel(cancel));
     const PieceRecord piece = TransformObject(o, width, height);
     if (have_prev && PieceYLess(piece, prev)) *canonical = false;
     prev = piece;
@@ -68,7 +71,8 @@ Status TransformShardPieces(Env& env, const ShardInfo& shard, double width,
 // colliding values are byte-identical and every merge order yields the
 // same file.
 Status BuildShardEdges(Env& env, const ShardInfo& shard, double width,
-                       const std::string& out, bool read_ahead) {
+                       const std::string& out, bool read_ahead,
+                       const CancelToken* cancel) {
   MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SpatialObject> left,
                          PrefetchingReader<SpatialObject>::Make(
                              env, shard.x_file, read_ahead));
@@ -82,6 +86,7 @@ Status BuildShardEdges(Env& env, const ShardInfo& shard, double width,
   bool have_lo = left.Next(&lo);
   bool have_hi = right.Next(&hi);
   while (have_lo || have_hi) {
+    MAXRS_RETURN_IF_ERROR(CheckCancel(cancel));
     bool take_lo = have_lo;
     if (have_lo && have_hi) {
       take_lo = DoubleOrderKey(lo.x - half_w) <= DoubleOrderKey(hi.x + half_w);
@@ -199,7 +204,7 @@ Status RouteSourceShard(Env& env, TempFileManager& temps,
                         const std::vector<ShardInfo>& shards,
                         const std::vector<double>& bounds, size_t source,
                         double width, double height, bool read_ahead,
-                        RoutedSource* out) {
+                        const CancelToken* cancel, RoutedSource* out) {
   const size_t num_shards = shards.size();
   const std::string source_tag = std::to_string(source);
 
@@ -234,6 +239,7 @@ Status RouteSourceShard(Env& env, TempFileManager& temps,
                                env, shards[source].y_file, read_ahead));
     SpatialObject o{};
     while (reader.Next(&o)) {
+      MAXRS_RETURN_IF_ERROR(CheckCancel(cancel));
       const PieceRecord p = TransformObject(o, width, height);
       MAXRS_RETURN_IF_ERROR(division_internal::RoutePiece(
           bounds, ranges, p, emit_piece, append_span));
@@ -268,6 +274,7 @@ Status RouteSourceShard(Env& env, TempFileManager& temps,
     bool have_lo = left.Next(&lo);
     bool have_hi = right.Next(&hi);
     while (have_lo || have_hi) {
+      MAXRS_RETURN_IF_ERROR(CheckCancel(cancel));
       bool take_lo = have_lo;
       if (have_lo && have_hi) {
         take_lo =
@@ -446,7 +453,7 @@ Status RouteSourceShardStreaming(Env& env, StreamingChannels& channels,
                                  const std::vector<double>& bounds,
                                  const std::vector<Interval>& ranges,
                                  size_t source, double width, double height,
-                                 bool read_ahead) {
+                                 bool read_ahead, const CancelToken* cancel) {
   const size_t num_shards = shards.size();
 
   // Pieces + spans: one pass over the shard's ObjectYLess-sorted objects.
@@ -462,6 +469,10 @@ Status RouteSourceShardStreaming(Env& env, StreamingChannels& channels,
                                env, shards[source].y_file, read_ahead));
     SpatialObject o{};
     while (reader.Next(&o)) {
+      // An expired deadline unwinds through the close-on-error protocol
+      // below, so every consumer blocked on this row's channels observes
+      // kDeadlineExceeded instead of hanging.
+      MAXRS_RETURN_IF_ERROR(CheckCancel(cancel));
       const PieceRecord p = TransformObject(o, width, height);
       MAXRS_RETURN_IF_ERROR(division_internal::RoutePiece(
           bounds, ranges, p, emit_piece, emit_span));
@@ -502,6 +513,7 @@ Status RouteSourceShardStreaming(Env& env, StreamingChannels& channels,
     bool have_lo = left.Next(&lo);
     bool have_hi = right.Next(&hi);
     while (have_lo || have_hi) {
+      MAXRS_RETURN_IF_ERROR(CheckCancel(cancel));
       bool take_lo = have_lo;
       if (have_lo && have_hi) {
         take_lo = DoubleOrderKey(lo.x - half_w) <= DoubleOrderKey(hi.x + half_w);
@@ -580,7 +592,10 @@ Status SolveTargetShardStreaming(Env& env, TempFileManager& temps,
         RecordWriter<EdgeRecord> writer,
         RecordWriter<EdgeRecord>::Make(env, edge_file, write_behind));
     EdgeRecord e{};
-    while (edges.Next(&e)) MAXRS_RETURN_IF_ERROR(writer.Append(e));
+    while (edges.Next(&e)) {
+      MAXRS_RETURN_IF_ERROR(CheckCancel(options.cancel));
+      MAXRS_RETURN_IF_ERROR(writer.Append(e));
+    }
     MAXRS_RETURN_IF_ERROR(edges.final_status());
     MAXRS_RETURN_IF_ERROR(writer.Finish());
     return {edge_file};
@@ -637,10 +652,12 @@ ServerCounters MaxRSServer::counters() const {
   return counters_;
 }
 
-MaxRSOptions MaxRSServer::MakeQueryOptions(double width, double height) const {
+MaxRSOptions MaxRSServer::MakeQueryOptions(double width, double height,
+                                           const CancelToken* cancel) const {
   MaxRSOptions query_options;
   query_options.rect_width = width;
   query_options.rect_height = height;
+  query_options.cancel = cancel;
   query_options.memory_bytes = options_.memory_bytes;
   query_options.fanout = options_.fanout;
   query_options.base_case_max_pieces = options_.base_case_max_pieces;
@@ -731,9 +748,10 @@ Result<MaxRSResult> MaxRSServer::Submit(double rect_width, double rect_height) {
         ++counters_.cache_hits;
         return *std::move(hit);
       }
-      request = std::make_shared<Request>();
-      request->width = rect_width;
-      request->height = rect_height;
+      request = std::make_shared<Request>(
+          rect_width, rect_height,
+          std::chrono::milliseconds(std::max<int64_t>(0,
+                                                      options_.deadline_ms)));
       future = request->promise.get_future().share();
       pending_.emplace(key, future);
     }
@@ -747,16 +765,33 @@ Result<MaxRSResult> MaxRSServer::Submit(double rect_width, double rect_height) {
     return future.get();
   }
 
-  if (!queue_.Push(request)) {
-    // Shut down: fail the promise first — followers may already be
-    // attached to this pending slot — then retire the slot.
-    request->promise.set_value(
-        Status::NotSupported("MaxRSServer is shut down"));
+  // Bounded admission: wait at most the admission budget for queue room.
+  // Blocking forever would wedge every submitter behind one slow query;
+  // past the budget the request is shed with kUnavailable — a retryable
+  // signal the caller may back off on. kClosed stays the distinct
+  // shutdown status so clients can tell overload from termination.
+  const PushResult pushed = queue_.PushFor(
+      request, std::chrono::milliseconds(
+                   std::max<int64_t>(0, options_.admission_timeout_ms)));
+  if (pushed != PushResult::kAccepted) {
+    const Status refused =
+        pushed == PushResult::kClosed
+            ? Status::NotSupported("MaxRSServer is shut down")
+            : Status::Unavailable(
+                  "MaxRSServer overloaded: queue full past the admission "
+                  "budget");
+    // Fail the promise first — followers may already be attached to this
+    // pending slot — then retire the slot.
+    request->promise.set_value(refused);
     {
       std::lock_guard<std::mutex> lock(pending_mu_);
       pending_.erase(key);
     }
-    return Status::NotSupported("MaxRSServer is shut down");
+    if (pushed == PushResult::kTimedOut) {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.shed;
+    }
+    return refused;
   }
   {
     std::lock_guard<std::mutex> lock(counters_mu_);
@@ -769,12 +804,19 @@ void MaxRSServer::WorkerLoop() {
   std::shared_ptr<Request> request;
   while (queue_.Pop(&request)) {
     Result<MaxRSResult> result =
-        ExecuteQuery(request->width, request->height);
+        ExecuteQuery(request->width, request->height, &request->cancel);
     const CacheKey key = MakeKey(request->width, request->height);
     {
       std::lock_guard<std::mutex> lock(counters_mu_);
       ++counters_.executed;
-      if (!result.ok()) ++counters_.failed;
+      if (!result.ok()) {
+        ++counters_.failed;
+        if (result.status().code() == Status::Code::kDeadlineExceeded) {
+          ++counters_.deadlines;
+        } else if (result.status().code() == Status::Code::kCorruption) {
+          ++counters_.corruptions;
+        }
+      }
     }
     if (result.ok()) {
       if (AdmitToCache(request->width, request->height)) {
@@ -794,20 +836,36 @@ void MaxRSServer::WorkerLoop() {
   }
 }
 
-Result<MaxRSResult> MaxRSServer::ExecuteQuery(double width, double height) {
-  return options_.solve_mode == ServeSolveMode::kPerShard
-             ? ExecutePerShard(width, height)
-             : ExecuteGlobalMerge(width, height);
+Result<MaxRSResult> MaxRSServer::ExecuteQuery(double width, double height,
+                                              const CancelToken* cancel) {
+  // A request whose deadline elapsed while it sat in the queue fails here
+  // without touching the Env at all.
+  MAXRS_RETURN_IF_ERROR(CheckCancel(cancel));
+  if (options_.solve_mode == ServeSolveMode::kGlobalMerge) {
+    return ExecuteGlobalMerge(width, height, cancel);
+  }
+  if (options_.routing_mode == ServeRoutingMode::kMaterialized) {
+    return ExecutePerShardMaterialized(width, height, cancel);
+  }
+  Result<MaxRSResult> result = ExecutePerShardStreaming(width, height, cancel);
+  if (!result.ok() && result.status().is_retryable()) {
+    // Graceful degradation, one shot: a streaming query that failed with a
+    // retryable (transient) error — Env retries already exhausted — re-runs
+    // once on the materialized file-based path before the failure reaches
+    // the client. Terminal errors (kCorruption, kDeadlineExceeded) are
+    // never re-run: the rerun would read the same bad bytes or re-exceed
+    // the same deadline.
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.degraded;
+    }
+    result = ExecutePerShardMaterialized(width, height, cancel);
+  }
+  return result;
 }
 
-Result<MaxRSResult> MaxRSServer::ExecutePerShard(double width, double height) {
-  return options_.routing_mode == ServeRoutingMode::kStreaming
-             ? ExecutePerShardStreaming(width, height)
-             : ExecutePerShardMaterialized(width, height);
-}
-
-Result<MaxRSResult> MaxRSServer::ExecutePerShardStreaming(double width,
-                                                          double height) {
+Result<MaxRSResult> MaxRSServer::ExecutePerShardStreaming(
+    double width, double height, const CancelToken* cancel) {
   TempFileManager temps(env_, options_.work_prefix);
   const IoStatsSnapshot io_before = env_.stats().Snapshot();
   Stopwatch timer;
@@ -823,7 +881,8 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardStreaming(double width,
     std::vector<Interval> ranges;
     ranges.reserve(num_shards);
     for (const ShardInfo& shard : shards) ranges.push_back(shard.x_range);
-    const MaxRSOptions query_options = MakeQueryOptions(width, height);
+    const MaxRSOptions query_options =
+        MakeQueryOptions(width, height, cancel);
 
     // Channels first (deterministic spill-name order), then the producers
     // as raw pool submissions, then the consumers as a TaskGroup — the
@@ -837,9 +896,9 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardStreaming(double width,
     JoinLatch producers_done(num_shards);
     for (size_t s = 0; s < num_shards; ++s) {
       pool_->Submit([&, s] {
-        producer_status[s] =
-            RouteSourceShardStreaming(env_, channels, shards, bounds, ranges,
-                                      s, width, height, options_.read_ahead);
+        producer_status[s] = RouteSourceShardStreaming(
+            env_, channels, shards, bounds, ranges, s, width, height,
+            options_.read_ahead, cancel);
         producers_done.CountDown();
       });
     }
@@ -886,7 +945,10 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardStreaming(double width,
             RecordWriter<SpanRecord>::Make(env_, span_file,
                                            options_.write_behind));
         SpanRecord span{};
-        while (spans.Next(&span)) MAXRS_RETURN_IF_ERROR(writer.Append(span));
+        while (spans.Next(&span)) {
+          MAXRS_RETURN_IF_ERROR(CheckCancel(cancel));
+          MAXRS_RETURN_IF_ERROR(writer.Append(span));
+        }
         MAXRS_RETURN_IF_ERROR(spans.final_status());
         MAXRS_RETURN_IF_ERROR(writer.Finish());
         num_spans = writer.count();
@@ -895,7 +957,7 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardStreaming(double width,
       MAXRS_RETURN_IF_ERROR(MergeSweep(env_, ranges, slab_files, span_file,
                                        root_file, SweepObjective::kMaximize,
                                        options_.read_ahead,
-                                       options_.write_behind));
+                                       options_.write_behind, cancel));
       for (const std::string& slab_file : slab_files) {
         temps.Release(slab_file);
       }
@@ -909,7 +971,10 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardStreaming(double width,
                              PrefetchingReader<SlabTuple>::Make(
                                  env_, root_file, options_.read_ahead));
       SlabTuple t{};
-      while (reader.Next(&t)) tracker.Visit(t);
+      while (reader.Next(&t)) {
+        MAXRS_RETURN_IF_ERROR(CheckCancel(cancel));
+        tracker.Visit(t);
+      }
       MAXRS_RETURN_IF_ERROR(reader.final_status());
     }
     temps.Release(root_file);
@@ -952,8 +1017,8 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardStreaming(double width,
   return result;
 }
 
-Result<MaxRSResult> MaxRSServer::ExecutePerShardMaterialized(double width,
-                                                             double height) {
+Result<MaxRSResult> MaxRSServer::ExecutePerShardMaterialized(
+    double width, double height, const CancelToken* cancel) {
   TempFileManager temps(env_, options_.work_prefix);
   const IoStatsSnapshot io_before = env_.stats().Snapshot();
   Stopwatch timer;
@@ -966,7 +1031,8 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardMaterialized(double width,
     for (size_t k = 1; k < num_shards; ++k) {
       bounds.push_back(shards[k].x_range.lo);
     }
-    const MaxRSOptions query_options = MakeQueryOptions(width, height);
+    const MaxRSOptions query_options =
+        MakeQueryOptions(width, height, cancel);
 
     // Phase A: route every source shard. Subtasks write into slots indexed
     // by source, so the fan-in is deterministic regardless of schedule;
@@ -978,7 +1044,8 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardMaterialized(double width,
       for (size_t s = 0; s < num_shards; ++s) {
         group.Run([&, s]() -> Status {
           return RouteSourceShard(env_, temps, shards, bounds, s, width,
-                                  height, options_.read_ahead, &routed[s]);
+                                  height, options_.read_ahead, cancel,
+                                  &routed[s]);
         });
       }
       MAXRS_RETURN_IF_ERROR(group.Wait());
@@ -1038,7 +1105,7 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardMaterialized(double width,
       MAXRS_RETURN_IF_ERROR(MergeSweep(env_, ranges, slab_files, span_file,
                                        root_file, SweepObjective::kMaximize,
                                        options_.read_ahead,
-                                       options_.write_behind));
+                                       options_.write_behind, cancel));
       for (const std::string& slab_file : slab_files) {
         temps.Release(slab_file);
       }
@@ -1052,7 +1119,10 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardMaterialized(double width,
                              PrefetchingReader<SlabTuple>::Make(
                                  env_, root_file, options_.read_ahead));
       SlabTuple t{};
-      while (reader.Next(&t)) tracker.Visit(t);
+      while (reader.Next(&t)) {
+        MAXRS_RETURN_IF_ERROR(CheckCancel(cancel));
+        tracker.Visit(t);
+      }
       MAXRS_RETURN_IF_ERROR(reader.final_status());
     }
     temps.Release(root_file);
@@ -1094,13 +1164,15 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardMaterialized(double width,
   return result;
 }
 
-Result<MaxRSResult> MaxRSServer::ExecuteGlobalMerge(double width,
-                                                    double height) {
+Result<MaxRSResult> MaxRSServer::ExecuteGlobalMerge(
+    double width, double height, const CancelToken* cancel) {
   TempFileManager temps(env_, options_.work_prefix);
 
   auto body = [&]() -> Result<MaxRSResult> {
     const std::vector<ShardInfo>& shards = dataset_.shards();
     const size_t num_shards = shards.size();
+    const MaxRSOptions query_options =
+        MakeQueryOptions(width, height, cancel);
 
     // Per-shard rect-dependent derivation: linear passes over the
     // pre-sorted shard files, no sorting.
@@ -1112,7 +1184,7 @@ Result<MaxRSResult> MaxRSServer::ExecuteGlobalMerge(double width,
       bool canonical = true;
       MAXRS_RETURN_IF_ERROR(TransformShardPieces(
           env_, shards[i], width, height, piece_parts[i], &canonical,
-          options_.read_ahead));
+          options_.read_ahead, cancel));
       if (!canonical) {
         // Sub-ulp coordinate collapse (see TransformShardPieces) broke the
         // derived order; fall back to a real sort for this shard so the
@@ -1128,7 +1200,7 @@ Result<MaxRSResult> MaxRSServer::ExecuteGlobalMerge(double width,
       }
       MAXRS_RETURN_IF_ERROR(BuildShardEdges(env_, shards[i], width,
                                             edge_parts[i],
-                                            options_.read_ahead));
+                                            options_.read_ahead, cancel));
     }
 
     // Assemble the two global division-phase inputs. Shards partition the
@@ -1158,7 +1230,7 @@ Result<MaxRSResult> MaxRSServer::ExecuteGlobalMerge(double width,
     input.edge_file = edge_file;
     input.num_pieces = dataset_.num_objects();
     input.x_range = Interval{-kInf, kInf};
-    return RunExactMaxRSPrepared(env_, input, MakeQueryOptions(width, height));
+    return RunExactMaxRSPrepared(env_, input, query_options);
   };
 
   Result<MaxRSResult> result = body();

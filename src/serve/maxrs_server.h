@@ -52,6 +52,7 @@
 #ifndef MAXRS_SERVE_MAXRS_SERVER_H_
 #define MAXRS_SERVE_MAXRS_SERVER_H_
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -70,6 +71,7 @@
 #include "core/exact_maxrs.h"
 #include "io/env.h"
 #include "serve/dataset_handle.h"
+#include "util/cancel.h"
 #include "util/mpmc_queue.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -146,8 +148,23 @@ struct MaxRSServerOptions {
   double cache_max_extent_fraction = 0.5;
 
   /// Bound on queued (not yet executing) requests; submitters beyond it
-  /// block — backpressure instead of unbounded queue growth.
+  /// wait up to `admission_timeout_ms` — backpressure instead of unbounded
+  /// queue growth.
   size_t queue_capacity = 64;
+
+  /// Admission budget: how long Submit may wait for room in a full queue
+  /// before shedding the query with kUnavailable (a retryable signal —
+  /// callers may back off and resubmit). 0 sheds immediately when the
+  /// queue is full. Bounded by design: an unbounded wait wedges every
+  /// submitter thread behind one slow query (docs/ROBUSTNESS.md).
+  int64_t admission_timeout_ms = 10'000;
+
+  /// Per-query deadline measured from Submit (queue wait included); past
+  /// it the query's CancelToken expires and every routing / merge / sweep
+  /// loop it reaches aborts with kDeadlineExceeded — a terminal error
+  /// (re-running would re-exceed it). 0 disables deadlines. Cooperative:
+  /// a query may still finish successfully if it completes between polls.
+  int64_t deadline_ms = 0;
 
   /// Per-query execution strategy; see ServeSolveMode.
   ServeSolveMode solve_mode = ServeSolveMode::kPerShard;
@@ -190,6 +207,14 @@ struct ServerCounters {
   uint64_t executed = 0;        ///< Ran the full per-query pipeline.
   uint64_t failed = 0;          ///< Executions that returned an error.
   uint64_t cache_rejects = 0;   ///< Results refused by the admission policy.
+  uint64_t shed = 0;            ///< Refused with kUnavailable: queue full
+                                ///< past the admission budget.
+  uint64_t degraded = 0;        ///< Streaming queries re-run once on the
+                                ///< materialized path after a retryable
+                                ///< failure (graceful degradation).
+  uint64_t deadlines = 0;       ///< Executions aborted by kDeadlineExceeded.
+  uint64_t corruptions = 0;     ///< Executions aborted by kCorruption
+                                ///< (checksum mismatch, truncated file).
 };
 
 /// A long-lived MaxRS query server over one immutable ingested dataset.
@@ -211,8 +236,11 @@ class MaxRSServer {
   /// Answers one MaxRS query for a `rect_width` x `rect_height` rectangle.
   /// Blocks until the result is available; safe to call concurrently from
   /// many threads. Returns InvalidArgument for non-positive/non-finite
-  /// dimensions. After Shutdown, already-cached rects remain servable
-  /// (zero I/O); queries that would need execution return NotSupported.
+  /// dimensions; kUnavailable (retryable) when the queue stays full past
+  /// the admission budget; kDeadlineExceeded when `deadline_ms` elapses
+  /// before the query finishes. After Shutdown, already-cached rects
+  /// remain servable (zero I/O); queries that would need execution return
+  /// NotSupported.
   Result<MaxRSResult> Submit(double rect_width, double rect_height);
 
   /// Stops accepting new queries, waits for in-flight ones, and joins the
@@ -226,12 +254,17 @@ class MaxRSServer {
   size_t queue_depth() const { return queue_.size(); }
 
  private:
-  /// One queued query: its dimensions and the promise Submit waits on. The
-  /// shared future is what the leader and any deduplicated followers wait
-  /// on; the worker fulfills the promise exactly once.
+  /// One queued query: its dimensions, its cancellation token, and the
+  /// promise Submit waits on. The shared future is what the leader and any
+  /// deduplicated followers wait on; the worker fulfills the promise
+  /// exactly once. The token's deadline starts at Submit, so time spent
+  /// queued counts against it.
   struct Request {
-    double width = 0.0;
-    double height = 0.0;
+    Request(double w, double h, std::chrono::milliseconds deadline)
+        : width(w), height(h), cancel(CancelToken::WithTimeout(deadline)) {}
+    double width;
+    double height;
+    CancelToken cancel;
     std::promise<Result<MaxRSResult>> promise;
   };
 
@@ -256,13 +289,17 @@ class MaxRSServer {
 
   static CacheKey MakeKey(double width, double height);
 
-  MaxRSOptions MakeQueryOptions(double width, double height) const;
+  MaxRSOptions MakeQueryOptions(double width, double height,
+                                const CancelToken* cancel = nullptr) const;
   void WorkerLoop();
-  Result<MaxRSResult> ExecuteQuery(double width, double height);
-  Result<MaxRSResult> ExecuteGlobalMerge(double width, double height);
-  Result<MaxRSResult> ExecutePerShard(double width, double height);
-  Result<MaxRSResult> ExecutePerShardStreaming(double width, double height);
-  Result<MaxRSResult> ExecutePerShardMaterialized(double width, double height);
+  Result<MaxRSResult> ExecuteQuery(double width, double height,
+                                   const CancelToken* cancel);
+  Result<MaxRSResult> ExecuteGlobalMerge(double width, double height,
+                                         const CancelToken* cancel);
+  Result<MaxRSResult> ExecutePerShardStreaming(double width, double height,
+                                               const CancelToken* cancel);
+  Result<MaxRSResult> ExecutePerShardMaterialized(double width, double height,
+                                                  const CancelToken* cancel);
   std::optional<MaxRSResult> CacheLookup(const CacheKey& key);
   void CacheInsert(const CacheKey& key, const MaxRSResult& result);
   bool AdmitToCache(double width, double height) const;

@@ -1,0 +1,69 @@
+// Cooperative cancellation: a CancelToken is created per query (with an
+// optional deadline), handed down through MaxRSOptions / the serve routing
+// loops, and polled at loop granularity. Cancellation is advisory — a loop
+// that observes an expired token returns Status::DeadlineExceeded through
+// the ordinary error paths, so channels close, temp files are released, and
+// the worker frees up exactly as on any other failure (docs/ROBUSTNESS.md,
+// "Deadlines").
+#ifndef MAXRS_UTIL_CANCEL_H_
+#define MAXRS_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+
+#include "util/status.h"
+
+namespace maxrs {
+
+/// Shared cancellation state for one query. Thread-safe: any thread may
+/// Cancel(), every worker touching the query polls Expired(). The deadline
+/// check throttles its steady_clock read to every 64th poll, so per-record
+/// polling in hot routing loops stays cheap.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(std::chrono::steady_clock::time_point deadline)
+      : deadline_(deadline) {}
+
+  /// A token whose deadline is `timeout` from now; no deadline if zero.
+  static CancelToken WithTimeout(std::chrono::milliseconds timeout) {
+    if (timeout.count() <= 0) return CancelToken();
+    return CancelToken(std::chrono::steady_clock::now() + timeout);
+  }
+
+  /// Marks the token cancelled; every subsequent Expired() returns true.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once cancelled or past the deadline. The clock is sampled on the
+  /// first call and every 64th thereafter; once expiry is observed it
+  /// latches, so Expired() never reverts to false.
+  bool Expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (!deadline_.has_value()) return false;
+    if (polls_.fetch_add(1, std::memory_order_relaxed) % 64 != 0) return false;
+    if (std::chrono::steady_clock::now() < *deadline_) return false;
+    cancelled_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool has_deadline() const { return deadline_.has_value(); }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  mutable std::atomic<uint64_t> polls_{0};
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+};
+
+/// Poll helper for Status-returning loops. A null token never cancels, so
+/// call sites don't branch on configuration.
+inline Status CheckCancel(const CancelToken* token) {
+  if (token != nullptr && token->Expired()) {
+    return Status::DeadlineExceeded("query cancelled or past its deadline");
+  }
+  return Status::OK();
+}
+
+}  // namespace maxrs
+
+#endif  // MAXRS_UTIL_CANCEL_H_

@@ -1,0 +1,24 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41): the checksum guarding every
+// data block in the record framing (io/record_io.h). Software table-driven
+// implementation — fast enough for block-granular verification, and fully
+// portable. The standard check value is Crc32c("123456789", 9) == 0xE3069283.
+#ifndef MAXRS_UTIL_CRC32C_H_
+#define MAXRS_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace maxrs {
+
+/// Extends `crc` (a previous Crc32c result, or 0 for a fresh computation)
+/// over `n` bytes at `data`.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// CRC32C of a single buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace maxrs
+
+#endif  // MAXRS_UTIL_CRC32C_H_

@@ -8,6 +8,7 @@
 #ifndef MAXRS_UTIL_MPMC_QUEUE_H_
 #define MAXRS_UTIL_MPMC_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -15,6 +16,13 @@
 #include <utility>
 
 namespace maxrs {
+
+/// Outcome of a bounded-wait push (MpmcQueue::PushFor).
+enum class PushResult {
+  kAccepted,  ///< Enqueued.
+  kClosed,    ///< Queue closed; item dropped.
+  kTimedOut,  ///< Still full after the admission budget; item dropped.
+};
 
 /// A bounded FIFO shared by any number of producer and consumer threads.
 /// T must be movable; move-only types (e.g. std::unique_ptr) are supported.
@@ -39,6 +47,24 @@ class MpmcQueue {
     lock.unlock();
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Bounded-wait Push: waits at most `timeout` for room. The load-shedding
+  /// primitive — a caller that gets kTimedOut can refuse the work with
+  /// kUnavailable instead of blocking its thread indefinitely, and kClosed
+  /// stays distinguishable from overload (serve/maxrs_server.cc, Submit).
+  PushResult PushFor(T item, std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!not_full_.wait_for(lock, timeout, [this] {
+          return closed_ || items_.size() < capacity_;
+        })) {
+      return PushResult::kTimedOut;
+    }
+    if (closed_) return PushResult::kClosed;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return PushResult::kAccepted;
   }
 
   /// Blocks until an item is available (or the queue is closed and drained),

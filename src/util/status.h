@@ -22,6 +22,8 @@ class Status {
     kNotSupported,
     kResourceExhausted,
     kInternal,
+    kUnavailable,        ///< Transient failure; retrying may succeed.
+    kDeadlineExceeded,   ///< The operation ran past its deadline.
   };
 
   Status() : code_(Code::kOk) {}
@@ -42,6 +44,22 @@ class Status {
     return Status(Code::kResourceExhausted, msg);
   }
   static Status Internal(std::string_view msg) { return Status(Code::kInternal, msg); }
+  static Status Unavailable(std::string_view msg) {
+    return Status(Code::kUnavailable, msg);
+  }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(Code::kDeadlineExceeded, msg);
+  }
+
+  /// The retry taxonomy (docs/ROBUSTNESS.md): kUnavailable marks transient
+  /// faults a bounded retry may clear. Everything else is terminal — in
+  /// particular kCorruption (a re-read returns the same bad bytes),
+  /// kDeadlineExceeded (retrying cannot un-spend the deadline), and plain
+  /// kIOError (permanent by default; an Env wrapper that knows its storage
+  /// returns transient errors maps them to kUnavailable, or RetryEnv can be
+  /// told to treat kIOError as transient — io/retry_env.h).
+  static bool IsRetryable(Code code) { return code == Code::kUnavailable; }
+  bool is_retryable() const { return IsRetryable(code_); }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }

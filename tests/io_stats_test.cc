@@ -41,6 +41,31 @@ TEST(IoStatsTest, SnapshotDifferenceIsolatesAPhase) {
   EXPECT_EQ(delta.total(), 8u);
 }
 
+TEST(IoStatsTest, RetryCountersAreSeparateFromTransferCounters) {
+  IoStats stats;
+  // A retried read reaching the base Env counts once in blocks_read AND
+  // once in reads_retried — the retry counters say how many transfers were
+  // repeat attempts, they never replace the transfer count.
+  stats.RecordRead(2);
+  stats.RecordReadRetry(1);
+  stats.RecordWrite(3);
+  stats.RecordWriteRetry(2);
+  const IoStatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(snap.blocks_read, 2u);
+  EXPECT_EQ(snap.reads_retried, 1u);
+  EXPECT_EQ(snap.blocks_written, 3u);
+  EXPECT_EQ(snap.writes_retried, 2u);
+  EXPECT_EQ(snap.total(), 5u);  // retries are not extra "blocks"
+
+  const IoStatsSnapshot delta = stats.Snapshot() - snap;
+  EXPECT_EQ(delta.reads_retried, 0u);
+  EXPECT_EQ(delta.writes_retried, 0u);
+
+  stats.Reset();
+  EXPECT_EQ(stats.Snapshot().reads_retried, 0u);
+  EXPECT_EQ(stats.Snapshot().writes_retried, 0u);
+}
+
 TEST(IoStatsTest, SnapshotIsAPointInTimeCopy) {
   IoStats stats;
   stats.RecordRead(1);

@@ -153,24 +153,48 @@ TEST(PrefetchingReaderTest, RetriesFailedBlockLikeSynchronousReader) {
   EXPECT_EQ(got, MakeRecords(100));
 }
 
-TEST(PrefetchingReaderTest, ShortFileSurfacesErrorNotCrash) {
+TEST(PrefetchingReaderTest, TruncatedFileFailsCleanlyAtOpen) {
+  // A header promising more blocks than the file holds — the on-disk
+  // shape of a torn copy — is caught by the checksummed framing at open,
+  // before any worker is spawned or any data block fetched.
   auto env = NewMemEnv(kBlockSize);
   ASSERT_TRUE(WriteRecordFile(*env, "f", MakeRecords(320)).ok());
   {
-    // Truncate away the last data blocks: the header now promises more
-    // records than the file holds — the on-disk shape of a torn write.
     auto file_or = env->Open("f");
     ASSERT_TRUE(file_or.ok());
     ASSERT_TRUE((*file_or)->Truncate(4).ok());
   }
   for (bool read_ahead : {false, true}) {
     auto reader_or = PrefetchingReader<Rec>::Make(*env, "f", read_ahead);
-    ASSERT_TRUE(reader_or.ok());
+    ASSERT_FALSE(reader_or.ok()) << "read_ahead=" << read_ahead;
+    EXPECT_EQ(reader_or.status().code(), Status::Code::kCorruption)
+        << "read_ahead=" << read_ahead;
+    EXPECT_NE(reader_or.status().message().find("truncated"),
+              std::string::npos);
+  }
+}
+
+TEST(PrefetchingReaderTest, ShortFileSurfacesErrorNotCrash) {
+  // Blocks that vanish *after* open (truncated through a second handle to
+  // the same backing file) hit the reader mid-stream: the failed — or
+  // in-flight prefetched — fetch parks its error and the scan ends with a
+  // clean status after exactly the records that still existed.
+  for (bool read_ahead : {false, true}) {
+    auto env = NewMemEnv(kBlockSize);
+    ASSERT_TRUE(WriteRecordFile(*env, "f", MakeRecords(320)).ok());
+    auto reader_or = PrefetchingReader<Rec>::Make(*env, "f", read_ahead);
+    ASSERT_TRUE(reader_or.ok()) << reader_or.status().ToString();
+    {
+      auto file_or = env->Open("f");
+      ASSERT_TRUE(file_or.ok());
+      ASSERT_TRUE((*file_or)->Truncate(4).ok());
+    }
     Rec r{};
     uint64_t delivered = 0;
     while (reader_or->Next(&r)) ++delivered;
     EXPECT_EQ(reader_or->final_status().code(), Status::Code::kIOError)
-        << "read_ahead=" << read_ahead;
+        << "read_ahead=" << read_ahead << ": "
+        << reader_or->final_status().ToString();
     EXPECT_EQ(delivered, 3u * 32u) << "read_ahead=" << read_ahead;
   }
 }

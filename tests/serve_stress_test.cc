@@ -7,7 +7,12 @@
 // the assertions are deterministic, so a pass is meaningful with and
 // without instrumentation.
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/exact_maxrs.h"
@@ -113,6 +118,186 @@ TEST(ServeStressTest, DedupedInFlightDuplicatesSolveOncePerRect) {
   EXPECT_EQ(counters.executed, kDistinct);
   EXPECT_EQ(counters.failed, 0u);
   EXPECT_EQ(counters.dedup_hits + counters.cache_hits, kQueries - kDistinct);
+}
+
+// Env wrapper whose ReadBlock parks while the gate is closed. Wedging the
+// single worker mid-query makes queue/admission/deadline states reachable
+// deterministically — no sleeps standing in for synchronization.
+class GateEnv : public Env {
+ public:
+  explicit GateEnv(Env& base) : base_(base) {}
+
+  void CloseGate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = false;
+  }
+  void OpenGate() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  /// Spins until some reader is parked on the closed gate.
+  void WaitUntilBlocked() const {
+    while (blocked_.load() == 0) std::this_thread::yield();
+  }
+
+  Result<std::unique_ptr<BlockFile>> Create(const std::string& name) override {
+    return base_.Create(name);
+  }
+  Result<std::unique_ptr<BlockFile>> Open(const std::string& name) override {
+    auto file_or = base_.Open(name);
+    if (!file_or.ok()) return {file_or.status()};
+    return {std::unique_ptr<BlockFile>(
+        new GateFile(std::move(file_or).value(), this))};
+  }
+  Status Delete(const std::string& name) override {
+    return base_.Delete(name);
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return base_.Rename(from, to);
+  }
+  bool Exists(const std::string& name) const override {
+    return base_.Exists(name);
+  }
+  std::vector<std::string> ListFiles() const override {
+    return base_.ListFiles();
+  }
+  size_t block_size() const override { return base_.block_size(); }
+  IoStats& stats() override { return base_.stats(); }
+
+ private:
+  class GateFile : public BlockFile {
+   public:
+    GateFile(std::unique_ptr<BlockFile> base, GateEnv* env)
+        : base_(std::move(base)), env_(env) {}
+    Status ReadBlock(uint64_t index, void* buf) override {
+      env_->Block();
+      return base_->ReadBlock(index, buf);
+    }
+    Status WriteBlock(uint64_t index, const void* buf) override {
+      return base_->WriteBlock(index, buf);
+    }
+    uint64_t NumBlocks() const override { return base_->NumBlocks(); }
+    Status Truncate(uint64_t num_blocks) override {
+      return base_->Truncate(num_blocks);
+    }
+    size_t block_size() const override { return base_->block_size(); }
+    const std::string& name() const override { return base_->name(); }
+
+   private:
+    std::unique_ptr<BlockFile> base_;
+    GateEnv* env_;
+  };
+
+  void Block() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (open_) return;
+    blocked_.fetch_add(1);
+    cv_.wait(lock, [this] { return open_; });
+    blocked_.fetch_sub(1);
+  }
+
+  Env& base_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = true;
+  std::atomic<int> blocked_{0};
+};
+
+TEST(ServeStressTest, FullQueuePastAdmissionBudgetShedsWithUnavailable) {
+  // Regression: Submit used to block indefinitely on a full queue. With a
+  // bounded admission budget the third query — one executing (wedged on
+  // the gate), one occupying the single queue slot — must be refused with
+  // kUnavailable, not park the submitter.
+  auto base = MakeEnv();
+  GateEnv env(*base);
+  auto handle = [&] {
+    DatasetHandleOptions options;
+    options.shard_count = 2;
+    options.memory_bytes = 64 * 1024;
+    return DatasetHandle::Ingest(env, kDatasetFile, options);
+  }();
+  ASSERT_TRUE(handle.ok());
+
+  MaxRSServerOptions options;
+  options.num_workers = 1;
+  options.memory_bytes = 64 * 1024;
+  options.cache_entries = 0;  // keep every submit on the execute path
+  options.queue_capacity = 1;
+  options.admission_timeout_ms = 0;  // shed the moment the queue is full
+  MaxRSServer server(env, *handle, options);
+
+  env.CloseGate();
+  std::thread first([&] {
+    auto result = server.Submit(60.0, 340.0);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  });
+  env.WaitUntilBlocked();  // the only worker is wedged mid-query
+  std::thread second([&] {
+    auto result = server.Submit(80.0, 325.0);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  });
+  while (server.queue_depth() < 1) std::this_thread::yield();
+
+  auto shed = server.Submit(100.0, 310.0);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), Status::Code::kUnavailable);
+  EXPECT_EQ(server.counters().shed, 1u);
+
+  env.OpenGate();
+  first.join();
+  second.join();
+  EXPECT_EQ(server.counters().failed, 0u);
+}
+
+TEST(ServeStressTest, ExpiredDeadlinesFailCleanlyWithDeadlineExceeded) {
+  // One query wedged on the gate past its deadline, one expiring in the
+  // queue behind it. Both must unwind with kDeadlineExceeded — channels
+  // closed, no hang — and be counted.
+  auto base = MakeEnv();
+  GateEnv env(*base);
+  auto handle = [&] {
+    DatasetHandleOptions options;
+    options.shard_count = 2;
+    options.memory_bytes = 64 * 1024;
+    return DatasetHandle::Ingest(env, kDatasetFile, options);
+  }();
+  ASSERT_TRUE(handle.ok());
+
+  MaxRSServerOptions options;
+  options.num_workers = 1;
+  options.memory_bytes = 64 * 1024;
+  options.cache_entries = 0;
+  options.deadline_ms = 5;
+  MaxRSServer server(env, *handle, options);
+
+  env.CloseGate();
+  std::thread first([&] {
+    auto result = server.Submit(60.0, 340.0);
+    EXPECT_EQ(result.status().code(), Status::Code::kDeadlineExceeded)
+        << result.status().ToString();
+  });
+  env.WaitUntilBlocked();
+  std::thread second([&] {
+    auto result = server.Submit(80.0, 325.0);
+    EXPECT_EQ(result.status().code(), Status::Code::kDeadlineExceeded)
+        << result.status().ToString();
+  });
+  while (server.queue_depth() < 1) std::this_thread::yield();
+  // Hold the gate until both tokens are unambiguously past their 5 ms
+  // deadline, then release: the wedged query observes expiry at its next
+  // poll, the queued one before it touches the Env at all.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  env.OpenGate();
+  first.join();
+  second.join();
+
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.deadlines, 2u);
+  EXPECT_EQ(counters.failed, 2u);
+  EXPECT_EQ(counters.degraded, 0u);  // deadline errors are never re-run
 }
 
 TEST(ServeStressTest, ShutdownUnderLoadFailsFollowersCleanly) {

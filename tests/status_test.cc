@@ -28,6 +28,32 @@ TEST(StatusTest, AllConstructorsProduceTheirCode) {
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             Status::Code::kResourceExhausted);
   EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), Status::Code::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            Status::Code::kDeadlineExceeded);
+}
+
+TEST(StatusTest, NewCodesRenderTheirNames) {
+  EXPECT_EQ(Status::Unavailable("try later").ToString(),
+            "Unavailable: try later");
+  EXPECT_EQ(Status::DeadlineExceeded("too slow").ToString(),
+            "DeadlineExceeded: too slow");
+}
+
+// The retry taxonomy: exactly kUnavailable is retryable. kCorruption would
+// re-read the same bad bytes, kDeadlineExceeded would re-exceed the same
+// deadline, and kIOError is permanent unless a RetryEnv opts in.
+TEST(StatusTest, OnlyUnavailableIsRetryable) {
+  EXPECT_TRUE(Status::Unavailable("x").is_retryable());
+  EXPECT_FALSE(Status::OK().is_retryable());
+  EXPECT_FALSE(Status::DeadlineExceeded("x").is_retryable());
+  EXPECT_FALSE(Status::Corruption("x").is_retryable());
+  EXPECT_FALSE(Status::IOError("x").is_retryable());
+  EXPECT_FALSE(Status::NotFound("x").is_retryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").is_retryable());
+  EXPECT_FALSE(Status::NotSupported("x").is_retryable());
+  EXPECT_FALSE(Status::ResourceExhausted("x").is_retryable());
+  EXPECT_FALSE(Status::Internal("x").is_retryable());
 }
 
 TEST(ResultTest, HoldsValue) {
