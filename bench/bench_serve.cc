@@ -5,7 +5,11 @@
 // default per-shard solve with streaming routing as "serve_cold"/
 // "serve_warm", the same solve through materialized part files as
 // "serve_cold_materialized", and the global k-way merge path as
-// "serve_cold_globalmerge"), emitted as BENCH_serve.json. The mode
+// "serve_cold_globalmerge"), emitted as BENCH_serve.json. A final round
+// pair re-runs the cold per-shard workload on a clustered dataset with the
+// aggregate-index pruning on ("serve_cold_pruned") and off
+// ("serve_cold_unpruned"), so the perf history tracks the block-transfer
+// win of index-pruned serving where the bound actually bites. The mode
 // comparisons make the cost of part-file materialization and of the global
 // piece merge visible in the perf history. Together with BENCH_micro.json this
 // is the repo's machine-readable perf trajectory (docs/BENCHMARKING.md;
@@ -26,6 +30,7 @@
 // identical at every worker count, in both solve modes, and across cache
 // states, and a warm round performs zero block transfers.
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -55,6 +60,21 @@ std::vector<std::pair<double, double>> MakeWorkload(size_t count) {
                        1600.0 - 83.0 * static_cast<double>(i % 13));
   }
   return rects;
+}
+
+// Skewed dataset for the pruning rounds: half the mass sits in one
+// rect-sized cluster near the domain's far end, the rest spreads uniformly
+// — so whole x-slabs away from the cluster hold less total weight than one
+// well-placed rect captures. That is the regime where the aggregate-index
+// upper bound genuinely skips shards; on uniform data every slab weighs
+// about the same and the bound (correctly) prunes nothing.
+std::vector<SpatialObject> MakeClustered(uint64_t n, uint64_t seed) {
+  std::vector<SpatialObject> objects = MakeDistribution("uniform", n, seed);
+  for (size_t i = 0; i < objects.size(); i += 2) {
+    objects[i].x = 900000.0 + std::fmod(objects[i].x, 800.0);
+    objects[i].y = 500000.0 + std::fmod(objects[i].y, 800.0);
+  }
+  return objects;
 }
 
 // Submits the whole workload from `clients` concurrent client threads
@@ -223,6 +243,89 @@ int main(int argc, char** argv) {
                          std::string("serve_cold_globalmerge") +
                              (read_ahead ? "+ra" : ""),
                          "uniform", n, workers, kBufferSynthetic, per_query,
+                         io, weights[0]});
+    }
+  }
+
+  // Pruning round: the same serve pipeline on the clustered dataset, where
+  // the aggregate-index bound genuinely bites. The workload mixes selective
+  // rects with one full-extent rect (whose expanded window reaches every
+  // shard, so no bound can prune it — it must still come back exact). Each
+  // worker count runs an un-pruned oracle round first, then the pruned
+  // round, pinning bit-identical weights and monotone block counts on live
+  // data; the committed serve_cold_pruned / serve_cold_unpruned baselines
+  // make the pruning win a tracked number.
+  const auto clustered = MakeClustered(n, seed);
+  auto pruned_rects = MakeWorkload(num_queries);
+  pruned_rects[0] = {1e6, 1e6};
+  std::vector<double> pruned_reference;
+  for (uint64_t t : thread_counts) {
+    const size_t workers = static_cast<size_t>(t);
+    auto env = NewMemEnv(kBlockSize);
+    MAXRS_CHECK_OK(WriteDataset(*env, "dataset", clustered));
+
+    DatasetHandleOptions ingest_options;
+    ingest_options.shard_count = shard_count;
+    ingest_options.memory_bytes = kBufferSynthetic;
+    ingest_options.num_threads = workers;
+    ingest_options.read_ahead = read_ahead;
+    auto handle = DatasetHandle::Ingest(*env, "dataset", ingest_options);
+    MAXRS_CHECK_MSG(handle.ok(), "ingest failed");
+
+    MaxRSServerOptions base_options;
+    base_options.num_workers = workers;
+    base_options.memory_bytes = kBufferSynthetic;
+    base_options.cache_entries = 0;  // cold by construction
+    base_options.cache_max_extent_fraction = 1.0;
+    base_options.read_ahead = read_ahead;
+
+    uint64_t unpruned_io = 0;
+    for (const bool prune : {false, true}) {
+      MaxRSServerOptions server_options = base_options;
+      if (!prune) server_options.pruning_mode = ServePruningMode::kOff;
+      MaxRSServer server(*env, *handle, server_options);
+      const IoStatsSnapshot before = env->stats().Snapshot();
+      double wall = 0.0;
+      const std::vector<double> weights =
+          RunRound(server, pruned_rects, workers, &wall);
+      const IoStatsSnapshot delta = env->stats().Snapshot() - before;
+      const uint64_t io = delta.total();
+
+      // The pruning contract, checked on live data: identical answers,
+      // never more block transfers, and on this skewed dataset the bound
+      // must actually skip shards (a silently inert index would otherwise
+      // make this round meaningless).
+      if (pruned_reference.empty()) {
+        pruned_reference = weights;
+      } else {
+        MAXRS_CHECK_MSG(weights == pruned_reference,
+                        "pruning or worker count changed a result");
+      }
+      if (!prune) {
+        unpruned_io = io;
+        MAXRS_CHECK_MSG(delta.shards_pruned == 0,
+                        "un-pruned round reported pruned shards");
+      } else {
+        MAXRS_CHECK_MSG(io <= unpruned_io,
+                        "pruned round moved more blocks than un-pruned");
+        if (shard_count >= 4) {
+          MAXRS_CHECK_MSG(delta.shards_pruned > 0,
+                          "aggregate index pruned nothing on clustered data");
+        }
+      }
+
+      const double per_query = wall / static_cast<double>(pruned_rects.size());
+      std::printf("%-12s%10zu%12.1f%14.6f%16" PRIu64 "%16" PRIu64 "\n",
+                  prune ? "cold_pruned" : "cold_unprun", workers,
+                  wall > 0.0
+                      ? static_cast<double>(pruned_rects.size()) / wall
+                      : 0.0,
+                  per_query, io / pruned_rects.size(), io);
+      records.push_back({"bench_serve",
+                         std::string(prune ? "serve_cold_pruned"
+                                           : "serve_cold_unpruned") +
+                             (read_ahead ? "+ra" : ""),
+                         "clustered", n, workers, kBufferSynthetic, per_query,
                          io, weights[0]});
     }
   }

@@ -79,6 +79,9 @@ int main(int argc, char** argv) {
           "       maxrs_server_cli --demo [--n=100000]\n"
           "flags: --workers=K --shards=S --repeat=R --cache=E --memory-kb=M\n"
           "       --mode=per-shard|global-merge --read_ahead\n"
+          "       --no_pruning (disable aggregate-index shard skipping)\n"
+          "       --pool-kb=N (shared buffer pool over the dataset files;\n"
+          "                    0 = off)\n"
           "       --deadline_ms=D (per-query deadline; 0 = none)\n"
           "       --retry_budget=R (transient-fault retries per block op)\n"
           "       --chaos_seed=S (inject a seeded fault schedule at serve "
@@ -181,6 +184,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad --mode; expected per-shard or global-merge\n");
     return 2;
   }
+  if (flags.GetBool("no_pruning", false)) {
+    server_options.pruning_mode = ServePruningMode::kOff;
+  }
+  server_options.buffer_pool_bytes =
+      static_cast<size_t>(flags.GetInt("pool-kb", 0)) << 10;
   MaxRSServer server(*serve_env, *handle, server_options);
 
   std::printf("\n%-6s%14s%14s%24s%16s%14s\n", "round", "rect", "weight",
@@ -248,6 +256,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(counters.corruptions),
               static_cast<unsigned long long>(io.reads_retried),
               static_cast<unsigned long long>(io.writes_retried));
+  std::printf("pruning: %llu shards pruned at plan time, %llu skipped by "
+              "bound, %llu queries served un-pruned\n",
+              static_cast<unsigned long long>(io.shards_pruned),
+              static_cast<unsigned long long>(io.bound_skips),
+              static_cast<unsigned long long>(counters.unpruned));
+  if (server_options.buffer_pool_bytes > 0) {
+    const BufferPoolStats pool = server.pool_stats();
+    std::printf("buffer pool: %llu hits (free), %llu misses, "
+                "%llu evictions\n",
+                static_cast<unsigned long long>(pool.hits),
+                static_cast<unsigned long long>(pool.misses),
+                static_cast<unsigned long long>(pool.evictions));
+  }
   if (chaos != nullptr) {
     std::printf("chaos delivered: %llu transient, %llu permanent, "
                 "%llu bit flips, %llu torn writes\n",

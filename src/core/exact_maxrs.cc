@@ -92,10 +92,14 @@ class Driver {
   /// division decisions depend only on the record sequence, which is the
   /// same — while per-child piece files are replaced by SPSC channels
   /// (io/record_stream.h) that spill deterministically beyond the cap.
+  /// `best_out`, when non-null, receives the maximum tuple sum of the
+  /// returned slab-file as a by-product of writing it (base case and
+  /// MergeSweep alike). Only the root invocation threads it; recursive
+  /// children pass null — the root file's maximum is what callers need.
   Result<std::string> StreamSolve(
       RecordSource<PieceRecord>* source,
       const core_internal::EdgeFileProvider& edge_provider,
-      const Interval& slab, uint64_t depth) {
+      const Interval& slab, uint64_t depth, SlabBest* best_out = nullptr) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       stats_->recursion_levels = std::max(stats_->recursion_levels, depth);
@@ -120,7 +124,7 @@ class Driver {
         }
       }
     }
-    if (!overflow) return StreamBaseCase(std::move(buffer), slab);
+    if (!overflow) return StreamBaseCase(std::move(buffer), slab, best_out);
 
     // Overflow: the node divides. Only now is the edge file needed.
     MAXRS_ASSIGN_OR_RETURN(std::string edge_file, edge_provider());
@@ -139,7 +143,7 @@ class Driver {
         MAXRS_RETURN_IF_ERROR(st);
         buffer.push_back(p);
       }
-      return StreamBaseCase(std::move(buffer), slab);
+      return StreamBaseCase(std::move(buffer), slab, best_out);
     }
 
     const size_t num_children = bounds.size() + 1;
@@ -274,7 +278,7 @@ class Driver {
     MAXRS_RETURN_IF_ERROR(MergeSweep(env_, ranges, child_slab_files, span_file,
                                      out, options_.objective,
                                      options_.read_ahead, options_.write_behind,
-                                     options_.cancel));
+                                     options_.cancel, best_out));
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_->merges;
@@ -289,7 +293,8 @@ class Driver {
   /// input files; returns the name of the slab-file produced.
   Result<std::string> Solve(const std::string& piece_file,
                             const std::string& edge_file, const Interval& slab,
-                            uint64_t num_pieces, uint64_t depth) {
+                            uint64_t num_pieces, uint64_t depth,
+                            SlabBest* best_out = nullptr) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       stats_->recursion_levels = std::max(stats_->recursion_levels, depth);
@@ -301,7 +306,7 @@ class Driver {
           DividePieces(temps_, piece_file, edge_file, slab, fanout_);
       if (division_or.ok()) {
         return Merge(piece_file, edge_file, std::move(division_or).value(),
-                     depth);
+                     depth, best_out);
       }
       if (division_or.status().code() != Status::Code::kInvalidArgument) {
         return {division_or.status()};
@@ -309,7 +314,7 @@ class Driver {
       // Degenerate input (all edges share one x): the slab cannot be split,
       // so fall through to the in-memory base case regardless of size.
     }
-    return BaseCase(piece_file, edge_file, slab);
+    return BaseCase(piece_file, edge_file, slab, best_out);
   }
 
  private:
@@ -317,9 +322,13 @@ class Driver {
   /// ended (or could not be split) within the memory budget, so no piece or
   /// edge file is ever materialized for this node.
   Result<std::string> StreamBaseCase(std::vector<PieceRecord> pieces,
-                                     const Interval& slab) {
+                                     const Interval& slab,
+                                     SlabBest* best_out = nullptr) {
     const std::vector<SlabTuple> tuples =
         PlaneSweep(pieces, slab, options_.objective);
+    if (best_out != nullptr) {
+      for (const SlabTuple& t : tuples) best_out->Offer(t.sum);
+    }
     std::string out = temps_.NewName("slab");
     MAXRS_RETURN_IF_ERROR(WriteRecordFile(env_, out, tuples));
     {
@@ -331,7 +340,8 @@ class Driver {
 
   Result<std::string> BaseCase(const std::string& piece_file,
                                const std::string& edge_file,
-                               const Interval& slab) {
+                               const Interval& slab,
+                               SlabBest* best_out = nullptr) {
     MAXRS_ASSIGN_OR_RETURN(std::vector<PieceRecord> pieces,
                            ReadRecordFilePrefetched<PieceRecord>(
                                env_, piece_file, options_.read_ahead));
@@ -339,6 +349,9 @@ class Driver {
     temps_.Release(edge_file);
     const std::vector<SlabTuple> tuples =
         PlaneSweep(pieces, slab, options_.objective);
+    if (best_out != nullptr) {
+      for (const SlabTuple& t : tuples) best_out->Offer(t.sum);
+    }
     std::string out = temps_.NewName("slab");
     MAXRS_RETURN_IF_ERROR(WriteRecordFile(env_, out, tuples));
     {
@@ -350,7 +363,8 @@ class Driver {
 
   Result<std::string> Merge(const std::string& piece_file,
                             const std::string& edge_file,
-                            DivisionResult division, uint64_t depth) {
+                            DivisionResult division, uint64_t depth,
+                            SlabBest* best_out = nullptr) {
     temps_.Release(piece_file);
     temps_.Release(edge_file);
 
@@ -374,7 +388,8 @@ class Driver {
     MAXRS_RETURN_IF_ERROR(MergeSweep(env_, division.children, child_slab_files,
                                      division.span_file, out,
                                      options_.objective, options_.read_ahead,
-                                     options_.write_behind, options_.cancel));
+                                     options_.write_behind, options_.cancel,
+                                     best_out));
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_->merges;
@@ -430,7 +445,7 @@ namespace core_internal {
 Result<std::string> SolveSlab(Env& env, TempFileManager& temps,
                               const PreparedInput& input,
                               const MaxRSOptions& options, MaxRSStats* stats,
-                              ThreadPool* pool) {
+                              ThreadPool* pool, SlabBest* best_out) {
   MAXRS_RETURN_IF_ERROR(ValidateOptions(options, env.block_size()));
   Driver driver(env, temps, options, stats, pool);
   if (options.streaming_division) {
@@ -443,7 +458,8 @@ Result<std::string> SolveSlab(Env& env, TempFileManager& temps,
                                  env, input.piece_file, options.read_ahead));
       core_internal::EdgeFileProvider provider =
           [&input]() -> Result<std::string> { return {input.edge_file}; };
-      return driver.StreamSolve(&source, provider, input.x_range, /*depth=*/0);
+      return driver.StreamSolve(&source, provider, input.x_range, /*depth=*/0,
+                                best_out);
     }();
     // The source is closed before the inputs are released; the edge file is
     // owned by the caller's temp manager, so release both here as Solve does.
@@ -454,7 +470,7 @@ Result<std::string> SolveSlab(Env& env, TempFileManager& temps,
     return out;
   }
   return driver.Solve(input.piece_file, input.edge_file, input.x_range,
-                      input.num_pieces, /*depth=*/0);
+                      input.num_pieces, /*depth=*/0, best_out);
 }
 
 Result<std::string> SolveSlabStream(Env& env, TempFileManager& temps,
@@ -462,13 +478,22 @@ Result<std::string> SolveSlabStream(Env& env, TempFileManager& temps,
                                     const EdgeFileProvider& edge_provider,
                                     const Interval& x_range,
                                     const MaxRSOptions& options,
-                                    MaxRSStats* stats, ThreadPool* pool) {
+                                    MaxRSStats* stats, ThreadPool* pool,
+                                    SlabBest* best_out) {
   MAXRS_RETURN_IF_ERROR(ValidateOptions(options, env.block_size()));
   Driver driver(env, temps, options, stats, pool);
-  return driver.StreamSolve(pieces, edge_provider, x_range, /*depth=*/0);
+  return driver.StreamSolve(pieces, edge_provider, x_range, /*depth=*/0,
+                            best_out);
 }
 
 void TopTupleTracker::Visit(const SlabTuple& t) {
+  if (have_pending_ && t.sum == pending_.sum && t.x_lo == pending_.x_lo &&
+      t.x_hi == pending_.x_hi) {
+    // Same stratum continues: the event at t.y changed something elsewhere
+    // in the slab but not the max-interval. Keep the pending run open so
+    // its y-extent ends where the max-interval next *changes*.
+    return;
+  }
   if (have_pending_) Offer(pending_, t.y);
   pending_ = t;
   have_pending_ = true;

@@ -214,10 +214,14 @@ namespace core_internal {
 /// files. All piece x-extents must lie within `input.x_range` and
 /// `input.num_pieces` must match the piece file (trusted, not probed).
 /// Maximize objective only.
+/// A non-null `best_out` receives the maximum tuple sum of the returned
+/// slab-file — the best weight achievable inside the slab — computed while
+/// the file is written, never by a counted re-scan. The serve layer's
+/// index-pruned execution feeds it back as the branch-and-bound incumbent.
 Result<std::string> SolveSlab(Env& env, TempFileManager& temps,
                               const PreparedInput& input,
                               const MaxRSOptions& options, MaxRSStats* stats,
-                              ThreadPool* pool);
+                              ThreadPool* pool, SlabBest* best_out = nullptr);
 
 /// Lazily produces the x-sorted edge file of a slab being stream-solved.
 /// Invoked at most once, and only if the slab overflows the in-memory base
@@ -236,12 +240,14 @@ using EdgeFileProvider = std::function<Result<std::string>()>;
 /// Results and stats counters are bit-identical to SolveSlab over a file
 /// holding the same stream. Maximize objective only; `options` is
 /// validated. `pool` parallelizes child sub-slabs (null = serial).
+/// `best_out` as in SolveSlab.
 Result<std::string> SolveSlabStream(Env& env, TempFileManager& temps,
                                     RecordSource<PieceRecord>* pieces,
                                     const EdgeFileProvider& edge_provider,
                                     const Interval& x_range,
                                     const MaxRSOptions& options,
-                                    MaxRSStats* stats, ThreadPool* pool);
+                                    MaxRSStats* stats, ThreadPool* pool,
+                                    SlabBest* best_out = nullptr);
 
 /// Streams the tuples of the *root* slab-file (y-ascending) produced by a
 /// full ExactMaxRS pipeline run to `visit`. This is the shared engine under
@@ -266,7 +272,14 @@ class TopTupleTracker {
   /// Tracks the `k` best strata (k == 0 behaves as 1).
   explicit TopTupleTracker(size_t k) : k_(k == 0 ? 1 : k) {}
 
-  /// Feeds the next tuple; must be called in ascending y order.
+  /// Feeds the next tuple; must be called in ascending y order. Consecutive
+  /// tuples with identical (sum, x-interval) are one stratum split by sweep
+  /// events that did not change the max-interval — they are coalesced into
+  /// a single run, so the reported region's y-extent depends only on where
+  /// the max-interval actually changes, not on how many events subdivided
+  /// it. (This is what keeps index-pruned serving bit-identical: pruned
+  /// schedules drop events from shards that never held the optimum, which
+  /// can merge such splits but never move a run's boundaries.)
   void Visit(const SlabTuple& t);
   /// Closes the stream and returns the k best regions, best first.
   std::vector<RankedRegion> Finish();

@@ -1,6 +1,7 @@
 #include "core/merge_sweep.h"
 
 #include <limits>
+#include <memory>
 
 #include "io/prefetch_reader.h"
 #include "io/record_io.h"
@@ -52,29 +53,31 @@ Status MergeSweep(Env& env, const std::vector<ChildSlab>& children,
                   const std::vector<std::string>& child_slab_files,
                   const std::string& span_file, const std::string& output_file,
                   SweepObjective objective, bool read_ahead, bool write_behind,
-                  const CancelToken* cancel) {
+                  const CancelToken* cancel, SlabBest* best_out) {
   std::vector<Interval> ranges;
   ranges.reserve(children.size());
   for (const ChildSlab& child : children) ranges.push_back(child.x_range);
   return MergeSweep(env, ranges, child_slab_files, span_file, output_file,
-                    objective, read_ahead, write_behind, cancel);
+                    objective, read_ahead, write_behind, cancel, best_out);
 }
 
 Status MergeSweep(Env& env, const std::vector<Interval>& child_ranges,
                   const std::vector<std::string>& child_slab_files,
                   const std::string& span_file, const std::string& output_file,
                   SweepObjective objective, bool read_ahead, bool write_behind,
-                  const CancelToken* cancel) {
+                  const CancelToken* cancel, SlabBest* best_out) {
   const size_t m = child_ranges.size();
   MAXRS_CHECK(m >= 1 && child_slab_files.size() == m);
 
-  std::vector<PeekedReader<SlabTuple>> slabs;
-  slabs.reserve(m);
+  // A "" name marks a known-empty child: it participates in the sweep state
+  // (base 0, interval = its range) but gets no reader and costs no I/O.
+  std::vector<std::unique_ptr<PeekedReader<SlabTuple>>> slabs(m);
   for (size_t i = 0; i < m; ++i) {
+    if (child_slab_files[i].empty()) continue;
     MAXRS_ASSIGN_OR_RETURN(
         PeekedReader<SlabTuple> reader,
         PeekedReader<SlabTuple>::Make(env, child_slab_files[i], read_ahead));
-    slabs.push_back(std::move(reader));
+    slabs[i] = std::make_unique<PeekedReader<SlabTuple>>(std::move(reader));
   }
   // Two independent sequential scans over the span file: one delivering
   // bottom events (y_lo order), one delivering top events (y_hi order; equal
@@ -103,7 +106,7 @@ Status MergeSweep(Env& env, const std::vector<Interval>& child_ranges,
     // Next event y across all inputs.
     double y = inf;
     for (const auto& s : slabs) {
-      if (s.has_value()) y = std::min(y, s.head().y);
+      if (s && s->has_value()) y = std::min(y, s->head().y);
     }
     if (bottoms.has_value()) y = std::min(y, bottoms.head().y_lo);
     if (tops.has_value()) y = std::min(y, tops.head().y_hi);
@@ -123,10 +126,10 @@ Status MergeSweep(Env& env, const std::vector<Interval>& child_ranges,
       MAXRS_RETURN_IF_ERROR(bottoms.Advance());
     }
     for (size_t i = 0; i < m; ++i) {
-      while (slabs[i].has_value() && slabs[i].head().y == y) {
-        base[i] = slabs[i].head().sum;
-        interval[i] = {slabs[i].head().x_lo, slabs[i].head().x_hi};
-        MAXRS_RETURN_IF_ERROR(slabs[i].Advance());
+      while (slabs[i] && slabs[i]->has_value() && slabs[i]->head().y == y) {
+        base[i] = slabs[i]->head().sum;
+        interval[i] = {slabs[i]->head().x_lo, slabs[i]->head().x_hi};
+        MAXRS_RETURN_IF_ERROR(slabs[i]->Advance());
       }
     }
 
@@ -151,6 +154,7 @@ Status MergeSweep(Env& env, const std::vector<Interval>& child_ranges,
         break;
       }
     }
+    if (best_out != nullptr) best_out->Offer(best);
     MAXRS_RETURN_IF_ERROR(writer.Append(SlabTuple{y, merged.lo, merged.hi, best}));
   }
 

@@ -36,12 +36,16 @@ namespace maxrs {
 /// Output and block counts are identical in every schedule combination.
 /// A non-null `cancel` token is polled once per sweep event; an expired
 /// token aborts the merge with kDeadlineExceeded.
+/// A non-null `best_out` receives the running maximum of the emitted tuple
+/// sums (maximize objective) as a free by-product of the sweep — no
+/// re-scan, no extra I/O.
 Status MergeSweep(Env& env, const std::vector<ChildSlab>& children,
                   const std::vector<std::string>& child_slab_files,
                   const std::string& span_file, const std::string& output_file,
                   SweepObjective objective = SweepObjective::kMaximize,
                   bool read_ahead = false, bool write_behind = false,
-                  const CancelToken* cancel = nullptr);
+                  const CancelToken* cancel = nullptr,
+                  SlabBest* best_out = nullptr);
 
 /// MergeSweep over externally-produced sub-slab solutions: identical sweep,
 /// but the children are given as bare x-ranges instead of DivisionResult
@@ -52,12 +56,21 @@ Status MergeSweep(Env& env, const std::vector<ChildSlab>& children,
 /// solved for exactly that range, and `span_file` the y_lo-sorted records
 /// of rectangles spanning whole sub-slabs (child indices into
 /// `child_ranges`). An empty span file is valid.
+///
+/// A child whose slab-file name is the empty string "" is a *known-empty*
+/// child: no reader is opened for it (zero I/O — not even the empty file's
+/// framing read) and it sweeps exactly like an existing empty slab-file
+/// (base 0, interval = its range). The serve layer's index-pruned execution
+/// passes "" for shards it proved cannot contain the optimum, keeping the
+/// adjacent-ascending-ranges contract (and span child indices) intact
+/// without materializing anything for skipped shards.
 Status MergeSweep(Env& env, const std::vector<Interval>& child_ranges,
                   const std::vector<std::string>& child_slab_files,
                   const std::string& span_file, const std::string& output_file,
                   SweepObjective objective = SweepObjective::kMaximize,
                   bool read_ahead = false, bool write_behind = false,
-                  const CancelToken* cancel = nullptr);
+                  const CancelToken* cancel = nullptr,
+                  SlabBest* best_out = nullptr);
 
 }  // namespace maxrs
 

@@ -4,13 +4,23 @@
 // working set fits in M the I/O count collapses (Fig. 15(a)), otherwise every
 // miss is a counted block fetch and every dirty eviction a counted write
 // (see docs/IO_MODEL.md for how this composes with the stream layer).
+//
+// The pool is thread-safe: the serve layer shares one pool across all query
+// workers (io/pooled_env.h), so every state transition — lookup, victim
+// selection, the fetch I/O itself, unpin — happens under one mutex. Holding
+// the lock across the miss I/O is deliberate: it also provides the
+// happens-before ordering the Env contract requires for the single shared
+// BlockFile handle behind each pooled file. Frame payloads are stable
+// in memory while pinned, so PageHandle::data() needs no lock.
 #ifndef MAXRS_IO_BUFFER_POOL_H_
 #define MAXRS_IO_BUFFER_POOL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "io/env.h"
@@ -33,7 +43,8 @@ class PageHandle {
 
   bool valid() const { return pool_ != nullptr; }
 
-  /// Block contents; block_size bytes.
+  /// Block contents; block_size bytes. Safe without the pool lock: the frame
+  /// is pinned for the handle's lifetime, so it cannot be evicted or reused.
   char* data();
   const char* data() const;
 
@@ -59,7 +70,15 @@ class BufferPool {
  public:
   /// `capacity_bytes` is the memory budget M; the pool holds
   /// capacity_bytes / block_size frames (at least 1).
-  BufferPool(Env& env, size_t capacity_bytes);
+  ///
+  /// `pin_wait_ms` bounds how long Fetch blocks when every frame is pinned
+  /// by other threads. Zero (the default) fails immediately with
+  /// ResourceExhausted — the historical single-owner behaviour, where an
+  /// exhausted pool is a sizing bug, not a transient. A positive bound lets
+  /// concurrent readers ride out momentary all-pinned states: Fetch waits on
+  /// a condition variable signalled by every unpin, and only reports
+  /// ResourceExhausted if no frame frees within the bound.
+  BufferPool(Env& env, size_t capacity_bytes, uint64_t pin_wait_ms = 0);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -77,7 +96,7 @@ class BufferPool {
   Status Evict(BlockFile& file);
 
   size_t capacity_frames() const { return frames_.size(); }
-  const BufferPoolStats& pool_stats() const { return stats_; }
+  BufferPoolStats pool_stats() const;
 
  private:
   friend class PageHandle;
@@ -96,11 +115,15 @@ class BufferPool {
   using Key = std::pair<BlockFile*, uint64_t>;
 
   void Unpin(size_t frame);
-  Result<size_t> GetVictim();
+  void MarkDirtyLocked(size_t frame);
+  Result<size_t> GetVictim(std::unique_lock<std::mutex>& lock);
   Status WriteBack(Frame& frame);
 
   Env* env_;
   size_t block_size_;
+  uint64_t pin_wait_ms_;
+  mutable std::mutex mu_;
+  std::condition_variable frame_freed_;
   std::vector<Frame> frames_;
   std::map<Key, size_t> table_;
   std::list<size_t> lru_;  // front = most recent

@@ -23,6 +23,16 @@ struct IoStatsSnapshot {
   /// checksummed blocks").
   uint64_t reads_retried = 0;
   uint64_t writes_retried = 0;
+  /// Work *avoided* by the aggregate shard index (serve/maxrs_server.cc).
+  /// `shards_pruned` counts shards never routed or solved because their
+  /// weight upper bound could not beat the best candidate found before
+  /// routing; `bound_skips` counts shards whose routed input was discarded
+  /// unsolved because a better candidate arrived mid-query. Neither is a
+  /// block transfer, so neither contributes to total() — they annotate why
+  /// blocks_read is *lower* than the un-pruned schedule (docs/IO_MODEL.md,
+  /// "Index-pruned serving").
+  uint64_t shards_pruned = 0;
+  uint64_t bound_skips = 0;
 
   uint64_t total() const { return blocks_read + blocks_written; }
 
@@ -30,7 +40,9 @@ struct IoStatsSnapshot {
     return {blocks_read - other.blocks_read,
             blocks_written - other.blocks_written,
             reads_retried - other.reads_retried,
-            writes_retried - other.writes_retried};
+            writes_retried - other.writes_retried,
+            shards_pruned - other.shards_pruned,
+            bound_skips - other.bound_skips};
   }
 };
 
@@ -66,12 +78,20 @@ class IoStats {
   void RecordWriteRetry(uint64_t blocks) {
     writes_retried_.fetch_add(blocks, std::memory_order_relaxed);
   }
+  void RecordShardsPruned(uint64_t shards) {
+    shards_pruned_.fetch_add(shards, std::memory_order_relaxed);
+  }
+  void RecordBoundSkip(uint64_t shards) {
+    bound_skips_.fetch_add(shards, std::memory_order_relaxed);
+  }
 
   IoStatsSnapshot Snapshot() const {
     return {blocks_read_.load(std::memory_order_relaxed),
             blocks_written_.load(std::memory_order_relaxed),
             reads_retried_.load(std::memory_order_relaxed),
-            writes_retried_.load(std::memory_order_relaxed)};
+            writes_retried_.load(std::memory_order_relaxed),
+            shards_pruned_.load(std::memory_order_relaxed),
+            bound_skips_.load(std::memory_order_relaxed)};
   }
 
   void Reset() {
@@ -79,6 +99,8 @@ class IoStats {
     blocks_written_.store(0, std::memory_order_relaxed);
     reads_retried_.store(0, std::memory_order_relaxed);
     writes_retried_.store(0, std::memory_order_relaxed);
+    shards_pruned_.store(0, std::memory_order_relaxed);
+    bound_skips_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -86,6 +108,8 @@ class IoStats {
   std::atomic<uint64_t> blocks_written_{0};
   std::atomic<uint64_t> reads_retried_{0};
   std::atomic<uint64_t> writes_retried_{0};
+  std::atomic<uint64_t> shards_pruned_{0};
+  std::atomic<uint64_t> bound_skips_{0};
 };
 
 }  // namespace maxrs

@@ -1,0 +1,128 @@
+#include "io/pooled_env.h"
+
+#include <cstring>
+#include <utility>
+
+namespace maxrs {
+namespace {
+
+// Read-only view of a pooled file. Holds the file's block count from open
+// time (pooled files are immutable once published, so the snapshot stays
+// exact) and fetches every block through the shared pool. No state of the
+// shared underlying handle is touched outside the pool's lock.
+class PooledFile : public BlockFile {
+ public:
+  PooledFile(BufferPool* pool, BlockFile* shared, std::string name)
+      : pool_(pool),
+        shared_(shared),
+        name_(std::move(name)),
+        block_size_(shared->block_size()),
+        num_blocks_(shared->NumBlocks()) {}
+
+  Status ReadBlock(uint64_t index, void* buf) override {
+    MAXRS_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(*shared_, index));
+    std::memcpy(buf, page.data(), block_size_);
+    return Status::OK();
+  }
+
+  Status WriteBlock(uint64_t, const void*) override {
+    return Status::NotSupported("pooled file is read-only: " + name_);
+  }
+
+  uint64_t NumBlocks() const override { return num_blocks_; }
+
+  Status Truncate(uint64_t) override {
+    return Status::NotSupported("pooled file is read-only: " + name_);
+  }
+
+  size_t block_size() const override { return block_size_; }
+  const std::string& name() const override { return name_; }
+
+ private:
+  BufferPool* pool_;
+  BlockFile* shared_;
+  std::string name_;
+  size_t block_size_;
+  uint64_t num_blocks_;
+};
+
+}  // namespace
+
+PooledEnv::PooledEnv(Env& base, size_t pool_bytes, uint64_t pin_wait_ms)
+    : base_(&base), pool_(base, pool_bytes, pin_wait_ms) {}
+
+PooledEnv::~PooledEnv() = default;
+
+void PooledEnv::AddPooledPrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  prefixes_.push_back(prefix);
+}
+
+bool PooledEnv::IsPooledName(const std::string& name) const {
+  for (const std::string& prefix : prefixes_) {
+    if (name.compare(0, prefix.size(), prefix) == 0) return true;
+  }
+  return false;
+}
+
+Status PooledEnv::RetireHandle(const std::string& name) {
+  auto it = handles_.find(name);
+  if (it == handles_.end()) return Status::OK();
+  MAXRS_RETURN_IF_ERROR(pool_.Evict(*it->second));
+  retired_.push_back(std::move(it->second));
+  handles_.erase(it);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<BlockFile>> PooledEnv::Create(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Re-creating a pooled name invalidates anything cached under it.
+    MAXRS_RETURN_IF_ERROR(RetireHandle(name));
+  }
+  return base_->Create(name);
+}
+
+Result<std::unique_ptr<BlockFile>> PooledEnv::Open(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!IsPooledName(name)) return base_->Open(name);
+  auto it = handles_.find(name);
+  if (it == handles_.end()) {
+    MAXRS_ASSIGN_OR_RETURN(std::unique_ptr<BlockFile> shared,
+                           base_->Open(name));
+    it = handles_.emplace(name, std::move(shared)).first;
+  }
+  return {std::unique_ptr<BlockFile>(
+      new PooledFile(&pool_, it->second.get(), name))};
+}
+
+Status PooledEnv::Delete(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MAXRS_RETURN_IF_ERROR(RetireHandle(name));
+  }
+  return base_->Delete(name);
+}
+
+Status PooledEnv::Rename(const std::string& from, const std::string& to) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MAXRS_RETURN_IF_ERROR(RetireHandle(from));
+    MAXRS_RETURN_IF_ERROR(RetireHandle(to));
+  }
+  return base_->Rename(from, to);
+}
+
+bool PooledEnv::Exists(const std::string& name) const {
+  return base_->Exists(name);
+}
+
+std::vector<std::string> PooledEnv::ListFiles() const {
+  return base_->ListFiles();
+}
+
+size_t PooledEnv::block_size() const { return base_->block_size(); }
+
+IoStats& PooledEnv::stats() { return base_->stats(); }
+
+}  // namespace maxrs

@@ -14,9 +14,11 @@
 namespace maxrs {
 namespace {
 
-// Version 2 added the two dataset-extent entries (kinds 2 and 3); version-1
-// manifests remain readable and simply carry no bounds.
-constexpr uint64_t kManifestFormatVersion = 2;
+// Version 2 added the two dataset-extent entries (kinds 2 and 3); version 3
+// added the aggregate-index descriptor (kind 4) plus the index file it
+// names. Version-1 manifests remain readable and simply carry no bounds;
+// version-2 manifests remain readable and simply carry no index.
+constexpr uint64_t kManifestFormatVersion = 3;
 constexpr size_t kMaxShards = 64;
 // Derived sharding aims at this many objects per shard: big enough that the
 // per-shard stream overhead (one reader/writer block pair per shard) is
@@ -32,6 +34,10 @@ std::string ManifestName(const std::string& prefix) {
 // partial manifest under the published name.
 std::string TempManifestName(const std::string& prefix) {
   return prefix + "/manifest.tmp";
+}
+
+std::string AggIndexName(const std::string& prefix) {
+  return prefix + "/agg_index";
 }
 
 std::string ShardYName(const std::string& prefix, size_t index) {
@@ -64,7 +70,8 @@ size_t DeriveShardCount(uint64_t num_objects, const DatasetHandleOptions& option
 // whatever shard files were already created.
 Status IngestInto(Env& env, const std::string& object_file,
                   const DatasetHandleOptions& options, uint64_t num_objects,
-                  std::vector<ShardInfo>* shards, Rect* bounds) {
+                  std::vector<ShardInfo>* shards, Rect* bounds,
+                  std::vector<ShardAgg>* aggs) {
   const std::string& prefix = options.prefix;
   TempFileManager temps(env, prefix + "_ingest");
   const std::string y_sorted = temps.NewName("objects_y");
@@ -111,6 +118,7 @@ Status IngestInto(Env& env, const std::string& object_file,
                                             options.write_behind));
       x_writer = std::move(writer);
       shards->push_back(std::move(info));
+      aggs->push_back(ShardAgg{});
       return Status::OK();
     };
     {
@@ -131,6 +139,10 @@ Status IngestInto(Env& env, const std::string& object_file,
         }
         MAXRS_RETURN_IF_ERROR(x_writer->Append(o));
         ++shards->back().num_objects;
+        // The cut pass sees every object exactly once, in x order — the
+        // natural place to accumulate the per-shard aggregates the index
+        // persists (MBR, count, total and minimum weight).
+        aggs->back().Add(o);
         if (!any) bounds->x_lo = o.x;  // x-sorted stream: first = min x
         prev_x = o.x;
         any = true;
@@ -180,6 +192,12 @@ Status IngestInto(Env& env, const std::string& object_file,
       }
     }
 
+    // The aggregate index is written (and Finish()ed) *before* the
+    // manifest that describes it, so a published manifest never names a
+    // missing index — a crash in between leaves an orphan index file under
+    // an unpublished prefix, which Drop and re-ingest both clean up.
+    MAXRS_RETURN_IF_ERROR(ShardAggIndex::Write(env, AggIndexName(prefix), *aggs));
+
     // The manifest is the commit point: a dataset without one is invisible
     // to Open and treated as a failed ingest. It is written under a temp
     // name and published by an atomic Rename once fully Finish()ed, so no
@@ -197,6 +215,8 @@ Status IngestInto(Env& env, const std::string& object_file,
       MAXRS_RETURN_IF_ERROR(manifest.Append(
           ShardManifestRecord{3, 0, 0, bounds->y_lo, bounds->y_hi}));
     }
+    MAXRS_RETURN_IF_ERROR(manifest.Append(ShardManifestRecord{
+        4, kShardAggFormatVersion, shards->size(), 0.0, 0.0}));
     for (size_t i = 0; i < shards->size(); ++i) {
       const ShardInfo& info = (*shards)[i];
       MAXRS_RETURN_IF_ERROR(manifest.Append(ShardManifestRecord{
@@ -245,8 +265,9 @@ Result<DatasetHandle> DatasetHandle::Ingest(Env& env,
   handle.prefix_ = options.prefix;
   handle.num_objects_ = num_objects;
   handle.has_bounds_ = num_objects > 0;
+  std::vector<ShardAgg> aggs;
   Status st = IngestInto(env, object_file, options, num_objects,
-                         &handle.shards_, &handle.bounds_);
+                         &handle.shards_, &handle.bounds_, &aggs);
   if (!st.ok()) {
     // Roll back partially written shard files AND a partially written
     // temp manifest (Create happens before the appends, so the file can
@@ -258,9 +279,13 @@ Result<DatasetHandle> DatasetHandle::Ingest(Env& env,
       (void)ignored;
     }
     Status ignored = env.Delete(TempManifestName(options.prefix));
+    ignored = env.Delete(AggIndexName(options.prefix));
     (void)ignored;
     return st;
   }
+  // The in-memory index is built straight from the aggregates just
+  // computed — no counted read-back of the file that was just written.
+  handle.agg_index_ = std::make_shared<ShardAggIndex>(std::move(aggs));
   handle.ingest_stats_.io = env.stats().Snapshot() - io_before;
   handle.ingest_stats_.wall_seconds = timer.ElapsedSeconds();
   return handle;
@@ -285,8 +310,16 @@ Result<DatasetHandle> DatasetHandle::Open(Env& env, const std::string& prefix) {
 
   uint64_t total = 0;
   bool have_x_extent = false, have_y_extent = false;
+  bool have_index_descriptor = false;
+  uint64_t index_version = 0, index_shards = 0;
   for (size_t i = 1; i < records.size(); ++i) {
     const ShardManifestRecord& r = records[i];
+    if (r.kind == 4) {
+      have_index_descriptor = true;
+      index_version = r.index;
+      index_shards = r.count;
+      continue;
+    }
     if (r.kind == 2) {
       handle.bounds_.x_lo = r.x_lo;
       handle.bounds_.x_hi = r.x_hi;
@@ -320,6 +353,38 @@ Result<DatasetHandle> DatasetHandle::Open(Env& env, const std::string& prefix) {
     return Status::Corruption("manifest of '" + prefix +
                               "' is inconsistent with its shard counts");
   }
+  if (have_index_descriptor) {
+    // A promised aggregate index that fails to open or validate degrades
+    // the handle, never the dataset: the handle opens with a null index
+    // and records why in index_status(), and the server serves un-pruned.
+    // Pruning is an optimization; the shard files alone are the truth.
+    handle.index_status_ = [&]() -> Status {
+      if (index_version != kShardAggFormatVersion) {
+        return Status::NotSupported("aggregate index format version " +
+                                    std::to_string(index_version) +
+                                    " is not supported");
+      }
+      auto index_or = ShardAggIndex::Open(env, AggIndexName(prefix));
+      if (!index_or.ok()) return index_or.status();
+      if (index_or->num_shards() != handle.shards_.size() ||
+          index_or->num_shards() != index_shards ||
+          index_or->total_count() != handle.num_objects_) {
+        return Status::Corruption(
+            "aggregate index of '" + prefix +
+            "' is inconsistent with the manifest's shard layout");
+      }
+      for (size_t i = 0; i < handle.shards_.size(); ++i) {
+        if (index_or->shard(i).count != handle.shards_[i].num_objects) {
+          return Status::Corruption("aggregate index of '" + prefix +
+                                    "' disagrees with shard " +
+                                    std::to_string(i) + "'s object count");
+        }
+      }
+      handle.agg_index_ =
+          std::make_shared<ShardAggIndex>(std::move(index_or).value());
+      return Status::OK();
+    }();
+  }
   return handle;
 }
 
@@ -336,8 +401,10 @@ Status DatasetHandle::Drop() {
     note(env_->Delete(info.x_file));
   }
   note(env_->Delete(ManifestName(prefix_)));
+  note(env_->Delete(AggIndexName(prefix_)));
   // A crashed ingest may have left an unpublished temp manifest behind.
   note(env_->Delete(TempManifestName(prefix_)));
+  agg_index_.reset();
   shards_.clear();
   num_objects_ = 0;
   has_bounds_ = false;

@@ -23,11 +23,13 @@
 #define MAXRS_SERVE_DATASET_HANDLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/records.h"
 #include "geom/geometry.h"
+#include "index/shard_agg_index.h"
 #include "io/env.h"
 #include "io/io_stats.h"
 #include "util/status.h"
@@ -116,12 +118,17 @@ struct IngestStats {
 /// (kind 0: format version in `index`, total objects in `count`), since
 /// format version 2 two extent entries (kind 2: dataset x-extent, kind 3:
 /// dataset y-extent, both in `x_lo`/`x_hi`; omitted for an empty dataset),
+/// since format version 3 one aggregate-index descriptor (kind 4: index
+/// format version in `index`, indexed shard count in `count`; the index
+/// data itself lives in a separate file next to the manifest, so a damaged
+/// index can be detected and bypassed without condemning the manifest),
 /// and one entry per shard (kind 1: shard index, object count, slab
 /// bounds). Shard file names are derived from the prefix, not stored.
 /// Version-1 manifests (no extent entries) still Open; their handles just
-/// report has_bounds() == false.
+/// report has_bounds() == false. Version-2 manifests (no index descriptor)
+/// still Open and serve; their handles report agg_index() == nullptr.
 struct ShardManifestRecord {
-  uint64_t kind;   ///< 0 = header, 1 = shard entry, 2/3 = x/y extent.
+  uint64_t kind;   ///< 0 = header, 1 = shard, 2/3 = x/y extent, 4 = index.
   uint64_t index;  ///< Header: format version. Shard: shard index.
   uint64_t count;  ///< Header: total objects. Shard: shard object count.
   double x_lo;     ///< Shard slab / extent lower bound.
@@ -173,6 +180,18 @@ class DatasetHandle {
   /// has_bounds(); the basis of the server's cache admission policy.
   const Rect& bounds() const { return bounds_; }
 
+  /// The aggregate shard index (per-shard MBR + weight aggregates), or
+  /// nullptr when the dataset has none: pre-v3 manifests, and v3 datasets
+  /// whose index file failed to open or validate. A null index only costs
+  /// pruning — MaxRSServer degrades to un-pruned serving and the answers
+  /// are unchanged.
+  const ShardAggIndex* agg_index() const { return agg_index_.get(); }
+
+  /// Why agg_index() is null when the manifest promised one: kCorruption /
+  /// kNotFound / kNotSupported from opening the index file. OK when the
+  /// index is present, and OK for pre-v3 manifests (nothing was promised).
+  const Status& index_status() const { return index_status_; }
+
  private:
   DatasetHandle() = default;
 
@@ -183,6 +202,8 @@ class DatasetHandle {
   IngestStats ingest_stats_;
   bool has_bounds_ = false;
   Rect bounds_;
+  std::shared_ptr<ShardAggIndex> agg_index_;
+  Status index_status_;
 };
 
 }  // namespace maxrs

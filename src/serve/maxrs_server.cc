@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <numeric>
 #include <optional>
 
 #include <condition_variable>
@@ -303,11 +304,14 @@ Status RouteSourceShard(Env& env, TempFileManager& temps,
 // sorted in every part, so the merged stream is y_lo-ordered (all the
 // division phase needs) and a deterministic function of the parts; clipped
 // tie-break fields need not be globally PieceYLess-sorted.
+// A non-null `best_out` receives the shard slab-file's maximum tuple sum
+// (core/records.h SlabBest) — the pruned execution's incumbent.
 Result<std::string> SolveTargetShard(Env& env, TempFileManager& temps,
                                      const std::vector<RoutedSource>& routed,
                                      const Interval& slab, size_t target,
                                      const MaxRSOptions& options,
-                                     MaxRSStats* stats) {
+                                     MaxRSStats* stats,
+                                     SlabBest* best_out = nullptr) {
   std::vector<std::string> piece_parts;
   std::vector<std::string> edge_parts;
   uint64_t num_pieces = 0;
@@ -364,7 +368,7 @@ Result<std::string> SolveTargetShard(Env& env, TempFileManager& temps,
     }
   }
   return core_internal::SolveSlab(env, temps, input, options, stats,
-                                  /*pool=*/nullptr);
+                                  /*pool=*/nullptr, best_out);
 }
 
 // ---------------------------------------------------------------------------
@@ -545,16 +549,23 @@ Status RouteSourceShardStreaming(Env& env, StreamingChannels& channels,
 // bounds pass reads the edges twice); a base-case shard abandons the
 // column untouched — what those channels buffered or spilled is a pure
 // function of the routed records, so block counts stay deterministic.
+// `sources` restricts the merge to those producer rows: the pruned
+// execution merges only the rows it actually routed (the others' channels
+// never close — waiting on them would hang, and by construction they could
+// only have carried empty streams, so dropping them leaves the merged
+// stream byte-identical). The un-pruned caller passes all rows. `best_out`
+// as in SolveTargetShard.
 Status SolveTargetShardStreaming(Env& env, TempFileManager& temps,
                                  StreamingChannels& channels,
+                                 const std::vector<size_t>& sources,
                                  const Interval& slab, size_t target,
                                  const MaxRSOptions& options,
                                  MaxRSStats* stats, bool write_behind,
-                                 std::string* slab_file_out) {
-  const size_t num_shards = channels.num_shards;
+                                 std::string* slab_file_out,
+                                 SlabBest* best_out = nullptr) {
   std::vector<RecordSource<PieceRecord>*> piece_column;
-  piece_column.reserve(num_shards);
-  for (size_t s = 0; s < num_shards; ++s) {
+  piece_column.reserve(sources.size());
+  for (size_t s : sources) {
     piece_column.push_back(channels.piece(s, target));
   }
   MergingSource<PieceRecord, decltype(&PieceYLess)> pieces(
@@ -581,8 +592,8 @@ Status SolveTargetShardStreaming(Env& env, TempFileManager& temps,
   core_internal::EdgeFileProvider edge_provider =
       [&]() -> Result<std::string> {
     std::vector<RecordSource<EdgeRecord>*> edge_column;
-    edge_column.reserve(num_shards);
-    for (size_t s = 0; s < num_shards; ++s) {
+    edge_column.reserve(sources.size());
+    for (size_t s : sources) {
       edge_column.push_back(channels.edge(s, target));
     }
     MergingSource<EdgeRecord, decltype(&EdgeXLess)> edges(
@@ -603,12 +614,137 @@ Status SolveTargetShardStreaming(Env& env, TempFileManager& temps,
 
   auto slab_or = core_internal::SolveSlabStream(env, temps, &stream,
                                                 edge_provider, slab, options,
-                                                stats, /*pool=*/nullptr);
+                                                stats, /*pool=*/nullptr,
+                                                best_out);
   // The provider's creator owns the drained edge file (exact_maxrs.h).
   if (!edge_file.empty()) temps.Release(edge_file);
   if (!slab_or.ok()) return slab_or.status();
   *slab_file_out = std::move(slab_or).value();
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Index-pruned per-shard execution (ServePruningMode::kAuto): the aggregate
+// shard index (index/shard_agg_index.h) turns the per-shard mode into a
+// branch-and-bound. For each target shard t, UB(t) — the total weight of
+// all objects a rectangle centered in t's slab could possibly cover — is an
+// upper bound on any placement in t, computed from the index with zero I/O.
+// The execution is phased: route only the sources the most promising shard
+// (the seed) needs, solve the seed to get an achievable incumbent weight,
+// discard every shard whose bound cannot beat it, route the remaining
+// sources the survivors need, and solve the survivors best-bound-first,
+// re-checking each bound against the growing incumbent. The final
+// cross-shard MergeSweep runs over ALL shard ranges with "" (known-empty)
+// children standing in for skipped shards.
+//
+// Soundness (why answers are bit-identical to the un-pruned path):
+//   - UB(t) counts every object within w/2 of t's slab — a superset of
+//     anything a placement in t covers — so with non-negative weights
+//     (pruning_safe()) no placement in t can weigh more than UB(t).
+//   - The incumbent is a shard slab-file's best tuple sum: a real,
+//     achievable placement weight (an UNDER-estimate of the true total,
+//     which may add non-negative boundary-span weight on top).
+//   - A shard is skipped only when UB(t) < incumbent STRICTLY, so a shard
+//     that could tie the winner always survives — tie-breaking (first
+//     maximum in root-stream order) is preserved exactly.
+//   - A surviving shard's solve sees every source whose expanded x-MBR
+//     reaches its slab — all sources that could route anything to it — so
+//     its slab-file is byte-identical to the un-pruned one, and every
+//     boundary span covering a surviving shard comes from a routed source.
+//   - Skipped shards contribute no root tuples, but all of their placements
+//     weigh strictly less than the incumbent (≤ final max), so the winning
+//     tuple — and, with TopTupleTracker's stratum coalescing, its full
+//     winning run — is unchanged.
+// I/O never exceeds the un-pruned path: routing a source and solving a
+// shard read/write exactly what the un-pruned execution would, and pruning
+// only removes whole routes/solves.
+// ---------------------------------------------------------------------------
+
+// Weight upper bound of every target shard for rect width `width`: the
+// index-aggregated weight of all objects whose x lies within w/2 of the
+// shard's slab (closed window — boundary objects count; over-approximating
+// is sound, under-approximating would not be).
+std::vector<double> ShardUpperBounds(const ShardAggIndex& index,
+                                     const std::vector<ShardInfo>& shards,
+                                     double width) {
+  const double half_w = width / 2.0;
+  std::vector<double> ub;
+  ub.reserve(shards.size());
+  for (const ShardInfo& shard : shards) {
+    ub.push_back(index.WindowWeight(shard.x_range.lo - half_w,
+                                    shard.x_range.hi + half_w));
+  }
+  return ub;
+}
+
+// Seed choice: the shard with the largest bound, ties to the lowest index
+// (deterministic; any choice is sound, the largest bound tends to hold the
+// winner and thus prunes the most).
+size_t ArgMaxUpperBound(const std::vector<double>& ub) {
+  size_t best = 0;
+  for (size_t i = 1; i < ub.size(); ++i) {
+    if (ub[i] > ub[best]) best = i;
+  }
+  return best;
+}
+
+// Whether source shard `s` can route anything (pieces, edges, or spans) to
+// a target with slab `slab`: its object x-MBR expanded by w/2 must reach
+// the slab. Closed-interval test — conservatively routes boundary-touching
+// sources (an empty routed part costs no blocks).
+bool SourceFeedsTarget(const ShardAggIndex& index, size_t s,
+                       const Interval& slab, double width) {
+  const double half_w = width / 2.0;
+  return index.Intersects(s, slab.lo - half_w, slab.hi + half_w);
+}
+
+// Shared tail of the pruned executors: scan the root slab-file stream,
+// assemble the result, and fold the per-shard stats exactly like the
+// un-pruned executors (skipped shards' untouched stats blocks fold as
+// zeros, mirroring empty shards on the un-pruned path).
+Result<MaxRSResult> ExtractRootResult(Env& env, TempFileManager& temps,
+                                      const std::string& root_file,
+                                      bool read_ahead, uint64_t input_objects,
+                                      const std::vector<MaxRSStats>& stats,
+                                      size_t num_shards, uint64_t num_spans,
+                                      const CancelToken* cancel) {
+  core_internal::TopTupleTracker tracker(1);
+  {
+    MAXRS_ASSIGN_OR_RETURN(
+        PrefetchingReader<SlabTuple> reader,
+        PrefetchingReader<SlabTuple>::Make(env, root_file, read_ahead));
+    SlabTuple t{};
+    while (reader.Next(&t)) {
+      MAXRS_RETURN_IF_ERROR(CheckCancel(cancel));
+      tracker.Visit(t);
+    }
+    MAXRS_RETURN_IF_ERROR(reader.final_status());
+  }
+  temps.Release(root_file);
+
+  MaxRSResult result;
+  auto best = tracker.Finish();
+  if (best.empty()) {
+    result.region = Rect{-kInf, kInf, -kInf, kInf};
+  } else {
+    result.location = best[0].location;
+    result.total_weight = best[0].total_weight;
+    result.region = best[0].region;
+  }
+  result.stats.input_objects = input_objects;
+  for (const MaxRSStats& s : stats) {
+    result.stats.base_cases += s.base_cases;
+    result.stats.merges += s.merges;
+    result.stats.total_spans += s.total_spans;
+    result.stats.recursion_levels =
+        std::max(result.stats.recursion_levels,
+                 s.recursion_levels + (num_shards > 1 ? 1 : 0));
+  }
+  if (num_shards > 1) {
+    ++result.stats.merges;  // the cross-shard MergeSweep
+    result.stats.total_spans += num_spans;
+  }
+  return {std::move(result)};
 }
 
 }  // namespace
@@ -624,6 +760,15 @@ MaxRSServer::MaxRSServer(Env& env, const DatasetHandle& dataset,
       // (same rationale as the core layer's num_threads validation).
       pool_(std::make_unique<ThreadPool>(std::min<size_t>(
           std::max<size_t>(1, options.num_workers), 1024))) {
+  // Shared buffer pool over the dataset's immutable files, before the
+  // workers start: they read exec_env_ unsynchronized.
+  if (options_.buffer_pool_bytes > 0) {
+    pooled_env_ = std::make_unique<PooledEnv>(
+        env_, options_.buffer_pool_bytes, options_.buffer_pool_pin_wait_ms);
+    pooled_env_->AddPooledPrefix(dataset_.prefix());
+  }
+  exec_env_ = pooled_env_ != nullptr ? static_cast<Env*>(pooled_env_.get())
+                                     : &env_;
   // Reject a bad configuration now (stored; every Submit returns it),
   // rather than paying a full per-shard derivation pass per doomed query
   // before the core validation finally fires.
@@ -836,6 +981,14 @@ void MaxRSServer::WorkerLoop() {
   }
 }
 
+bool MaxRSServer::PruningActive() const {
+  if (options_.pruning_mode == ServePruningMode::kOff) return false;
+  if (options_.solve_mode != ServeSolveMode::kPerShard) return false;
+  if (dataset_.shards().size() < 2) return false;
+  const ShardAggIndex* index = dataset_.agg_index();
+  return index != nullptr && index->pruning_safe();
+}
+
 Result<MaxRSResult> MaxRSServer::ExecuteQuery(double width, double height,
                                               const CancelToken* cancel) {
   // A request whose deadline elapsed while it sat in the queue fails here
@@ -844,10 +997,22 @@ Result<MaxRSResult> MaxRSServer::ExecuteQuery(double width, double height,
   if (options_.solve_mode == ServeSolveMode::kGlobalMerge) {
     return ExecuteGlobalMerge(width, height, cancel);
   }
-  if (options_.routing_mode == ServeRoutingMode::kMaterialized) {
-    return ExecutePerShardMaterialized(width, height, cancel);
+  const bool pruned = PruningActive();
+  if (!pruned && options_.pruning_mode == ServePruningMode::kAuto &&
+      dataset_.shards().size() > 1) {
+    // Pruning was wanted but the dataset cannot support it (no usable
+    // aggregate index, or weights unsafe to bound): count the degradation.
+    // Only the shard skipping is lost — answers are unchanged.
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.unpruned;
   }
-  Result<MaxRSResult> result = ExecutePerShardStreaming(width, height, cancel);
+  if (options_.routing_mode == ServeRoutingMode::kMaterialized) {
+    return pruned ? ExecutePerShardMaterializedPruned(width, height, cancel)
+                  : ExecutePerShardMaterialized(width, height, cancel);
+  }
+  Result<MaxRSResult> result =
+      pruned ? ExecutePerShardStreamingPruned(width, height, cancel)
+             : ExecutePerShardStreaming(width, height, cancel);
   if (!result.ok() && result.status().is_retryable()) {
     // Graceful degradation, one shot: a streaming query that failed with a
     // retryable (transient) error — Env retries already exhausted — re-runs
@@ -859,15 +1024,17 @@ Result<MaxRSResult> MaxRSServer::ExecuteQuery(double width, double height,
       std::lock_guard<std::mutex> lock(counters_mu_);
       ++counters_.degraded;
     }
-    result = ExecutePerShardMaterialized(width, height, cancel);
+    result = pruned ? ExecutePerShardMaterializedPruned(width, height, cancel)
+                    : ExecutePerShardMaterialized(width, height, cancel);
   }
   return result;
 }
 
 Result<MaxRSResult> MaxRSServer::ExecutePerShardStreaming(
     double width, double height, const CancelToken* cancel) {
-  TempFileManager temps(env_, options_.work_prefix);
-  const IoStatsSnapshot io_before = env_.stats().Snapshot();
+  Env& env = *exec_env_;
+  TempFileManager temps(env, options_.work_prefix);
+  const IoStatsSnapshot io_before = env.stats().Snapshot();
   Stopwatch timer;
 
   auto body = [&]() -> Result<MaxRSResult> {
@@ -889,7 +1056,7 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardStreaming(
     // FIFO-before order the liveness protocol requires. The latch is
     // waited on before `channels` goes out of scope on EVERY path below:
     // producers hold raw pointers into it.
-    StreamingChannels channels(env_, temps, num_shards,
+    StreamingChannels channels(env, temps, num_shards,
                                options_.stream_channel_bytes,
                                options_.write_behind);
     std::vector<Status> producer_status(num_shards);
@@ -897,12 +1064,14 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardStreaming(
     for (size_t s = 0; s < num_shards; ++s) {
       pool_->Submit([&, s] {
         producer_status[s] = RouteSourceShardStreaming(
-            env_, channels, shards, bounds, ranges, s, width, height,
+            env, channels, shards, bounds, ranges, s, width, height,
             options_.read_ahead, cancel);
         producers_done.CountDown();
       });
     }
 
+    std::vector<size_t> all_sources(num_shards);
+    std::iota(all_sources.begin(), all_sources.end(), size_t{0});
     std::vector<std::string> slab_files(num_shards);
     std::vector<MaxRSStats> shard_stats(num_shards);
     Status consumers_status;
@@ -911,8 +1080,9 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardStreaming(
       for (size_t t = 0; t < num_shards; ++t) {
         group.Run([&, t]() -> Status {
           return SolveTargetShardStreaming(
-              env_, temps, channels, shards[t].x_range, t, query_options,
-              &shard_stats[t], options_.write_behind, &slab_files[t]);
+              env, temps, channels, all_sources, shards[t].x_range, t,
+              query_options, &shard_stats[t], options_.write_behind,
+              &slab_files[t]);
         });
       }
       consumers_status = group.Wait();
@@ -942,7 +1112,7 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardStreaming(
             std::move(span_sources), &SpanYLess);
         MAXRS_ASSIGN_OR_RETURN(
             RecordWriter<SpanRecord> writer,
-            RecordWriter<SpanRecord>::Make(env_, span_file,
+            RecordWriter<SpanRecord>::Make(env, span_file,
                                            options_.write_behind));
         SpanRecord span{};
         while (spans.Next(&span)) {
@@ -954,7 +1124,7 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardStreaming(
         num_spans = writer.count();
       }
       root_file = temps.NewName("q_root");
-      MAXRS_RETURN_IF_ERROR(MergeSweep(env_, ranges, slab_files, span_file,
+      MAXRS_RETURN_IF_ERROR(MergeSweep(env, ranges, slab_files, span_file,
                                        root_file, SweepObjective::kMaximize,
                                        options_.read_ahead,
                                        options_.write_behind, cancel));
@@ -969,7 +1139,7 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardStreaming(
     {
       MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SlabTuple> reader,
                              PrefetchingReader<SlabTuple>::Make(
-                                 env_, root_file, options_.read_ahead));
+                                 env, root_file, options_.read_ahead));
       SlabTuple t{};
       while (reader.Next(&t)) {
         MAXRS_RETURN_IF_ERROR(CheckCancel(cancel));
@@ -1006,7 +1176,7 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardStreaming(
 
   Result<MaxRSResult> result = body();
   if (result.ok()) {
-    result.value().stats.io = env_.stats().Snapshot() - io_before;
+    result.value().stats.io = env.stats().Snapshot() - io_before;
     result.value().stats.wall_seconds = timer.ElapsedSeconds();
   } else {
     // Sweep every scratch file this query's manager named so repeated
@@ -1019,8 +1189,9 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardStreaming(
 
 Result<MaxRSResult> MaxRSServer::ExecutePerShardMaterialized(
     double width, double height, const CancelToken* cancel) {
-  TempFileManager temps(env_, options_.work_prefix);
-  const IoStatsSnapshot io_before = env_.stats().Snapshot();
+  Env& env = *exec_env_;
+  TempFileManager temps(env, options_.work_prefix);
+  const IoStatsSnapshot io_before = env.stats().Snapshot();
   Stopwatch timer;
 
   auto body = [&]() -> Result<MaxRSResult> {
@@ -1043,7 +1214,7 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardMaterialized(
       TaskGroup group(pool_.get());
       for (size_t s = 0; s < num_shards; ++s) {
         group.Run([&, s]() -> Status {
-          return RouteSourceShard(env_, temps, shards, bounds, s, width,
+          return RouteSourceShard(env, temps, shards, bounds, s, width,
                                   height, options_.read_ahead, cancel,
                                   &routed[s]);
         });
@@ -1059,7 +1230,7 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardMaterialized(
       for (size_t t = 0; t < num_shards; ++t) {
         group.Run([&, t]() -> Status {
           auto slab_or =
-              SolveTargetShard(env_, temps, routed, shards[t].x_range, t,
+              SolveTargetShard(env, temps, routed, shards[t].x_range, t,
                                query_options, &shard_stats[t]);
           if (!slab_or.ok()) return slab_or.status();
           slab_files[t] = std::move(slab_or).value();
@@ -1086,23 +1257,23 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardMaterialized(
       if (span_parts.empty()) {
         span_file = temps.NewName("q_spans");
         MAXRS_ASSIGN_OR_RETURN(RecordWriter<SpanRecord> writer,
-                               RecordWriter<SpanRecord>::Make(env_, span_file));
+                               RecordWriter<SpanRecord>::Make(env, span_file));
         MAXRS_RETURN_IF_ERROR(writer.Finish());
       } else if (span_parts.size() == 1) {
         span_file = span_parts[0];
       } else {
         const size_t fan_in = QueryMergeFanIn(options_.memory_bytes,
-                                              env_.block_size());
+                                              env.block_size());
         span_file = temps.NewName("q_spans");
         MAXRS_RETURN_IF_ERROR(MergeSortedParts<SpanRecord>(
-            env_, temps, span_parts, span_file, SpanYLess, fan_in,
+            env, temps, span_parts, span_file, SpanYLess, fan_in,
             /*pool=*/nullptr, /*passes_out=*/nullptr, options_.read_ahead));
       }
       std::vector<Interval> ranges;
       ranges.reserve(num_shards);
       for (const ShardInfo& shard : shards) ranges.push_back(shard.x_range);
       root_file = temps.NewName("q_root");
-      MAXRS_RETURN_IF_ERROR(MergeSweep(env_, ranges, slab_files, span_file,
+      MAXRS_RETURN_IF_ERROR(MergeSweep(env, ranges, slab_files, span_file,
                                        root_file, SweepObjective::kMaximize,
                                        options_.read_ahead,
                                        options_.write_behind, cancel));
@@ -1117,7 +1288,7 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardMaterialized(
     {
       MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SlabTuple> reader,
                              PrefetchingReader<SlabTuple>::Make(
-                                 env_, root_file, options_.read_ahead));
+                                 env, root_file, options_.read_ahead));
       SlabTuple t{};
       while (reader.Next(&t)) {
         MAXRS_RETURN_IF_ERROR(CheckCancel(cancel));
@@ -1154,7 +1325,7 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardMaterialized(
 
   Result<MaxRSResult> result = body();
   if (result.ok()) {
-    result.value().stats.io = env_.stats().Snapshot() - io_before;
+    result.value().stats.io = env.stats().Snapshot() - io_before;
     result.value().stats.wall_seconds = timer.ElapsedSeconds();
   } else {
     // Sweep every scratch file this query's manager named so repeated
@@ -1166,7 +1337,8 @@ Result<MaxRSResult> MaxRSServer::ExecutePerShardMaterialized(
 
 Result<MaxRSResult> MaxRSServer::ExecuteGlobalMerge(
     double width, double height, const CancelToken* cancel) {
-  TempFileManager temps(env_, options_.work_prefix);
+  Env& env = *exec_env_;
+  TempFileManager temps(env, options_.work_prefix);
 
   auto body = [&]() -> Result<MaxRSResult> {
     const std::vector<ShardInfo>& shards = dataset_.shards();
@@ -1183,7 +1355,7 @@ Result<MaxRSResult> MaxRSServer::ExecuteGlobalMerge(
       edge_parts[i] = temps.NewName("q_edges");
       bool canonical = true;
       MAXRS_RETURN_IF_ERROR(TransformShardPieces(
-          env_, shards[i], width, height, piece_parts[i], &canonical,
+          env, shards[i], width, height, piece_parts[i], &canonical,
           options_.read_ahead, cancel));
       if (!canonical) {
         // Sub-ulp coordinate collapse (see TransformShardPieces) broke the
@@ -1194,11 +1366,11 @@ Result<MaxRSResult> MaxRSServer::ExecuteGlobalMerge(
         ExternalSortOptions sort_options{options_.memory_bytes, nullptr,
                                          options_.read_ahead};
         MAXRS_RETURN_IF_ERROR(ExternalSort<PieceRecord>(
-            env_, piece_parts[i], resorted, PieceYLess, sort_options));
+            env, piece_parts[i], resorted, PieceYLess, sort_options));
         temps.Release(piece_parts[i]);
         piece_parts[i] = resorted;
       }
-      MAXRS_RETURN_IF_ERROR(BuildShardEdges(env_, shards[i], width,
+      MAXRS_RETURN_IF_ERROR(BuildShardEdges(env, shards[i], width,
                                             edge_parts[i],
                                             options_.read_ahead, cancel));
     }
@@ -1214,14 +1386,14 @@ Result<MaxRSResult> MaxRSServer::ExecuteGlobalMerge(
       edge_file = edge_parts[0];
     } else {
       const size_t fan_in = QueryMergeFanIn(options_.memory_bytes,
-                                            env_.block_size());
+                                            env.block_size());
       piece_file = temps.NewName("q_pieces_sorted");
       edge_file = temps.NewName("q_edges_sorted");
       MAXRS_RETURN_IF_ERROR(MergeSortedParts<PieceRecord>(
-          env_, temps, piece_parts, piece_file, PieceYLess, fan_in,
+          env, temps, piece_parts, piece_file, PieceYLess, fan_in,
           /*pool=*/nullptr, /*passes_out=*/nullptr, options_.read_ahead));
       MAXRS_RETURN_IF_ERROR(MergeSortedParts<EdgeRecord>(
-          env_, temps, edge_parts, edge_file, EdgeXLess, fan_in,
+          env, temps, edge_parts, edge_file, EdgeXLess, fan_in,
           /*pool=*/nullptr, /*passes_out=*/nullptr, options_.read_ahead));
     }
 
@@ -1230,7 +1402,7 @@ Result<MaxRSResult> MaxRSServer::ExecuteGlobalMerge(
     input.edge_file = edge_file;
     input.num_pieces = dataset_.num_objects();
     input.x_range = Interval{-kInf, kInf};
-    return RunExactMaxRSPrepared(env_, input, query_options);
+    return RunExactMaxRSPrepared(env, input, query_options);
   };
 
   Result<MaxRSResult> result = body();
@@ -1240,6 +1412,372 @@ Result<MaxRSResult> MaxRSServer::ExecuteGlobalMerge(
     // grow the Env without bound. (Scratch the Driver recursion allocates
     // under its own manager can still leak on a mid-recursion error; that
     // matches the one-shot pipeline's behavior.)
+    temps.ReleaseAll();
+  }
+  return result;
+}
+
+Result<MaxRSResult> MaxRSServer::ExecutePerShardMaterializedPruned(
+    double width, double height, const CancelToken* cancel) {
+  Env& env = *exec_env_;
+  TempFileManager temps(env, options_.work_prefix);
+  const IoStatsSnapshot io_before = env.stats().Snapshot();
+  Stopwatch timer;
+
+  auto body = [&]() -> Result<MaxRSResult> {
+    const ShardAggIndex& index = *dataset_.agg_index();
+    const std::vector<ShardInfo>& shards = dataset_.shards();
+    const size_t num_shards = shards.size();  // >= 2 (PruningActive)
+    std::vector<double> bounds;  // interior shard boundaries
+    bounds.reserve(num_shards - 1);
+    for (size_t k = 1; k < num_shards; ++k) {
+      bounds.push_back(shards[k].x_range.lo);
+    }
+    const MaxRSOptions query_options = MakeQueryOptions(width, height, cancel);
+
+    // Plan: per-shard weight upper bounds from the index — zero I/O.
+    const std::vector<double> ub = ShardUpperBounds(index, shards, width);
+    const size_t seed = ArgMaxUpperBound(ub);
+
+    // Every entry is pre-sized so SolveTargetShard can index the part
+    // vectors of sources that were never routed (all-empty = routed
+    // nothing, exactly like a routed source that emitted nothing).
+    std::vector<RoutedSource> routed(num_shards);
+    for (RoutedSource& r : routed) {
+      r.piece_parts.assign(num_shards, std::string());
+      r.piece_counts.assign(num_shards, 0);
+      r.edge_parts.assign(num_shards, std::string());
+    }
+    std::vector<char> is_routed(num_shards, 0);
+    auto route_sources = [&](const std::vector<size_t>& sources) -> Status {
+      TaskGroup group(pool_.get());
+      for (size_t s : sources) {
+        group.Run([&, s]() -> Status {
+          return RouteSourceShard(env, temps, shards, bounds, s, width,
+                                  height, options_.read_ahead, cancel,
+                                  &routed[s]);
+        });
+      }
+      return group.Wait();
+    };
+
+    // Phase A1: route only the sources the seed shard needs.
+    std::vector<size_t> a1;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (SourceFeedsTarget(index, s, shards[seed].x_range, width)) {
+        a1.push_back(s);
+        is_routed[s] = 1;
+      }
+    }
+    MAXRS_RETURN_IF_ERROR(route_sources(a1));
+
+    // Seed solve, inline on this worker thread: its slab-file's best tuple
+    // sum is the branch-and-bound incumbent.
+    std::vector<std::string> slab_files(num_shards);
+    std::vector<MaxRSStats> shard_stats(num_shards);
+    SlabBest incumbent;
+    MAXRS_ASSIGN_OR_RETURN(
+        slab_files[seed],
+        SolveTargetShard(env, temps, routed, shards[seed].x_range, seed,
+                         query_options, &shard_stats[seed], &incumbent));
+
+    // Prune: only shards whose bound can still match or beat the incumbent
+    // survive. Strictly-less comparison — a shard that could TIE must
+    // survive, or the first-maximum tie-break would shift.
+    std::vector<char> survives(num_shards, 0);
+    survives[seed] = 1;
+    uint64_t pruned_count = 0;
+    for (size_t t = 0; t < num_shards; ++t) {
+      if (t == seed) continue;
+      if (incumbent.has_value && ub[t] < incumbent.sum) {
+        ++pruned_count;
+      } else {
+        survives[t] = 1;
+      }
+    }
+    if (pruned_count > 0) env.stats().RecordShardsPruned(pruned_count);
+
+    // Phase A2: route the remaining sources any surviving target needs.
+    std::vector<size_t> a2;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (is_routed[s]) continue;
+      for (size_t t = 0; t < num_shards; ++t) {
+        if (survives[t] &&
+            SourceFeedsTarget(index, s, shards[t].x_range, width)) {
+          a2.push_back(s);
+          is_routed[s] = 1;
+          break;
+        }
+      }
+    }
+    MAXRS_RETURN_IF_ERROR(route_sources(a2));
+
+    // Phase B: solve the survivors sequentially, best bound first (ties to
+    // the lowest index), re-checking each bound against the incumbent the
+    // previous solves grew. Sequential on purpose: parallel solves would
+    // race the incumbent and make the set of skipped shards — and with it
+    // the per-query block count — schedule-dependent.
+    std::vector<size_t> order;
+    for (size_t t = 0; t < num_shards; ++t) {
+      if (t != seed && survives[t]) order.push_back(t);
+    }
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (ub[a] != ub[b]) return ub[a] > ub[b];
+      return a < b;
+    });
+    uint64_t bound_skips = 0;
+    for (size_t t : order) {
+      if (incumbent.has_value && ub[t] < incumbent.sum) {
+        ++bound_skips;
+        survives[t] = 0;  // skipped mid-solve: "" child in the combine
+        continue;
+      }
+      MAXRS_ASSIGN_OR_RETURN(
+          slab_files[t],
+          SolveTargetShard(env, temps, routed, shards[t].x_range, t,
+                           query_options, &shard_stats[t], &incumbent));
+    }
+    if (bound_skips > 0) env.stats().RecordBoundSkip(bound_skips);
+
+    // Phase C: cross-shard combine over ALL shard ranges; skipped shards
+    // keep their "" names — MergeSweep treats them as known-empty children
+    // (zero I/O), keeping the adjacent-ranges contract and the span child
+    // indices intact. Spans come from routed sources only; every span
+    // covering a surviving shard is from a routed source by construction.
+    uint64_t num_spans = 0;
+    std::vector<std::string> span_parts;
+    for (const RoutedSource& source : routed) {
+      if (!source.span_part.empty()) span_parts.push_back(source.span_part);
+      num_spans += source.span_count;
+    }
+    std::string span_file;
+    if (span_parts.empty()) {
+      span_file = temps.NewName("q_spans");
+      MAXRS_ASSIGN_OR_RETURN(RecordWriter<SpanRecord> writer,
+                             RecordWriter<SpanRecord>::Make(env, span_file));
+      MAXRS_RETURN_IF_ERROR(writer.Finish());
+    } else if (span_parts.size() == 1) {
+      span_file = span_parts[0];
+    } else {
+      const size_t fan_in =
+          QueryMergeFanIn(options_.memory_bytes, env.block_size());
+      span_file = temps.NewName("q_spans");
+      MAXRS_RETURN_IF_ERROR(MergeSortedParts<SpanRecord>(
+          env, temps, span_parts, span_file, SpanYLess, fan_in,
+          /*pool=*/nullptr, /*passes_out=*/nullptr, options_.read_ahead));
+    }
+    std::vector<Interval> ranges;
+    ranges.reserve(num_shards);
+    for (const ShardInfo& shard : shards) ranges.push_back(shard.x_range);
+    std::string root_file = temps.NewName("q_root");
+    MAXRS_RETURN_IF_ERROR(MergeSweep(env, ranges, slab_files, span_file,
+                                     root_file, SweepObjective::kMaximize,
+                                     options_.read_ahead,
+                                     options_.write_behind, cancel));
+    for (const std::string& slab_file : slab_files) {
+      if (!slab_file.empty()) temps.Release(slab_file);
+    }
+    temps.Release(span_file);
+
+    return ExtractRootResult(env, temps, root_file, options_.read_ahead,
+                             dataset_.num_objects(), shard_stats, num_shards,
+                             num_spans, cancel);
+  };
+
+  Result<MaxRSResult> result = body();
+  if (result.ok()) {
+    result.value().stats.io = env.stats().Snapshot() - io_before;
+    result.value().stats.wall_seconds = timer.ElapsedSeconds();
+  } else {
+    temps.ReleaseAll();
+  }
+  return result;
+}
+
+Result<MaxRSResult> MaxRSServer::ExecutePerShardStreamingPruned(
+    double width, double height, const CancelToken* cancel) {
+  Env& env = *exec_env_;
+  TempFileManager temps(env, options_.work_prefix);
+  const IoStatsSnapshot io_before = env.stats().Snapshot();
+  Stopwatch timer;
+
+  auto body = [&]() -> Result<MaxRSResult> {
+    const ShardAggIndex& index = *dataset_.agg_index();
+    const std::vector<ShardInfo>& shards = dataset_.shards();
+    const size_t num_shards = shards.size();  // >= 2 (PruningActive)
+    std::vector<double> bounds;  // interior shard boundaries
+    bounds.reserve(num_shards - 1);
+    for (size_t k = 1; k < num_shards; ++k) {
+      bounds.push_back(shards[k].x_range.lo);
+    }
+    std::vector<Interval> ranges;
+    ranges.reserve(num_shards);
+    for (const ShardInfo& shard : shards) ranges.push_back(shard.x_range);
+    const MaxRSOptions query_options = MakeQueryOptions(width, height, cancel);
+
+    // Plan (zero I/O), as in the materialized pruned path.
+    const std::vector<double> ub = ShardUpperBounds(index, shards, width);
+    const size_t seed = ArgMaxUpperBound(ub);
+
+    // The full S x S channel grid is created eagerly even though some rows
+    // may never route: spill names must be allocated in the same
+    // deterministic order as the un-pruned path. Unused channels allocate
+    // no files. Producers of rows that never route also never close their
+    // channels — consumers only ever merge routed rows, so nobody waits on
+    // them, and the destructors reclaim whatever state exists.
+    StreamingChannels channels(env, temps, num_shards,
+                               options_.stream_channel_bytes,
+                               options_.write_behind);
+    std::vector<Status> producer_status(num_shards);
+    std::vector<char> is_routed(num_shards, 0);
+    auto submit_producer = [&](size_t s, JoinLatch* latch) {
+      pool_->Submit([&, s, latch] {
+        producer_status[s] = RouteSourceShardStreaming(
+            env, channels, shards, bounds, ranges, s, width, height,
+            options_.read_ahead, cancel);
+        latch->CountDown();
+      });
+    };
+
+    // Phase A1: producers for the sources the seed needs, then the seed
+    // solve inline on this worker thread — consuming while they produce.
+    // Producers never block, so the inline consumer cannot deadlock them.
+    std::vector<size_t> a1;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (SourceFeedsTarget(index, s, shards[seed].x_range, width)) {
+        a1.push_back(s);
+        is_routed[s] = 1;
+      }
+    }
+    JoinLatch a1_done(a1.size());
+    for (size_t s : a1) submit_producer(s, &a1_done);
+
+    std::vector<std::string> slab_files(num_shards);
+    std::vector<MaxRSStats> shard_stats(num_shards);
+    SlabBest incumbent;
+    Status seed_status = SolveTargetShardStreaming(
+        env, temps, channels, a1, shards[seed].x_range, seed, query_options,
+        &shard_stats[seed], options_.write_behind, &slab_files[seed],
+        &incumbent);
+    // Join the A1 producers before any return — they hold references into
+    // `channels` (the seed consumer finishing does not imply the rows
+    // finished: rows close their piece channels before routing edges).
+    a1_done.Wait();
+    MAXRS_RETURN_IF_ERROR(seed_status);
+    for (size_t s : a1) MAXRS_RETURN_IF_ERROR(producer_status[s]);
+
+    // Prune against the incumbent (strict — ties must survive).
+    std::vector<char> survives(num_shards, 0);
+    survives[seed] = 1;
+    uint64_t pruned_count = 0;
+    for (size_t t = 0; t < num_shards; ++t) {
+      if (t == seed) continue;
+      if (incumbent.has_value && ub[t] < incumbent.sum) {
+        ++pruned_count;
+      } else {
+        survives[t] = 1;
+      }
+    }
+    if (pruned_count > 0) env.stats().RecordShardsPruned(pruned_count);
+
+    // Phase A2: producers for the remaining sources any survivor needs.
+    std::vector<size_t> a2;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (is_routed[s]) continue;
+      for (size_t t = 0; t < num_shards; ++t) {
+        if (survives[t] &&
+            SourceFeedsTarget(index, s, shards[t].x_range, width)) {
+          a2.push_back(s);
+          is_routed[s] = 1;
+          break;
+        }
+      }
+    }
+    std::vector<size_t> routed_list;  // ascending — canonical merge order
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (is_routed[s]) routed_list.push_back(s);
+    }
+    JoinLatch a2_done(a2.size());
+    for (size_t s : a2) submit_producer(s, &a2_done);
+
+    // Phase B: survivors inline, sequentially, best bound first — same
+    // order and bound re-check as the materialized pruned path (parallel
+    // consumers would race the incumbent and make skips nondeterministic).
+    // Each solve overlaps whatever A2 producers are still routing.
+    uint64_t bound_skips = 0;
+    Status phase_b = [&]() -> Status {
+      std::vector<size_t> order;
+      for (size_t t = 0; t < num_shards; ++t) {
+        if (t != seed && survives[t]) order.push_back(t);
+      }
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (ub[a] != ub[b]) return ub[a] > ub[b];
+        return a < b;
+      });
+      for (size_t t : order) {
+        if (incumbent.has_value && ub[t] < incumbent.sum) {
+          ++bound_skips;
+          survives[t] = 0;  // skipped mid-solve: "" child in the combine
+          continue;
+        }
+        MAXRS_RETURN_IF_ERROR(SolveTargetShardStreaming(
+            env, temps, channels, routed_list, shards[t].x_range, t,
+            query_options, &shard_stats[t], options_.write_behind,
+            &slab_files[t], &incumbent));
+      }
+      return Status::OK();
+    }();
+    // Join the A2 producers before any return, as with A1 above.
+    a2_done.Wait();
+    MAXRS_RETURN_IF_ERROR(phase_b);
+    for (size_t s : a2) MAXRS_RETURN_IF_ERROR(producer_status[s]);
+    if (bound_skips > 0) env.stats().RecordBoundSkip(bound_skips);
+
+    // Phase C: drain the routed rows' span channels (closed by now) and
+    // combine over ALL shard ranges with "" children for skipped shards.
+    uint64_t num_spans = 0;
+    std::string span_file = temps.NewName("q_spans");
+    {
+      std::vector<RecordSource<SpanRecord>*> span_sources;
+      span_sources.reserve(routed_list.size());
+      for (size_t s : routed_list) {
+        span_sources.push_back(channels.spans[s].get());
+      }
+      MergingSource<SpanRecord, decltype(&SpanYLess)> spans(
+          std::move(span_sources), &SpanYLess);
+      MAXRS_ASSIGN_OR_RETURN(
+          RecordWriter<SpanRecord> writer,
+          RecordWriter<SpanRecord>::Make(env, span_file,
+                                         options_.write_behind));
+      SpanRecord span{};
+      while (spans.Next(&span)) {
+        MAXRS_RETURN_IF_ERROR(CheckCancel(cancel));
+        MAXRS_RETURN_IF_ERROR(writer.Append(span));
+      }
+      MAXRS_RETURN_IF_ERROR(spans.final_status());
+      MAXRS_RETURN_IF_ERROR(writer.Finish());
+      num_spans = writer.count();
+    }
+    std::string root_file = temps.NewName("q_root");
+    MAXRS_RETURN_IF_ERROR(MergeSweep(env, ranges, slab_files, span_file,
+                                     root_file, SweepObjective::kMaximize,
+                                     options_.read_ahead,
+                                     options_.write_behind, cancel));
+    for (const std::string& slab_file : slab_files) {
+      if (!slab_file.empty()) temps.Release(slab_file);
+    }
+    temps.Release(span_file);
+
+    return ExtractRootResult(env, temps, root_file, options_.read_ahead,
+                             dataset_.num_objects(), shard_stats, num_shards,
+                             num_spans, cancel);
+  };
+
+  Result<MaxRSResult> result = body();
+  if (result.ok()) {
+    result.value().stats.io = env.stats().Snapshot() - io_before;
+    result.value().stats.wall_seconds = timer.ElapsedSeconds();
+  } else {
     temps.ReleaseAll();
   }
   return result;

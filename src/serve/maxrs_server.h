@@ -70,6 +70,7 @@
 
 #include "core/exact_maxrs.h"
 #include "io/env.h"
+#include "io/pooled_env.h"
 #include "serve/dataset_handle.h"
 #include "util/cancel.h"
 #include "util/mpmc_queue.h"
@@ -105,6 +106,24 @@ enum class ServeRoutingMode {
   /// target after all routing completes — the PR-4 path, kept as the
   /// equivalence oracle for the streaming pipeline.
   kMaterialized,
+};
+
+/// Whether the per-shard mode consults the dataset's aggregate shard index
+/// (index/shard_agg_index.h) to skip shards that provably cannot contain
+/// the optimal placement.
+enum class ServePruningMode {
+  /// Prune whenever it is provably answer-preserving: the dataset has a
+  /// valid aggregate index, every weight is non-negative and finite (an
+  /// index property), the solve mode is kPerShard, and there is more than
+  /// one shard. Anything else silently degrades to the un-pruned path
+  /// (counted by ServerCounters::unpruned) — answers are identical either
+  /// way, pruning only skips work. The default: on a query where nothing
+  /// prunes, the phased pruned execution performs exactly the same I/O as
+  /// the un-pruned path, so enabling kAuto never costs blocks.
+  kAuto,
+  /// Never prune; every shard is routed and solved. The equivalence oracle
+  /// for kAuto.
+  kOff,
 };
 
 /// Canonical bit pattern of one cache-key dimension. Semantically equal
@@ -195,6 +214,28 @@ struct MaxRSServerOptions {
   /// counts are bit-identical either way at any shard/worker count.
   bool read_ahead = false;
 
+  /// Shard skipping via the dataset's aggregate index (kPerShard mode
+  /// only); see ServePruningMode. Branch-and-bound over the per-shard
+  /// weight upper bounds: shards whose bound cannot beat the best
+  /// placement found so far are never routed or solved at all.
+  ServePruningMode pruning_mode = ServePruningMode::kAuto;
+
+  /// Shared read cache over the dataset's immutable files (shard files,
+  /// manifest, aggregate index): when > 0, all query workers fetch those
+  /// blocks through one BufferPool of this many bytes (io/pooled_env.h).
+  /// A pool hit performs no counted I/O, so hot shard-header and index
+  /// blocks are read from storage once — not once per query. 0 (the
+  /// default) bypasses the pool entirely: every read is a counted Env
+  /// block transfer, preserving the exact per-query I/O accounting the
+  /// committed baselines and equivalence tests pin down.
+  size_t buffer_pool_bytes = 0;
+
+  /// Forwarded to the shared BufferPool: how long one block fetch may wait
+  /// for a frame when every frame is momentarily pinned by other workers
+  /// (io/buffer_pool.h). Past the bound the fetch — and the query — fails
+  /// with ResourceExhausted, which signals an undersized pool.
+  uint64_t buffer_pool_pin_wait_ms = 1000;
+
   /// Env namespace prefix for per-query scratch files.
   std::string work_prefix = "maxrs_serve";
 };
@@ -215,6 +256,13 @@ struct ServerCounters {
   uint64_t deadlines = 0;       ///< Executions aborted by kDeadlineExceeded.
   uint64_t corruptions = 0;     ///< Executions aborted by kCorruption
                                 ///< (checksum mismatch, truncated file).
+  uint64_t unpruned = 0;        ///< Multi-shard per-shard executions that
+                                ///< wanted index pruning (kAuto) but ran
+                                ///< un-pruned: the dataset has no usable
+                                ///< aggregate index (pre-v3 manifest,
+                                ///< corrupt index file) or its weights are
+                                ///< unsafe to bound (negative/non-finite).
+                                ///< Answers are unaffected.
 };
 
 /// A long-lived MaxRS query server over one immutable ingested dataset.
@@ -249,6 +297,13 @@ class MaxRSServer {
 
   /// Traffic counters (point-in-time copy).
   ServerCounters counters() const;
+
+  /// Shared buffer-pool statistics; all zeros when buffer_pool_bytes == 0
+  /// (no pool exists).
+  BufferPoolStats pool_stats() const {
+    return pooled_env_ != nullptr ? pooled_env_->pool_stats()
+                                  : BufferPoolStats{};
+  }
 
   /// Number of requests queued but not yet picked up by a worker.
   size_t queue_depth() const { return queue_.size(); }
@@ -300,6 +355,14 @@ class MaxRSServer {
                                                const CancelToken* cancel);
   Result<MaxRSResult> ExecutePerShardMaterialized(double width, double height,
                                                   const CancelToken* cancel);
+  Result<MaxRSResult> ExecutePerShardStreamingPruned(
+      double width, double height, const CancelToken* cancel);
+  Result<MaxRSResult> ExecutePerShardMaterializedPruned(
+      double width, double height, const CancelToken* cancel);
+  /// Whether this server's queries run the index-pruned phased execution:
+  /// pruning_mode is kAuto, the solve mode is kPerShard with more than one
+  /// shard, and the dataset's aggregate index exists and is pruning-safe.
+  bool PruningActive() const;
   std::optional<MaxRSResult> CacheLookup(const CacheKey& key);
   void CacheInsert(const CacheKey& key, const MaxRSResult& result);
   bool AdmitToCache(double width, double height) const;
@@ -308,6 +371,13 @@ class MaxRSServer {
   const DatasetHandle& dataset_;
   MaxRSServerOptions options_;
   Status config_status_;  // from construction; every Submit fails fast on it
+
+  // Set iff buffer_pool_bytes > 0: wraps env_ so dataset-file reads go
+  // through the shared pool. exec_env_ is what every executor uses — the
+  // pooled wrapper when present, env_ otherwise (scratch-file traffic
+  // passes through the wrapper untouched either way).
+  std::unique_ptr<PooledEnv> pooled_env_;
+  Env* exec_env_ = nullptr;
 
   // shared_ptr, not unique_ptr: on a Push refused by a closed queue the
   // queue drops its copy, but the submitting leader still owns the request

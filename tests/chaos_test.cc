@@ -292,5 +292,58 @@ TEST(ChaosTest, BitFlippedReadsAreCaughtByChecksumsNotReturnedAsAnswers) {
   }
 }
 
+TEST(ChaosTest, DegradedIndexServesExactAnswersUnderTransientFaults) {
+  // The aggregate index is corrupted on disk before the dataset is opened,
+  // so the handle attaches degraded (null index, kCorruption reason) and
+  // every query runs un-pruned — then the whole battery rides a transient-
+  // fault schedule. The contract composes: degradation must never trade
+  // correctness for availability, and the un-pruned executions must be
+  // visible in the server's unpruned counter, with zero shards reported
+  // pruned anywhere.
+  auto env = MakeIngestedEnv();
+  {
+    auto file_or = env->Open("ds/agg_index");
+    ASSERT_TRUE(file_or.ok());
+    std::vector<char> buf((*file_or)->block_size());
+    ASSERT_TRUE((*file_or)->ReadBlock(0, buf.data()).ok());
+    buf[17] ^= 0x20;
+    ASSERT_TRUE((*file_or)->WriteBlock(0, buf.data()).ok());
+  }
+  auto dataset = DatasetHandle::Open(*env, kPrefix);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  ASSERT_EQ(dataset->agg_index(), nullptr);
+  EXPECT_EQ(dataset->index_status().code(), Status::Code::kCorruption);
+
+  const std::vector<QueryOutcome> reference =
+      RunBattery(*env, *dataset, env->stats());
+  for (const QueryOutcome& outcome : reference) {
+    ASSERT_TRUE(outcome.result.ok()) << outcome.result.status().ToString();
+  }
+
+  ChaosOptions chaos_options;
+  chaos_options.seed = SeedBase() + 5;
+  chaos_options.transient_fault_p = 0.05;
+  ChaosEnv chaos(*env, chaos_options);
+  RetryPolicy policy;
+  policy.max_retries = 16;
+  RetryEnv retry(chaos, policy);
+
+  MaxRSServer server(retry, *dataset, ServerOptions());
+  for (size_t i = 0; i < QueryRects().size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    const auto& rect = QueryRects()[i];
+    auto result = server.Submit(rect.first, rect.second);
+    ExpectSameAnswer(result, reference[i].result);
+    if (result.ok()) {
+      EXPECT_EQ(result->stats.io.shards_pruned, 0u)
+          << "a degraded handle must not claim pruned shards";
+      EXPECT_EQ(result->stats.io.bound_skips, 0u);
+    }
+  }
+  EXPECT_EQ(server.counters().unpruned, QueryRects().size())
+      << "every multi-shard execution without an index counts as unpruned";
+  EXPECT_GT(chaos.transient_faults(), 0u);
+}
+
 }  // namespace
 }  // namespace maxrs

@@ -3,6 +3,7 @@
 // generated deterministically from the fuzz index so failures reproduce.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <string>
 #include <utility>
@@ -127,18 +128,29 @@ void CheckAllImplementationsAgree(const std::vector<SpatialObject>& objects,
     ingest_options.prefix = "fuzz_sharded";
     auto handle = DatasetHandle::Ingest(*env, "fuzz_data", ingest_options);
     ASSERT_TRUE(handle.ok()) << handle.status().ToString();
-    // Three routings of the same per-shard solve: materialized part files,
+    // Five serve legs of the same per-shard solve: materialized part files,
     // streaming channels (the default), and streaming with a cap of zero so
-    // every routed record takes the spill path.
+    // every routed record takes the spill path — all with index pruning
+    // active (kAuto, the default) — plus both routings with pruning forced
+    // off, so pruned and un-pruned serving are fuzzed against the same
+    // oracle on every configuration.
     struct ServeRouting {
       const char* name;
       ServeRoutingMode mode;
       size_t channel_bytes;
+      ServePruningMode pruning;
     };
     const ServeRouting routings[] = {
-        {"materialized", ServeRoutingMode::kMaterialized, 1 << 20},
-        {"streaming", ServeRoutingMode::kStreaming, 1 << 20},
-        {"streaming/spill", ServeRoutingMode::kStreaming, 0},
+        {"materialized", ServeRoutingMode::kMaterialized, 1 << 20,
+         ServePruningMode::kAuto},
+        {"streaming", ServeRoutingMode::kStreaming, 1 << 20,
+         ServePruningMode::kAuto},
+        {"streaming/spill", ServeRoutingMode::kStreaming, 0,
+         ServePruningMode::kAuto},
+        {"materialized/no-prune", ServeRoutingMode::kMaterialized, 1 << 20,
+         ServePruningMode::kOff},
+        {"streaming/no-prune", ServeRoutingMode::kStreaming, 1 << 20,
+         ServePruningMode::kOff},
     };
     for (const ServeRouting& routing : routings) {
       MaxRSServerOptions server_options;
@@ -148,6 +160,7 @@ void CheckAllImplementationsAgree(const std::vector<SpatialObject>& objects,
       server_options.solve_mode = ServeSolveMode::kPerShard;
       server_options.routing_mode = routing.mode;
       server_options.stream_channel_bytes = routing.channel_bytes;
+      server_options.pruning_mode = routing.pruning;
       MaxRSServer server(*env, *handle, server_options);
       auto served = server.Submit(c.rect_w, c.rect_h);
       ASSERT_TRUE(served.ok()) << served.status().ToString();
@@ -253,6 +266,87 @@ INSTANTIATE_TEST_SUITE_P(
         RegressionCase{0xC0FFEE04, 256, 24, 10, 10, 2, 32},
         RegressionCase{0xC0FFEE05, 150, 10, 30, 30, 4, 8},  // rect covers all
         RegressionCase{0xC0FFEE06, 60, 4, 3, 5, 7, 6}));    // tiny domain
+
+// ---------------------------------------------------------------------------
+// Pruned-serving corpus.
+//
+// The generic fuzz data is near-uniform, so the aggregate-index bound
+// rarely fires there (equal-count shards all look alike). This leg fuzzes
+// the configurations pruning exists for: a heavy strip holds most of the
+// mass and is wide in x relative to the rect, so slab-local tuples see it
+// and whole background shards fall below the incumbent. Pruned (kAuto) and
+// un-pruned (kOff) serving must agree bit-for-bit with the brute-force
+// oracle on every draw, pruned I/O must never exceed un-pruned, and the
+// sweep must actually prune somewhere or the corpus is vacuous.
+// ---------------------------------------------------------------------------
+
+TEST(MaxRSPrunedServeFuzzTest, PrunedAndUnprunedAgreeOnSkewedCorpus) {
+  uint64_t total_pruned = 0;
+  for (uint64_t index = 0; index < 8; ++index) {
+    SCOPED_TRACE("pruned-serve index " + std::to_string(index));
+    Rng rng(0xF0221000 + index);
+    const size_t n = 600 + rng.UniformU64(600);
+    const uint64_t extent = 4000 + rng.UniformU64(4000);
+    const double rect_w = 2.0 * static_cast<double>(40 + rng.UniformU64(80));
+    const double rect_h = 2.0 * static_cast<double>(40 + rng.UniformU64(80));
+    const size_t shards = 8 + rng.UniformU64(17);
+
+    // Heavy strip: two thirds of the points, weight 40, in the top third
+    // of x and a rect-height band of y.
+    auto objects = testing::RandomIntObjects(n, extent, rng.NextU64());
+    const double strip_x = std::floor(2.0 * static_cast<double>(extent) / 3.0);
+    for (size_t i = 0; i < objects.size(); ++i) {
+      if (i % 3 == 0) continue;
+      objects[i].x = strip_x + std::floor(objects[i].x / 3.0);
+      objects[i].y = std::floor(objects[i].y / 4.0);
+      objects[i].w = 40.0;
+    }
+
+    const BruteForceResult oracle = BruteForceMaxRS(objects, rect_w, rect_h);
+
+    auto env = NewMemEnv(512);
+    ASSERT_TRUE(WriteDataset(*env, "pruned_fuzz", objects).ok());
+    DatasetHandleOptions ingest_options;
+    ingest_options.shard_count = shards;
+    ingest_options.memory_bytes = 32 << 10;
+    ingest_options.prefix = "pruned_fuzz_ds";
+    auto handle = DatasetHandle::Ingest(*env, "pruned_fuzz", ingest_options);
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+
+    for (ServeRoutingMode routing :
+         {ServeRoutingMode::kStreaming, ServeRoutingMode::kMaterialized}) {
+      uint64_t unpruned_io = 0;
+      for (const ServePruningMode pruning :
+           {ServePruningMode::kOff, ServePruningMode::kAuto}) {
+        MaxRSServerOptions server_options;
+        server_options.memory_bytes = 32 << 10;
+        server_options.routing_mode = routing;
+        server_options.pruning_mode = pruning;
+        MaxRSServer server(*env, *handle, server_options);
+        auto served = server.Submit(rect_w, rect_h);
+        ASSERT_TRUE(served.ok()) << served.status().ToString();
+        ASSERT_EQ(served->total_weight, oracle.total_weight)
+            << (pruning == ServePruningMode::kAuto ? "pruned" : "un-pruned")
+            << " serving diverged (" << handle->shards().size() << " shards)";
+        ASSERT_EQ(
+            CoveredWeight(objects,
+                          Rect::Centered(served->location, rect_w, rect_h)),
+            oracle.total_weight)
+            << "serve witness wrong";
+        if (pruning == ServePruningMode::kOff) {
+          unpruned_io = served->stats.io.total();
+        } else {
+          EXPECT_LE(served->stats.io.total(), unpruned_io)
+              << "pruning must never add block transfers";
+          total_pruned += served->stats.io.shards_pruned;
+        }
+      }
+    }
+    ASSERT_TRUE(handle->Drop().ok());
+  }
+  EXPECT_GT(total_pruned, 0u)
+      << "the skewed corpus never pruned a shard - the leg is vacuous";
+}
 
 }  // namespace
 }  // namespace maxrs

@@ -5,6 +5,11 @@
 // surface as a specific clean error at Open, never a hang, a wrong answer,
 // or a half-attached handle. Drop must remove every residue file,
 // including the unpublished temp manifest a crashed ingest leaves behind.
+// The aggregate index is the one deliberate exception: damage to it (bit
+// rot, truncation, a missing file) degrades the handle — null agg_index(),
+// the reason in index_status(), exact answers served un-pruned — because
+// the shard files alone are the truth and pruning is only an optimization.
+// Version-2 manifests (pre-index) keep opening and serving.
 #include <algorithm>
 #include <string>
 #include <vector>
@@ -24,6 +29,7 @@ constexpr char kDatasetFile[] = "objects";
 constexpr char kPrefix[] = "ds";
 constexpr char kManifest[] = "ds/manifest";
 constexpr char kTempManifest[] = "ds/manifest.tmp";
+constexpr char kAggIndex[] = "ds/agg_index";
 
 std::unique_ptr<Env> MakeEnv() {
   auto env = NewMemEnv(4096);
@@ -160,6 +166,111 @@ TEST(RecoveryTest, ReopenedDatasetAnswersQueriesAfterPublish) {
   ASSERT_TRUE(reference.ok());
   EXPECT_EQ(served->total_weight, reference->total_weight);
   EXPECT_EQ(served->location, reference->location);
+}
+
+// Serves a query through `handle` and checks it against the fault-free
+// answer computed straight from the source objects. Returns the server's
+// unpruned-execution counter so callers can pin the degradation path.
+uint64_t ServeAndExpectExactAnswer(Env& env, const DatasetHandle& handle) {
+  MaxRSServerOptions server_options;
+  server_options.memory_bytes = 64 * 1024;
+  MaxRSServer server(env, handle, server_options);
+  auto served = server.Submit(90.0, 120.0);
+  EXPECT_TRUE(served.ok()) << served.status().ToString();
+
+  MaxRSOptions one_shot;
+  one_shot.rect_width = 90.0;
+  one_shot.rect_height = 120.0;
+  one_shot.memory_bytes = 64 * 1024;
+  auto reference = RunExactMaxRS(env, kDatasetFile, one_shot);
+  EXPECT_TRUE(reference.ok());
+  if (served.ok() && reference.ok()) {
+    EXPECT_EQ(served->total_weight, reference->total_weight);
+    EXPECT_EQ(served->location, reference->location);
+  }
+  return server.counters().unpruned;
+}
+
+TEST(RecoveryTest, BitFlippedAggIndexDegradesToUnprunedServing) {
+  // Bit rot in the aggregate-index file must never condemn the dataset:
+  // the manifest and shard files are the truth, the index is an
+  // optimization. Open succeeds with a null index and a kCorruption
+  // index_status, and the server serves the exact answer un-pruned —
+  // counting the degradation instead of risking a wrong answer from a
+  // poisoned bound.
+  auto env = MakeEnv();
+  ASSERT_TRUE(IngestInto(*env).ok());
+  FlipBit(*env, kAggIndex, /*block=*/0, /*bit=*/300);
+
+  auto handle = DatasetHandle::Open(*env, kPrefix);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  EXPECT_EQ(handle->agg_index(), nullptr);
+  EXPECT_EQ(handle->index_status().code(), Status::Code::kCorruption);
+  EXPECT_GT(ServeAndExpectExactAnswer(*env, *handle), 0u)
+      << "a degraded index must be visible in the unpruned counter";
+}
+
+TEST(RecoveryTest, TruncatedAggIndexDegradesToUnprunedServing) {
+  // A torn copy that chops the index file's blocks off: same contract as
+  // bit rot — clean kCorruption in index_status, dataset opens, exact
+  // answers un-pruned.
+  auto env = MakeEnv();
+  ASSERT_TRUE(IngestInto(*env).ok());
+  auto file_or = env->Open(kAggIndex);
+  ASSERT_TRUE(file_or.ok());
+  ASSERT_TRUE((*file_or)->Truncate(0).ok());
+
+  auto handle = DatasetHandle::Open(*env, kPrefix);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  EXPECT_EQ(handle->agg_index(), nullptr);
+  EXPECT_EQ(handle->index_status().code(), Status::Code::kCorruption);
+  EXPECT_GT(ServeAndExpectExactAnswer(*env, *handle), 0u);
+}
+
+TEST(RecoveryTest, MissingAggIndexFileDegradesToUnprunedServing) {
+  // The manifest promises an index (kind-4 descriptor) but the file is
+  // gone entirely — still a degraded open, not a failed one.
+  auto env = MakeEnv();
+  ASSERT_TRUE(IngestInto(*env).ok());
+  ASSERT_TRUE(env->Delete(kAggIndex).ok());
+
+  auto handle = DatasetHandle::Open(*env, kPrefix);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  EXPECT_EQ(handle->agg_index(), nullptr);
+  EXPECT_FALSE(handle->index_status().ok());
+  EXPECT_GT(ServeAndExpectExactAnswer(*env, *handle), 0u);
+}
+
+TEST(RecoveryTest, V2ManifestWithoutIndexOpensAndServes) {
+  // Backward compatibility: a version-2 manifest (no kind-4 index
+  // descriptor) written before the aggregate index existed must open with
+  // agg_index() == nullptr, an OK index_status (nothing was promised),
+  // and serve exact answers un-pruned.
+  auto env = MakeEnv();
+  ASSERT_TRUE(IngestInto(*env).ok());
+
+  // Rewrite the published manifest as a v2 manifest: drop the index
+  // descriptor and stamp format version 2 in the header.
+  auto records_or = ReadRecordFile<ShardManifestRecord>(*env, kManifest);
+  ASSERT_TRUE(records_or.ok());
+  std::vector<ShardManifestRecord> v2_records;
+  for (const ShardManifestRecord& r : *records_or) {
+    if (r.kind == 4) continue;
+    v2_records.push_back(r);
+  }
+  ASSERT_LT(v2_records.size(), records_or->size())
+      << "the v3 manifest must have carried an index descriptor";
+  v2_records[0].index = 2;
+  ASSERT_TRUE(env->Delete(kManifest).ok());
+  ASSERT_TRUE(env->Delete(kAggIndex).ok());  // v2 datasets have no index file
+  ASSERT_TRUE(WriteRecordFile(*env, kManifest, v2_records).ok());
+
+  auto handle = DatasetHandle::Open(*env, kPrefix);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  EXPECT_EQ(handle->agg_index(), nullptr);
+  EXPECT_TRUE(handle->index_status().ok())
+      << "a v2 manifest promises no index, so nothing is degraded";
+  EXPECT_GT(ServeAndExpectExactAnswer(*env, *handle), 0u);
 }
 
 TEST(RecoveryTest, PosixEnvPublishesAtomicallyViaRename) {
