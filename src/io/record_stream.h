@@ -452,6 +452,23 @@ class MergingSource final : public RecordSource<T> {
   Cmp cmp_{this};
 };
 
+/// Closes every sink in `sinks` with `status`, exactly once each, and
+/// returns `status` with the first close-side error folded in when `status`
+/// itself is OK. The multi-sink dual of the per-channel close-on-error
+/// protocol: a routing pass that feeds a whole row (or several queries'
+/// rows) of channels must close all of them on every path — success or
+/// error — or a parked consumer hangs forever. Null entries are skipped.
+template <typename T>
+Status CloseAllSinks(const std::vector<RecordSink<T>*>& sinks,
+                     Status status) {
+  for (RecordSink<T>* sink : sinks) {
+    if (sink == nullptr) continue;
+    Status close_st = sink->Close(status);
+    if (status.ok()) status = close_st;
+  }
+  return status;
+}
+
 }  // namespace maxrs
 
 #endif  // MAXRS_IO_RECORD_STREAM_H_

@@ -288,6 +288,7 @@ Result<DatasetHandle> DatasetHandle::Ingest(Env& env,
   handle.agg_index_ = std::make_shared<ShardAggIndex>(std::move(aggs));
   handle.ingest_stats_.io = env.stats().Snapshot() - io_before;
   handle.ingest_stats_.wall_seconds = timer.ElapsedSeconds();
+  handle.ComputeShardGeometry();
   return handle;
 }
 
@@ -385,7 +386,20 @@ Result<DatasetHandle> DatasetHandle::Open(Env& env, const std::string& prefix) {
       return Status::OK();
     }();
   }
+  handle.ComputeShardGeometry();
   return handle;
+}
+
+void DatasetHandle::ComputeShardGeometry() {
+  interior_bounds_.clear();
+  slab_ranges_.clear();
+  if (shards_.empty()) return;
+  interior_bounds_.reserve(shards_.size() - 1);
+  slab_ranges_.reserve(shards_.size());
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    if (k > 0) interior_bounds_.push_back(shards_[k].x_range.lo);
+    slab_ranges_.push_back(shards_[k].x_range);
+  }
 }
 
 Status DatasetHandle::Drop() {

@@ -161,6 +161,17 @@ class DatasetHandle {
   /// The x-slab shards, in ascending x order.
   const std::vector<ShardInfo>& shards() const { return shards_; }
 
+  /// The S-1 interior shard boundaries (shards()[k].x_range.lo for k >= 1),
+  /// precomputed once at Ingest/Open: every per-query routing pass needs
+  /// them, and batched execution hands one copy to many queries at once.
+  const std::vector<double>& interior_bounds() const {
+    return interior_bounds_;
+  }
+
+  /// The S shard slabs (shards()[k].x_range), precomputed once — the
+  /// `ranges` argument of routing and the cross-shard MergeSweep.
+  const std::vector<Interval>& slab_ranges() const { return slab_ranges_; }
+
   /// Total object count across all shards.
   uint64_t num_objects() const { return num_objects_; }
 
@@ -195,10 +206,16 @@ class DatasetHandle {
  private:
   DatasetHandle() = default;
 
+  /// Fills interior_bounds_ / slab_ranges_ from shards_; called once at the
+  /// end of Ingest and Open (the handle is immutable afterwards).
+  void ComputeShardGeometry();
+
   Env* env_ = nullptr;
   std::string prefix_;
   uint64_t num_objects_ = 0;
   std::vector<ShardInfo> shards_;
+  std::vector<double> interior_bounds_;
+  std::vector<Interval> slab_ranges_;
   IngestStats ingest_stats_;
   bool has_bounds_ = false;
   Rect bounds_;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <optional>
+#include <thread>
 
 #include <condition_variable>
 
@@ -540,8 +542,8 @@ Status RouteSourceShardStreaming(Env& env, StreamingChannels& channels,
   return edge_status;
 }
 
-// Streaming Phase B for target shard `target`: merge the piece channels of
-// column `target` on the fly (MergingSource selects heads exactly like the
+// Streaming Phase B for one target shard: merge the piece channels of its
+// column on the fly (MergingSource selects heads exactly like the
 // materialized MergeSortedParts chain, so the merged stream is
 // byte-identical) and solve the shard via the streaming recursion. The
 // edge stream is claimed lazily: only a shard that overflows its base case
@@ -549,25 +551,22 @@ Status RouteSourceShardStreaming(Env& env, StreamingChannels& channels,
 // bounds pass reads the edges twice); a base-case shard abandons the
 // column untouched — what those channels buffered or spilled is a pure
 // function of the routed records, so block counts stay deterministic.
-// `sources` restricts the merge to those producer rows: the pruned
-// execution merges only the rows it actually routed (the others' channels
-// never close — waiting on them would hang, and by construction they could
-// only have carried empty streams, so dropping them leaves the merged
-// stream byte-identical). The un-pruned caller passes all rows. `best_out`
-// as in SolveTargetShard.
-Status SolveTargetShardStreaming(Env& env, TempFileManager& temps,
-                                 StreamingChannels& channels,
-                                 const std::vector<size_t>& sources,
-                                 const Interval& slab, size_t target,
-                                 const MaxRSOptions& options,
-                                 MaxRSStats* stats, bool write_behind,
-                                 std::string* slab_file_out,
-                                 SlabBest* best_out = nullptr) {
-  std::vector<RecordSource<PieceRecord>*> piece_column;
-  piece_column.reserve(sources.size());
-  for (size_t s : sources) {
-    piece_column.push_back(channels.piece(s, target));
-  }
+// Callers pass exactly the rows they actually routed (the pruned execution
+// drops never-routed rows — their channels never close, waiting on them
+// would hang, and by construction they could only have carried empty
+// streams, so dropping them leaves the merged stream byte-identical; the
+// batched execution passes each query's two sorted edge half-streams per
+// row, whose 2S-way merge is byte-identical to the serial S-way merge of
+// pre-merged pairs). `best_out` as in SolveTargetShard.
+Status SolveTargetShardColumns(Env& env, TempFileManager& temps,
+                               std::vector<RecordSource<PieceRecord>*>
+                                   piece_column,
+                               std::vector<RecordSource<EdgeRecord>*>
+                                   edge_column,
+                               const Interval& slab,
+                               const MaxRSOptions& options, MaxRSStats* stats,
+                               bool write_behind, std::string* slab_file_out,
+                               SlabBest* best_out = nullptr) {
   MergingSource<PieceRecord, decltype(&PieceYLess)> pieces(
       std::move(piece_column), &PieceYLess);
 
@@ -591,11 +590,6 @@ Status SolveTargetShardStreaming(Env& env, TempFileManager& temps,
   std::string edge_file;  // set iff the provider runs (base-case overflow)
   core_internal::EdgeFileProvider edge_provider =
       [&]() -> Result<std::string> {
-    std::vector<RecordSource<EdgeRecord>*> edge_column;
-    edge_column.reserve(sources.size());
-    for (size_t s : sources) {
-      edge_column.push_back(channels.edge(s, target));
-    }
     MergingSource<EdgeRecord, decltype(&EdgeXLess)> edges(
         std::move(edge_column), &EdgeXLess);
     edge_file = temps.NewName("q_edges");
@@ -621,6 +615,261 @@ Status SolveTargetShardStreaming(Env& env, TempFileManager& temps,
   if (!slab_or.ok()) return slab_or.status();
   *slab_file_out = std::move(slab_or).value();
   return Status::OK();
+}
+
+// The single-query column assembly over a StreamingChannels grid: piece and
+// edge columns are the `sources` rows of column `target`, in ascending
+// source order (the canonical merge order).
+Status SolveTargetShardStreaming(Env& env, TempFileManager& temps,
+                                 StreamingChannels& channels,
+                                 const std::vector<size_t>& sources,
+                                 const Interval& slab, size_t target,
+                                 const MaxRSOptions& options,
+                                 MaxRSStats* stats, bool write_behind,
+                                 std::string* slab_file_out,
+                                 SlabBest* best_out = nullptr) {
+  std::vector<RecordSource<PieceRecord>*> piece_column;
+  std::vector<RecordSource<EdgeRecord>*> edge_column;
+  piece_column.reserve(sources.size());
+  edge_column.reserve(sources.size());
+  for (size_t s : sources) {
+    piece_column.push_back(channels.piece(s, target));
+    edge_column.push_back(channels.edge(s, target));
+  }
+  return SolveTargetShardColumns(env, temps, std::move(piece_column),
+                                 std::move(edge_column), slab, options, stats,
+                                 write_behind, slab_file_out, best_out);
+}
+
+// ---------------------------------------------------------------------------
+// Batched shared-scan execution (MaxRSServerOptions::batch_max > 1): k
+// distinct queries drained from the queue execute off ONE routing pass per
+// source shard. The y-file scan computes all k transforms per object; the
+// x-file scan emits all k queries' left (x - w/2) and right (x + w/2)
+// edges. Per query the record streams a target consumer merges are exactly
+// the serial streams: piece rows are filtered subsequences of the y-sorted
+// scan under each query's monotone transform, and the two edge half-rows
+// are each monotone shifts of the x-sorted scan — their 2S-way EdgeXLess
+// merge is byte-identical to the serial S-way merge of pre-merged pairs
+// because EdgeRecord is a single double under a total order (cmp-equal =>
+// byte-equal, and min-of-heads merging is associative). So every query's
+// answer is bit-identical to serial submission; only the scan I/O is paid
+// once and reported per query as an amortized equal share
+// (docs/IO_MODEL.md, "Batched shared scans").
+// ---------------------------------------------------------------------------
+
+// One query of a batch, in batch order.
+struct BatchQuery {
+  double width = 0.0;
+  double height = 0.0;
+};
+
+// All channels of one k-query batch: per query an S x S piece grid, TWO
+// S x S edge grids — the shared x-file scan emits left and right edges
+// into separate channels because their interleaving in scan order is not
+// sorted, while each half on its own is — and S span channels. Created
+// eagerly on the batch worker so spill names are allocated in one
+// deterministic order (query-major, then the StreamingChannels layout).
+class BatchChannels {
+ public:
+  BatchChannels(Env& env, TempFileManager& temps, size_t num_queries,
+                size_t num_shards, size_t cap_bytes, bool write_behind)
+      : num_shards_(num_shards) {
+    pieces_.reserve(num_queries * num_shards * num_shards);
+    edges_left_.reserve(num_queries * num_shards * num_shards);
+    edges_right_.reserve(num_queries * num_shards * num_shards);
+    spans_.reserve(num_queries * num_shards);
+    for (size_t q = 0; q < num_queries; ++q) {
+      const std::string qtag = "b" + std::to_string(q) + "_";
+      for (size_t s = 0; s < num_shards; ++s) {
+        const std::string tag = std::to_string(s);
+        for (size_t t = 0; t < num_shards; ++t) {
+          const std::string cell = tag + "_" + std::to_string(t);
+          pieces_.push_back(std::make_unique<RecordChannel<PieceRecord>>(
+              env, temps.NewName(qtag + "chp" + cell), cap_bytes,
+              write_behind));
+          edges_left_.push_back(std::make_unique<RecordChannel<EdgeRecord>>(
+              env, temps.NewName(qtag + "chl" + cell), cap_bytes,
+              write_behind));
+          edges_right_.push_back(std::make_unique<RecordChannel<EdgeRecord>>(
+              env, temps.NewName(qtag + "chr" + cell), cap_bytes,
+              write_behind));
+        }
+        spans_.push_back(std::make_unique<RecordChannel<SpanRecord>>(
+            env, temps.NewName(qtag + "chs" + tag), cap_bytes, write_behind));
+      }
+    }
+  }
+
+  RecordChannel<PieceRecord>* piece(size_t q, size_t s, size_t t) {
+    return pieces_[(q * num_shards_ + s) * num_shards_ + t].get();
+  }
+  RecordChannel<EdgeRecord>* edge_left(size_t q, size_t s, size_t t) {
+    return edges_left_[(q * num_shards_ + s) * num_shards_ + t].get();
+  }
+  RecordChannel<EdgeRecord>* edge_right(size_t q, size_t s, size_t t) {
+    return edges_right_[(q * num_shards_ + s) * num_shards_ + t].get();
+  }
+  RecordChannel<SpanRecord>* span(size_t q, size_t s) {
+    return spans_[q * num_shards_ + s].get();
+  }
+
+ private:
+  size_t num_shards_;
+  std::vector<std::unique_ptr<RecordChannel<PieceRecord>>> pieces_;
+  std::vector<std::unique_ptr<RecordChannel<EdgeRecord>>> edges_left_;
+  std::vector<std::unique_ptr<RecordChannel<EdgeRecord>>> edges_right_;
+  std::vector<std::unique_ptr<RecordChannel<SpanRecord>>> spans_;
+};
+
+// The batched streaming Phase A for source shard `source`: ONE pass over
+// the shard's y-file routes every query's pieces and spans, then ONE pass
+// over its x-file emits every query's left and right edges into their
+// half-row channels (each a monotone shift of the x-sorted scan, so
+// individually sorted; ShardOf routes each value). Every channel of this
+// source's rows — k * (S piece + 2S edge + 1 span) — is closed exactly
+// once on every path, via the multi-sink close helper. No per-query
+// CancelToken is polled here: the scan is shared property of the whole
+// batch, so one query's deadline must not abort its batch-mates' routing —
+// deadlines stay enforced in each query's consumers and combine phase.
+Status RouteSourceShardStreamingBatch(Env& env, BatchChannels& channels,
+                                      const std::vector<ShardInfo>& shards,
+                                      const std::vector<double>& bounds,
+                                      const std::vector<Interval>& ranges,
+                                      size_t source,
+                                      const std::vector<BatchQuery>& queries,
+                                      bool read_ahead) {
+  const size_t num_shards = shards.size();
+  const size_t k = queries.size();
+
+  auto close_edges = [&](Status st) {
+    std::vector<RecordSink<EdgeRecord>*> sinks;
+    sinks.reserve(2 * k * num_shards);
+    for (size_t q = 0; q < k; ++q) {
+      for (size_t t = 0; t < num_shards; ++t) {
+        sinks.push_back(channels.edge_left(q, source, t));
+        sinks.push_back(channels.edge_right(q, source, t));
+      }
+    }
+    return CloseAllSinks<EdgeRecord>(sinks, std::move(st));
+  };
+
+  // Pass 1: the shared y-file scan — all k transforms per object.
+  Status piece_status = [&]() -> Status {
+    MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SpatialObject> reader,
+                           PrefetchingReader<SpatialObject>::Make(
+                               env, shards[source].y_file, read_ahead));
+    SpatialObject o{};
+    while (reader.Next(&o)) {
+      for (size_t q = 0; q < k; ++q) {
+        auto emit_piece = [&](size_t target, const PieceRecord& piece) {
+          return channels.piece(q, source, target)->Append(piece);
+        };
+        auto emit_span = [&](const SpanRecord& span) {
+          return channels.span(q, source)->Append(span);
+        };
+        const PieceRecord p =
+            TransformObject(o, queries[q].width, queries[q].height);
+        MAXRS_RETURN_IF_ERROR(division_internal::RoutePiece(
+            bounds, ranges, p, emit_piece, emit_span));
+      }
+    }
+    return reader.final_status();
+  }();
+  {
+    std::vector<RecordSink<PieceRecord>*> piece_sinks;
+    std::vector<RecordSink<SpanRecord>*> span_sinks;
+    piece_sinks.reserve(k * num_shards);
+    span_sinks.reserve(k);
+    for (size_t q = 0; q < k; ++q) {
+      for (size_t t = 0; t < num_shards; ++t) {
+        piece_sinks.push_back(channels.piece(q, source, t));
+      }
+      span_sinks.push_back(channels.span(q, source));
+    }
+    piece_status = CloseAllSinks<PieceRecord>(piece_sinks, piece_status);
+    piece_status = CloseAllSinks<SpanRecord>(span_sinks, piece_status);
+  }
+  if (!piece_status.ok()) {
+    (void)close_edges(piece_status);
+    return piece_status;
+  }
+
+  // Pass 2: the shared x-file scan — every query's two edge shifts per
+  // object, routed by value.
+  Status edge_status = [&]() -> Status {
+    MAXRS_ASSIGN_OR_RETURN(PrefetchingReader<SpatialObject> reader,
+                           PrefetchingReader<SpatialObject>::Make(
+                               env, shards[source].x_file, read_ahead));
+    SpatialObject o{};
+    while (reader.Next(&o)) {
+      for (size_t q = 0; q < k; ++q) {
+        const double half_w = queries[q].width / 2.0;
+        const double left = o.x - half_w;
+        const double right = o.x + half_w;
+        MAXRS_RETURN_IF_ERROR(
+            channels
+                .edge_left(q, source,
+                           std::min(ShardOf(bounds, left), num_shards - 1))
+                ->Append(EdgeRecord{left}));
+        MAXRS_RETURN_IF_ERROR(
+            channels
+                .edge_right(q, source,
+                            std::min(ShardOf(bounds, right), num_shards - 1))
+                ->Append(EdgeRecord{right}));
+      }
+    }
+    return reader.final_status();
+  }();
+  return close_edges(edge_status);
+}
+
+// The amortized per-query share of a batch's I/O delta: every counter is
+// split into k equal integer shares with the remainder spread one block at
+// a time over the first (counter mod k) queries in `rank` order — ranks
+// are assigned by ascending canonical cache key, so the split is
+// independent of batch formation order and the shares sum exactly to the
+// batch total (docs/IO_MODEL.md, "Batched shared scans").
+IoStatsSnapshot BatchIoShare(const IoStatsSnapshot& total, uint64_t k,
+                             uint64_t rank) {
+  auto share = [&](uint64_t v) { return v / k + (rank < v % k ? 1 : 0); };
+  IoStatsSnapshot out;
+  out.blocks_read = share(total.blocks_read);
+  out.blocks_written = share(total.blocks_written);
+  out.reads_retried = share(total.reads_retried);
+  out.writes_retried = share(total.writes_retried);
+  out.shards_pruned = share(total.shards_pruned);
+  out.bound_skips = share(total.bound_skips);
+  out.scans_shared = share(total.scans_shared);
+  return out;
+}
+
+// Stamps every successful result of a batch with its amortized stats: the
+// BatchIoShare of the batch's I/O delta (ranked by ascending canonical
+// dimension bits), the batch wall time, and batch_size = k. Failed slots
+// are left untouched — their queries re-run solo and account solo.
+void ApplyBatchShares(const std::vector<BatchQuery>& queries,
+                      const IoStatsSnapshot& delta, double wall_seconds,
+                      std::vector<Result<MaxRSResult>>* results) {
+  const size_t k = queries.size();
+  std::vector<size_t> order(k);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const uint64_t wa = CanonicalDimensionBits(queries[a].width);
+    const uint64_t wb = CanonicalDimensionBits(queries[b].width);
+    if (wa != wb) return wa < wb;
+    return CanonicalDimensionBits(queries[a].height) <
+           CanonicalDimensionBits(queries[b].height);
+  });
+  std::vector<uint64_t> rank(k, 0);
+  for (size_t i = 0; i < k; ++i) rank[order[i]] = i;
+  for (size_t q = 0; q < k; ++q) {
+    if (!(*results)[q].ok()) continue;
+    MaxRSStats& stats = (*results)[q].value().stats;
+    stats.io = BatchIoShare(delta, k, rank[q]);
+    stats.batch_size = k;
+    stats.wall_seconds = wall_seconds;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -849,14 +1098,26 @@ void MaxRSServer::CacheInsert(const CacheKey& key, const MaxRSResult& result) {
   }
 }
 
-bool MaxRSServer::AdmitToCache(double width, double height) const {
+bool MaxRSServer::AdmitKeyToCache(const CacheKey& key) const {
   if (!dataset_.has_bounds()) return true;
+  // Reconstruct the canonical dimension values the key stores. Deciding on
+  // these — never on a caller's raw doubles — makes admission a pure
+  // function of the cache key: -0.0 has already been folded to +0.0 and
+  // NaN payloads collapsed, so two submissions that share a cache entry
+  // can never be admitted differently.
+  double width = 0.0, height = 0.0;
+  std::memcpy(&width, &key.width_bits, sizeof(width));
+  std::memcpy(&height, &key.height_bits, sizeof(height));
   const double extent_w = dataset_.bounds().width();
   const double extent_h = dataset_.bounds().height();
   if (!(extent_w > 0.0) || !(extent_h > 0.0)) return true;  // degenerate box
   const double covered = (std::min(width, extent_w) / extent_w) *
                          (std::min(height, extent_h) / extent_h);
   return covered <= options_.cache_max_extent_fraction;
+}
+
+bool MaxRSServer::AdmitsToCache(double width, double height) const {
+  return AdmitKeyToCache(MakeKey(width, height));
 }
 
 Result<MaxRSResult> MaxRSServer::Submit(double rect_width, double rect_height) {
@@ -885,7 +1146,10 @@ Result<MaxRSResult> MaxRSServer::Submit(double rect_width, double rect_height) {
     std::lock_guard<std::mutex> lock(pending_mu_);
     auto it = pending_.find(key);
     if (it != pending_.end()) {
-      future = it->second;
+      future = it->second.future;
+      // Queue-jump signal for the batch former: this leader now has one
+      // more caller waiting on it.
+      it->second.leader->followers.fetch_add(1, std::memory_order_relaxed);
     } else {
       if (std::optional<MaxRSResult> hit = CacheLookup(key)) {
         std::lock_guard<std::mutex> counters_lock(counters_mu_);
@@ -898,7 +1162,7 @@ Result<MaxRSResult> MaxRSServer::Submit(double rect_width, double rect_height) {
           std::chrono::milliseconds(std::max<int64_t>(0,
                                                       options_.deadline_ms)));
       future = request->promise.get_future().share();
-      pending_.emplace(key, future);
+      pending_.emplace(key, PendingEntry{future, request});
     }
   }
   if (request == nullptr) {  // follower: wait on the leader's result
@@ -906,6 +1170,22 @@ Result<MaxRSResult> MaxRSServer::Submit(double rect_width, double rect_height) {
       std::lock_guard<std::mutex> lock(counters_mu_);
       ++counters_.submitted;
       ++counters_.dedup_hits;
+    }
+    // The follower's own deadline, measured from ITS Submit — never the
+    // leader's token, whose clock started earlier (and which must not be
+    // cancelled: other callers may still be waiting on it). A leader stuck
+    // in a long queue past this follower's budget fails THIS caller with
+    // kDeadlineExceeded while the leader runs on undisturbed.
+    if (options_.deadline_ms > 0 &&
+        future.wait_for(std::chrono::milliseconds(options_.deadline_ms)) ==
+            std::future_status::timeout) {
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.deadlines;
+      }
+      return Status::DeadlineExceeded(
+          "deduplicated query exceeded its deadline waiting on the "
+          "in-flight leader");
     }
     return future.get();
   }
@@ -939,46 +1219,664 @@ Result<MaxRSResult> MaxRSServer::Submit(double rect_width, double rect_height) {
     return refused;
   }
   {
+    // submitted and the queue-depth accounting move under one lock
+    // acquisition so counters() and queue_depth() snapshots are mutually
+    // consistent (queue_depth() never exceeds submitted - executed). A
+    // worker that popped this request before we get here only makes
+    // queue_depth() under-report transiently — the safe direction.
     std::lock_guard<std::mutex> lock(counters_mu_);
     ++counters_.submitted;
+    ++queued_enqueued_;
   }
   return future.get();
 }
 
 void MaxRSServer::WorkerLoop() {
-  std::shared_ptr<Request> request;
-  while (queue_.Pop(&request)) {
-    Result<MaxRSResult> result =
-        ExecuteQuery(request->width, request->height, &request->cancel);
-    const CacheKey key = MakeKey(request->width, request->height);
+  while (true) {
+    std::vector<std::shared_ptr<Request>> batch = FormBatch();
+    if (batch.empty()) return;  // queue closed and drained
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+bool MaxRSServer::ShapeCompatible(const Request& anchor,
+                                  const Request& candidate) {
+  // Rects within this aspect band share a scan profitably: a batch-mate
+  // whose width dwarfs the anchor's would route most of its pieces across
+  // many shards while the anchor's stay local, and the shared channels
+  // would mostly carry one query's traffic.
+  constexpr double kBatchShapeRatio = 8.0;
+  return candidate.width <= anchor.width * kBatchShapeRatio &&
+         anchor.width <= candidate.width * kBatchShapeRatio &&
+         candidate.height <= anchor.height * kBatchShapeRatio &&
+         anchor.height <= candidate.height * kBatchShapeRatio;
+}
+
+std::vector<std::shared_ptr<MaxRSServer::Request>> MaxRSServer::FormBatch() {
+  const size_t batch_max =
+      std::min<size_t>(std::max<size_t>(1, options_.batch_max), 64);
+  std::vector<std::shared_ptr<Request>> candidates;
+
+  auto take_staged = [&] {
+    std::lock_guard<std::mutex> lock(staging_mu_);
+    while (!staged_.empty() && candidates.size() < 2 * batch_max) {
+      candidates.push_back(std::move(staged_.front()));
+      staged_.pop_front();
+    }
+  };
+  auto try_pop = [&]() -> bool {
+    std::shared_ptr<Request> request;
+    if (!queue_.TryPop(&request)) return false;
     {
       std::lock_guard<std::mutex> lock(counters_mu_);
-      ++counters_.executed;
-      if (!result.ok()) {
-        ++counters_.failed;
-        if (result.status().code() == Status::Code::kDeadlineExceeded) {
-          ++counters_.deadlines;
-        } else if (result.status().code() == Status::Code::kCorruption) {
-          ++counters_.corruptions;
+      ++queued_dequeued_;
+    }
+    candidates.push_back(std::move(request));
+    return true;
+  };
+
+  take_staged();
+  if (candidates.empty()) {
+    // Nothing deferred from an earlier formation: block for the next
+    // request. Pop returning false means closed AND drained — but a peer
+    // worker may have re-staged requests after our check above, so sweep
+    // the staging deque once more before declaring shutdown.
+    std::shared_ptr<Request> request;
+    if (queue_.Pop(&request)) {
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++queued_dequeued_;
+      }
+      candidates.push_back(std::move(request));
+    } else {
+      take_staged();
+      if (candidates.empty()) return {};
+    }
+  }
+
+  if (batch_max > 1) {
+    // Drain whatever is instantaneously queued (up to twice the batch size
+    // so the priority sort below has alternatives), then wait out the
+    // batch window for late arrivals. Polling keeps the MPMC queue's
+    // simple contract; 500us is far below any real query's runtime.
+    const auto window_end =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(
+            std::max<int64_t>(0, options_.batch_window_ms));
+    while (candidates.size() < 2 * batch_max) {
+      if (try_pop()) continue;
+      if (candidates.size() >= batch_max) break;
+      if (std::chrono::steady_clock::now() >= window_end) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  }
+  if (candidates.size() == 1) return candidates;
+
+  // Leaders with followers jump the queue: every follower is a caller
+  // blocked on that leader's future, so serving it first unblocks the
+  // most work. stable_sort keeps FIFO order among equals.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const std::shared_ptr<Request>& a,
+                      const std::shared_ptr<Request>& b) {
+                     return a->followers.load(std::memory_order_relaxed) >
+                            b->followers.load(std::memory_order_relaxed);
+                   });
+  std::vector<std::shared_ptr<Request>> batch;
+  std::vector<std::shared_ptr<Request>> deferred;
+  batch.push_back(candidates[0]);
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    if (batch.size() < batch_max && ShapeCompatible(*batch[0], *candidates[i])) {
+      batch.push_back(std::move(candidates[i]));
+    } else {
+      deferred.push_back(std::move(candidates[i]));
+    }
+  }
+  if (!deferred.empty()) {
+    // Back to the FRONT of the staging deque in their drained order:
+    // deferred requests are older than anything still in the MPMC queue,
+    // so the next formation must see them first.
+    std::lock_guard<std::mutex> lock(staging_mu_);
+    for (size_t i = deferred.size(); i-- > 0;) {
+      staged_.push_front(std::move(deferred[i]));
+    }
+  }
+  return batch;
+}
+
+void MaxRSServer::CompleteRequest(const std::shared_ptr<Request>& request,
+                                  Result<MaxRSResult> result) {
+  const CacheKey key = MakeKey(request->width, request->height);
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.executed;
+    if (!result.ok()) {
+      ++counters_.failed;
+      if (result.status().code() == Status::Code::kDeadlineExceeded) {
+        ++counters_.deadlines;
+      } else if (result.status().code() == Status::Code::kCorruption) {
+        ++counters_.corruptions;
+      }
+    }
+  }
+  if (result.ok()) {
+    if (AdmitKeyToCache(key)) {
+      CacheInsert(key, result.value());
+    } else {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.cache_rejects;
+    }
+  }
+  // Publish-then-erase: see Submit — a duplicate that misses the pending
+  // table after this erase must find the result in the cache.
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.erase(key);
+  }
+  request->promise.set_value(std::move(result));
+}
+
+void MaxRSServer::ExecuteBatch(std::vector<std::shared_ptr<Request>> batch) {
+  // A request whose deadline elapsed while it queued fails now, before it
+  // can claim a slot in the shared scan.
+  std::vector<std::shared_ptr<Request>> live;
+  live.reserve(batch.size());
+  for (std::shared_ptr<Request>& request : batch) {
+    const Status expired = CheckCancel(&request->cancel);
+    if (!expired.ok()) {
+      CompleteRequest(request, expired);
+    } else {
+      live.push_back(std::move(request));
+    }
+  }
+  if (live.empty()) return;
+
+  // The shared scan exists only for the streaming per-shard path; the
+  // materialized and global-merge modes execute a formed batch as a plain
+  // sequence (their per-query file pipelines have no shareable pass), and
+  // a single-query batch IS the legacy path — bit-identical baselines.
+  const bool shared_scan =
+      live.size() > 1 && options_.solve_mode == ServeSolveMode::kPerShard &&
+      options_.routing_mode == ServeRoutingMode::kStreaming &&
+      !dataset_.shards().empty();
+  if (!shared_scan) {
+    for (const std::shared_ptr<Request>& request : live) {
+      CompleteRequest(request, ExecuteQuery(request->width, request->height,
+                                            &request->cancel));
+    }
+    return;
+  }
+
+  const bool pruned = PruningActive();
+  if (!pruned && options_.pruning_mode == ServePruningMode::kAuto &&
+      dataset_.shards().size() > 1) {
+    // Same degradation accounting as ExecuteQuery, once per batched query.
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    counters_.unpruned += live.size();
+  }
+
+  std::vector<Result<MaxRSResult>> results(
+      live.size(), Result<MaxRSResult>(Status::Unavailable("batch slot unset")));
+  if (pruned) {
+    ExecuteBatchStreamingPruned(live, &results);
+  } else {
+    ExecuteBatchStreaming(live, &results);
+  }
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.batches;
+    counters_.batched_queries += live.size();
+  }
+  for (size_t q = 0; q < live.size(); ++q) {
+    if (!results[q].ok() && results[q].status().is_retryable()) {
+      // Per-query graceful degradation, one shot, exactly as on the serial
+      // streaming path: the failed query re-runs ALONE on the materialized
+      // path (its batch-mates' results are unaffected), and its stats are
+      // the solo rerun's — batch_size 1, un-amortized I/O.
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.degraded;
+      }
+      results[q] = pruned
+                       ? ExecutePerShardMaterializedPruned(
+                             live[q]->width, live[q]->height, &live[q]->cancel)
+                       : ExecutePerShardMaterialized(
+                             live[q]->width, live[q]->height, &live[q]->cancel);
+    }
+    CompleteRequest(live[q], std::move(results[q]));
+  }
+}
+
+void MaxRSServer::ExecuteBatchStreaming(
+    const std::vector<std::shared_ptr<Request>>& batch,
+    std::vector<Result<MaxRSResult>>* results) {
+  Env& env = *exec_env_;
+  TempFileManager temps(env, options_.work_prefix);
+  const IoStatsSnapshot io_before = env.stats().Snapshot();
+  Stopwatch timer;
+
+  const std::vector<ShardInfo>& shards = dataset_.shards();
+  const size_t num_shards = shards.size();
+  const std::vector<double>& bounds = dataset_.interior_bounds();
+  const std::vector<Interval>& ranges = dataset_.slab_ranges();
+  const size_t k = batch.size();
+  std::vector<BatchQuery> queries(k);
+  std::vector<MaxRSOptions> query_options(k);
+  for (size_t q = 0; q < k; ++q) {
+    queries[q] = BatchQuery{batch[q]->width, batch[q]->height};
+    query_options[q] =
+        MakeQueryOptions(batch[q]->width, batch[q]->height, &batch[q]->cancel);
+  }
+
+  std::vector<Status> per_query(k, Status::OK());
+  std::vector<std::vector<std::string>> slab_files(
+      k, std::vector<std::string>(num_shards));
+  std::vector<std::vector<MaxRSStats>> shard_stats(
+      k, std::vector<MaxRSStats>(num_shards));
+  {
+    // Channels, then producers, then consumers — the usual liveness order
+    // (record_stream.h, "Threading"), with k columns per target instead of
+    // one. The latch is waited on before `channels` leaves scope on every
+    // path: producers hold raw pointers into it.
+    BatchChannels channels(env, temps, k, num_shards,
+                           options_.stream_channel_bytes,
+                           options_.write_behind);
+    std::vector<Status> producer_status(num_shards);
+    JoinLatch producers_done(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      pool_->Submit([&, s] {
+        producer_status[s] = RouteSourceShardStreamingBatch(
+            env, channels, shards, bounds, ranges, s, queries,
+            options_.read_ahead);
+        producers_done.CountDown();
+      });
+    }
+    // Each of the S source scans runs once instead of k times.
+    env.stats().RecordScansShared((k - 1) * num_shards);
+
+    // Consumers: ONE TaskGroup PER QUERY, not one for the batch — a group
+    // no-ops its queued tasks after the first error, and one query's
+    // deadline must only stop ITS solves, never a batch-mate's.
+    {
+      std::vector<std::unique_ptr<TaskGroup>> groups;
+      groups.reserve(k);
+      for (size_t q = 0; q < k; ++q) {
+        groups.push_back(std::make_unique<TaskGroup>(pool_.get()));
+        for (size_t t = 0; t < num_shards; ++t) {
+          groups[q]->Run([&, q, t]() -> Status {
+            std::vector<RecordSource<PieceRecord>*> piece_column;
+            std::vector<RecordSource<EdgeRecord>*> edge_column;
+            piece_column.reserve(num_shards);
+            edge_column.reserve(2 * num_shards);
+            for (size_t s = 0; s < num_shards; ++s) {
+              piece_column.push_back(channels.piece(q, s, t));
+              edge_column.push_back(channels.edge_left(q, s, t));
+              edge_column.push_back(channels.edge_right(q, s, t));
+            }
+            return SolveTargetShardColumns(
+                env, temps, std::move(piece_column), std::move(edge_column),
+                shards[t].x_range, query_options[q], &shard_stats[q][t],
+                options_.write_behind, &slab_files[q][t]);
+          });
+        }
+      }
+      for (size_t q = 0; q < k; ++q) per_query[q] = groups[q]->Wait();
+    }
+    // Join the producers unconditionally: consumers done does not imply
+    // producers done (base-case consumers abandon their edge columns).
+    producers_done.Wait();
+    Status routing;
+    for (const Status& st : producer_status) {
+      if (!st.ok()) {
+        routing = st;
+        break;
+      }
+    }
+    if (!routing.ok()) {
+      // A routing failure poisons the whole batch — the scan was shared,
+      // so every query genuinely read from the failed pass.
+      for (Status& st : per_query) {
+        if (st.ok()) st = routing;
+      }
+    }
+
+    // Phase C per query, sequential on the batch worker: span drain,
+    // cross-shard MergeSweep, answer extraction — all per-query state.
+    for (size_t q = 0; q < k; ++q) {
+      if (!per_query[q].ok()) {
+        (*results)[q] = per_query[q];
+        continue;
+      }
+      (*results)[q] = [&]() -> Result<MaxRSResult> {
+        uint64_t num_spans = 0;
+        std::string root_file;
+        if (num_shards == 1) {
+          root_file = std::move(slab_files[q][0]);
+          slab_files[q][0].clear();
+        } else {
+          std::string span_file = temps.NewName("b_spans");
+          {
+            std::vector<RecordSource<SpanRecord>*> span_sources;
+            span_sources.reserve(num_shards);
+            for (size_t s = 0; s < num_shards; ++s) {
+              span_sources.push_back(channels.span(q, s));
+            }
+            MergingSource<SpanRecord, decltype(&SpanYLess)> spans(
+                std::move(span_sources), &SpanYLess);
+            MAXRS_ASSIGN_OR_RETURN(
+                RecordWriter<SpanRecord> writer,
+                RecordWriter<SpanRecord>::Make(env, span_file,
+                                               options_.write_behind));
+            SpanRecord span{};
+            while (spans.Next(&span)) {
+              MAXRS_RETURN_IF_ERROR(CheckCancel(&batch[q]->cancel));
+              MAXRS_RETURN_IF_ERROR(writer.Append(span));
+            }
+            MAXRS_RETURN_IF_ERROR(spans.final_status());
+            MAXRS_RETURN_IF_ERROR(writer.Finish());
+            num_spans = writer.count();
+          }
+          std::string root = temps.NewName("b_root");
+          MAXRS_RETURN_IF_ERROR(MergeSweep(
+              env, ranges, slab_files[q], span_file, root,
+              SweepObjective::kMaximize, options_.read_ahead,
+              options_.write_behind, &batch[q]->cancel));
+          for (std::string& slab_file : slab_files[q]) {
+            if (!slab_file.empty()) temps.Release(slab_file);
+          }
+          temps.Release(span_file);
+          root_file = std::move(root);
+        }
+        return ExtractRootResult(env, temps, root_file, options_.read_ahead,
+                                 dataset_.num_objects(), shard_stats[q],
+                                 num_shards, num_spans, &batch[q]->cancel);
+      }();
+    }
+  }  // joins and destroys the channels
+
+  const IoStatsSnapshot delta = env.stats().Snapshot() - io_before;
+  ApplyBatchShares(queries, delta, timer.ElapsedSeconds(), results);
+  bool any_failed = false;
+  for (const Result<MaxRSResult>& r : *results) any_failed |= !r.ok();
+  if (any_failed) {
+    // Failed queries abandoned scratch mid-pipeline; sweep everything this
+    // batch's manager named (successful queries already released theirs).
+    temps.ReleaseAll();
+  }
+}
+
+void MaxRSServer::ExecuteBatchStreamingPruned(
+    const std::vector<std::shared_ptr<Request>>& batch,
+    std::vector<Result<MaxRSResult>>* results) {
+  Env& env = *exec_env_;
+  TempFileManager temps(env, options_.work_prefix);
+  const IoStatsSnapshot io_before = env.stats().Snapshot();
+  Stopwatch timer;
+
+  const ShardAggIndex& index = *dataset_.agg_index();
+  const std::vector<ShardInfo>& shards = dataset_.shards();
+  const size_t num_shards = shards.size();  // >= 2 (PruningActive)
+  const std::vector<double>& bounds = dataset_.interior_bounds();
+  const std::vector<Interval>& ranges = dataset_.slab_ranges();
+  const size_t k = batch.size();
+  std::vector<BatchQuery> queries(k);
+  std::vector<MaxRSOptions> query_options(k);
+  for (size_t q = 0; q < k; ++q) {
+    queries[q] = BatchQuery{batch[q]->width, batch[q]->height};
+    query_options[q] =
+        MakeQueryOptions(batch[q]->width, batch[q]->height, &batch[q]->cancel);
+  }
+
+  // Per-query plans (zero I/O), then TWO routing waves over the UNIONS of
+  // the per-query source sets. Soundness of the union: a routed source the
+  // serial pruned execution would NOT have routed for query q routes
+  // nothing to any of q's consumed targets (SourceFeedsTarget is exactly
+  // the can-route-anything test), so q's merged streams — and its
+  // incumbents, skips, and answer — are byte-identical to serial; the
+  // extra sources' boundary spans can only cover q's pruned (known-empty)
+  // children, adding no root tuples (only the total_spans stat may grow).
+  std::vector<std::vector<double>> ub(k);
+  std::vector<size_t> seed(k);
+  for (size_t q = 0; q < k; ++q) {
+    ub[q] = ShardUpperBounds(index, shards, queries[q].width);
+    seed[q] = ArgMaxUpperBound(ub[q]);
+  }
+
+  std::vector<Status> per_query(k, Status::OK());
+  std::vector<std::vector<std::string>> slab_files(
+      k, std::vector<std::string>(num_shards));
+  std::vector<std::vector<MaxRSStats>> shard_stats(
+      k, std::vector<MaxRSStats>(num_shards));
+  std::vector<SlabBest> incumbents(k);
+  {
+    BatchChannels channels(env, temps, k, num_shards,
+                           options_.stream_channel_bytes,
+                           options_.write_behind);
+    std::vector<Status> producer_status(num_shards);
+    std::vector<char> is_routed(num_shards, 0);
+    auto submit_producers = [&](const std::vector<size_t>& wave,
+                                JoinLatch* latch) {
+      for (size_t s : wave) {
+        pool_->Submit([&, s, latch] {
+          producer_status[s] = RouteSourceShardStreamingBatch(
+              env, channels, shards, bounds, ranges, s, queries,
+              options_.read_ahead);
+          latch->CountDown();
+        });
+      }
+      if (!wave.empty() && k > 1) {
+        env.stats().RecordScansShared((k - 1) * wave.size());
+      }
+    };
+    // Poison every still-OK query with a wave's routing failure: the scan
+    // was shared, so all of them read from the failed pass.
+    auto fold_producers = [&](const std::vector<size_t>& wave) {
+      for (size_t s : wave) {
+        if (producer_status[s].ok()) continue;
+        for (Status& st : per_query) {
+          if (st.ok()) st = producer_status[s];
+        }
+        break;
+      }
+    };
+
+    // Wave 1: the union of the sources any query's seed shard needs.
+    std::vector<size_t> wave1;
+    for (size_t s = 0; s < num_shards; ++s) {
+      for (size_t q = 0; q < k; ++q) {
+        if (SourceFeedsTarget(index, s, shards[seed[q]].x_range,
+                              queries[q].width)) {
+          wave1.push_back(s);
+          is_routed[s] = 1;
+          break;
         }
       }
     }
-    if (result.ok()) {
-      if (AdmitToCache(request->width, request->height)) {
-        CacheInsert(key, result.value());
-      } else {
-        std::lock_guard<std::mutex> lock(counters_mu_);
-        ++counters_.cache_rejects;
+    JoinLatch wave1_done(wave1.size());
+    submit_producers(wave1, &wave1_done);
+
+    // Per-query seed solves, concurrent across queries (their incumbents
+    // are independent), one TaskGroup per query for error isolation.
+    {
+      std::vector<std::unique_ptr<TaskGroup>> groups;
+      groups.reserve(k);
+      for (size_t q = 0; q < k; ++q) {
+        groups.push_back(std::make_unique<TaskGroup>(pool_.get()));
+        groups[q]->Run([&, q]() -> Status {
+          std::vector<RecordSource<PieceRecord>*> piece_column;
+          std::vector<RecordSource<EdgeRecord>*> edge_column;
+          piece_column.reserve(wave1.size());
+          edge_column.reserve(2 * wave1.size());
+          for (size_t s : wave1) {
+            piece_column.push_back(channels.piece(q, s, seed[q]));
+            edge_column.push_back(channels.edge_left(q, s, seed[q]));
+            edge_column.push_back(channels.edge_right(q, s, seed[q]));
+          }
+          return SolveTargetShardColumns(
+              env, temps, std::move(piece_column), std::move(edge_column),
+              shards[seed[q]].x_range, query_options[q],
+              &shard_stats[q][seed[q]], options_.write_behind,
+              &slab_files[q][seed[q]], &incumbents[q]);
+        });
+      }
+      for (size_t q = 0; q < k; ++q) per_query[q] = groups[q]->Wait();
+    }
+    wave1_done.Wait();
+    fold_producers(wave1);
+
+    // Per-query prune against the seed incumbent (strict — ties survive).
+    std::vector<std::vector<char>> survives(k,
+                                            std::vector<char>(num_shards, 0));
+    uint64_t pruned_count = 0;
+    for (size_t q = 0; q < k; ++q) {
+      survives[q][seed[q]] = 1;
+      if (!per_query[q].ok()) continue;
+      for (size_t t = 0; t < num_shards; ++t) {
+        if (t == seed[q]) continue;
+        if (incumbents[q].has_value && ub[q][t] < incumbents[q].sum) {
+          ++pruned_count;
+        } else {
+          survives[q][t] = 1;
+        }
       }
     }
-    // Publish-then-erase: see Submit — a duplicate that misses the pending
-    // table after this erase must find the result in the cache.
-    {
-      std::lock_guard<std::mutex> lock(pending_mu_);
-      pending_.erase(key);
+    if (pruned_count > 0) env.stats().RecordShardsPruned(pruned_count);
+
+    // Wave 2: the union of the remaining sources any query's survivors
+    // need. A query already failed routes nothing extra on its behalf.
+    std::vector<size_t> wave2;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (is_routed[s]) continue;
+      bool needed = false;
+      for (size_t q = 0; q < k && !needed; ++q) {
+        if (!per_query[q].ok()) continue;
+        for (size_t t = 0; t < num_shards; ++t) {
+          if (survives[q][t] &&
+              SourceFeedsTarget(index, s, shards[t].x_range,
+                                queries[q].width)) {
+            needed = true;
+            break;
+          }
+        }
+      }
+      if (needed) {
+        wave2.push_back(s);
+        is_routed[s] = 1;
+      }
     }
-    request->promise.set_value(std::move(result));
-  }
+    std::vector<size_t> routed_list;  // ascending — canonical merge order
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (is_routed[s]) routed_list.push_back(s);
+    }
+    JoinLatch wave2_done(wave2.size());
+    submit_producers(wave2, &wave2_done);
+
+    // Phase B: per query, survivors sequentially, best bound first, bound
+    // re-checked against the incumbent the previous solves grew — the
+    // serial pruned order exactly. Queries run concurrently with each
+    // other (again one single-task group per query).
+    std::vector<uint64_t> bound_skips(k, 0);
+    {
+      std::vector<std::unique_ptr<TaskGroup>> groups;
+      groups.reserve(k);
+      for (size_t q = 0; q < k; ++q) {
+        groups.push_back(std::make_unique<TaskGroup>(pool_.get()));
+        if (!per_query[q].ok()) continue;
+        groups[q]->Run([&, q]() -> Status {
+          std::vector<size_t> order;
+          for (size_t t = 0; t < num_shards; ++t) {
+            if (t != seed[q] && survives[q][t]) order.push_back(t);
+          }
+          std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+            if (ub[q][a] != ub[q][b]) return ub[q][a] > ub[q][b];
+            return a < b;
+          });
+          for (size_t t : order) {
+            if (incumbents[q].has_value && ub[q][t] < incumbents[q].sum) {
+              ++bound_skips[q];
+              survives[q][t] = 0;  // skipped mid-solve: "" combine child
+              continue;
+            }
+            std::vector<RecordSource<PieceRecord>*> piece_column;
+            std::vector<RecordSource<EdgeRecord>*> edge_column;
+            piece_column.reserve(routed_list.size());
+            edge_column.reserve(2 * routed_list.size());
+            for (size_t s : routed_list) {
+              piece_column.push_back(channels.piece(q, s, t));
+              edge_column.push_back(channels.edge_left(q, s, t));
+              edge_column.push_back(channels.edge_right(q, s, t));
+            }
+            MAXRS_RETURN_IF_ERROR(SolveTargetShardColumns(
+                env, temps, std::move(piece_column), std::move(edge_column),
+                shards[t].x_range, query_options[q], &shard_stats[q][t],
+                options_.write_behind, &slab_files[q][t], &incumbents[q]));
+          }
+          return Status::OK();
+        });
+      }
+      for (size_t q = 0; q < k; ++q) {
+        const Status st = groups[q]->Wait();
+        if (per_query[q].ok()) per_query[q] = st;
+      }
+    }
+    wave2_done.Wait();
+    fold_producers(wave2);
+    uint64_t total_skips = 0;
+    for (uint64_t s : bound_skips) total_skips += s;
+    if (total_skips > 0) env.stats().RecordBoundSkip(total_skips);
+
+    // Phase C per query: drain the routed rows' span channels (closed by
+    // now) and combine over ALL shard ranges with "" children standing in
+    // for skipped shards.
+    for (size_t q = 0; q < k; ++q) {
+      if (!per_query[q].ok()) {
+        (*results)[q] = per_query[q];
+        continue;
+      }
+      (*results)[q] = [&]() -> Result<MaxRSResult> {
+        uint64_t num_spans = 0;
+        std::string span_file = temps.NewName("b_spans");
+        {
+          std::vector<RecordSource<SpanRecord>*> span_sources;
+          span_sources.reserve(routed_list.size());
+          for (size_t s : routed_list) {
+            span_sources.push_back(channels.span(q, s));
+          }
+          MergingSource<SpanRecord, decltype(&SpanYLess)> spans(
+              std::move(span_sources), &SpanYLess);
+          MAXRS_ASSIGN_OR_RETURN(
+              RecordWriter<SpanRecord> writer,
+              RecordWriter<SpanRecord>::Make(env, span_file,
+                                             options_.write_behind));
+          SpanRecord span{};
+          while (spans.Next(&span)) {
+            MAXRS_RETURN_IF_ERROR(CheckCancel(&batch[q]->cancel));
+            MAXRS_RETURN_IF_ERROR(writer.Append(span));
+          }
+          MAXRS_RETURN_IF_ERROR(spans.final_status());
+          MAXRS_RETURN_IF_ERROR(writer.Finish());
+          num_spans = writer.count();
+        }
+        std::string root_file = temps.NewName("b_root");
+        MAXRS_RETURN_IF_ERROR(MergeSweep(
+            env, ranges, slab_files[q], span_file, root_file,
+            SweepObjective::kMaximize, options_.read_ahead,
+            options_.write_behind, &batch[q]->cancel));
+        for (std::string& slab_file : slab_files[q]) {
+          if (!slab_file.empty()) temps.Release(slab_file);
+        }
+        temps.Release(span_file);
+        return ExtractRootResult(env, temps, root_file, options_.read_ahead,
+                                 dataset_.num_objects(), shard_stats[q],
+                                 num_shards, num_spans, &batch[q]->cancel);
+      }();
+    }
+  }  // joins and destroys the channels
+
+  const IoStatsSnapshot delta = env.stats().Snapshot() - io_before;
+  ApplyBatchShares(queries, delta, timer.ElapsedSeconds(), results);
+  bool any_failed = false;
+  for (const Result<MaxRSResult>& r : *results) any_failed |= !r.ok();
+  if (any_failed) temps.ReleaseAll();
 }
 
 bool MaxRSServer::PruningActive() const {

@@ -52,10 +52,12 @@
 #ifndef MAXRS_SERVE_MAXRS_SERVER_H_
 #define MAXRS_SERVE_MAXRS_SERVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <deque>
 #include <future>
 #include <limits>
 #include <list>
@@ -220,6 +222,27 @@ struct MaxRSServerOptions {
   /// placement found so far are never routed or solved at all.
   ServePruningMode pruning_mode = ServePruningMode::kAuto;
 
+  /// Maximum number of distinct in-flight queries one worker may drain
+  /// from the queue and execute as a single shared-scan batch: one pass
+  /// over each source shard's object order routes pieces and edges for
+  /// every query in the batch at once, so the scan I/O is paid once and
+  /// reported per query as an amortized equal share (docs/IO_MODEL.md,
+  /// "Batched shared scans"). Answers are bit-identical to submitting the
+  /// same queries serially. 1 (the default) disables batching entirely —
+  /// the legacy one-query-per-worker path runs, and every committed
+  /// serial baseline is unaffected. Effective only for the streaming
+  /// per-shard mode; kMaterialized and kGlobalMerge execute a formed
+  /// batch as a plain sequence. Clamped to [1, 64].
+  size_t batch_max = 1;
+
+  /// How long a forming batch may wait for the queue to supply up to
+  /// `batch_max` queries before executing what it has. 0 (the default)
+  /// never waits: the worker takes whatever is instantaneously queued, so
+  /// an idle server still serves single queries at unbatched latency. A
+  /// positive window trades first-query latency for batch fullness —
+  /// tests and the bench use it to make batch composition deterministic.
+  int64_t batch_window_ms = 0;
+
   /// Shared read cache over the dataset's immutable files (shard files,
   /// manifest, aggregate index): when > 0, all query workers fetch those
   /// blocks through one BufferPool of this many bytes (io/pooled_env.h).
@@ -253,9 +276,17 @@ struct ServerCounters {
   uint64_t degraded = 0;        ///< Streaming queries re-run once on the
                                 ///< materialized path after a retryable
                                 ///< failure (graceful degradation).
-  uint64_t deadlines = 0;       ///< Executions aborted by kDeadlineExceeded.
+  uint64_t deadlines = 0;       ///< Queries that returned kDeadlineExceeded:
+                                ///< executions aborted by an expired token,
+                                ///< and deduplicated followers whose own
+                                ///< deadline elapsed while the leader was
+                                ///< still in flight.
   uint64_t corruptions = 0;     ///< Executions aborted by kCorruption
                                 ///< (checksum mismatch, truncated file).
+  uint64_t batches = 0;         ///< Shared-scan batches executed (two or
+                                ///< more distinct queries off one routing
+                                ///< scan per source shard).
+  uint64_t batched_queries = 0; ///< Queries executed inside those batches.
   uint64_t unpruned = 0;        ///< Multi-shard per-shard executions that
                                 ///< wanted index pruning (kAuto) but ran
                                 ///< un-pruned: the dataset has no usable
@@ -305,8 +336,24 @@ class MaxRSServer {
                                   : BufferPoolStats{};
   }
 
-  /// Number of requests queued but not yet picked up by a worker.
-  size_t queue_depth() const { return queue_.size(); }
+  /// The cache admission predicate, decided on the *canonical* dimension
+  /// values the cache key stores (CanonicalDimensionBits), never on the
+  /// caller's raw bit patterns — so the decision is a pure function of the
+  /// cache key and two semantically equal rects can never be admitted
+  /// differently. True when a result for this rect would be cached.
+  bool AdmitsToCache(double width, double height) const;
+
+  /// Number of requests queued but not yet picked up by a worker. Counted
+  /// under the same mutex as counters(), so a (counters, queue_depth) pair
+  /// read back-to-back is consistent: queue_depth never exceeds
+  /// submitted - executed. (Reading queue_.size() directly raced the
+  /// counter updates and could transiently over-report.)
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    return queued_enqueued_ >= queued_dequeued_
+               ? static_cast<size_t>(queued_enqueued_ - queued_dequeued_)
+               : 0;
+  }
 
  private:
   /// One queued query: its dimensions, its cancellation token, and the
@@ -321,6 +368,11 @@ class MaxRSServer {
     double height;
     CancelToken cancel;
     std::promise<Result<MaxRSResult>> promise;
+    // Deduplicated submissions attached to this leader so far: the batch
+    // former's queue-jump priority (a leader many callers wait on is
+    // served before a leader nobody joined). Atomic: bumped by follower
+    // Submits while the batch former reads it.
+    std::atomic<uint64_t> followers{0};
   };
 
   /// Canonical-bit-pattern cache key; queries are cached per distinct
@@ -347,6 +399,37 @@ class MaxRSServer {
   MaxRSOptions MakeQueryOptions(double width, double height,
                                 const CancelToken* cancel = nullptr) const;
   void WorkerLoop();
+  /// Batch former: takes one request from the staging deque or the queue
+  /// (blocking), then — when batch_max > 1 — drains further distinct
+  /// in-flight requests, waiting up to batch_window_ms to fill the batch.
+  /// Candidates are ordered by attached-follower count (a leader many
+  /// callers wait on jumps the queue, FIFO among ties) and the batch keeps
+  /// only rects shape-compatible with the highest-priority one; the rest
+  /// are staged for the next batch. Empty result = shut down and drained.
+  std::vector<std::shared_ptr<Request>> FormBatch();
+  /// Whether `candidate` may share a batch with `anchor`: width and height
+  /// each within kBatchShapeRatio of the anchor's, so pruning bounds and
+  /// routing fan-out stay comparable across the batch.
+  static bool ShapeCompatible(const Request& anchor, const Request& candidate);
+  /// Runs one formed batch end to end and fulfills every promise:
+  /// shared-scan execution for the streaming per-shard mode, a serial
+  /// per-query loop otherwise, plus per-query retryable degradation and
+  /// the counters/cache/pending bookkeeping of the serial path.
+  void ExecuteBatch(std::vector<std::shared_ptr<Request>> batch);
+  /// Shared-scan execution of `batch` (all k >= 2 queries off one routing
+  /// pass per source shard), un-pruned / index-pruned. Results land in
+  /// `results` slots parallel to `batch`.
+  void ExecuteBatchStreaming(
+      const std::vector<std::shared_ptr<Request>>& batch,
+      std::vector<Result<MaxRSResult>>* results);
+  void ExecuteBatchStreamingPruned(
+      const std::vector<std::shared_ptr<Request>>& batch,
+      std::vector<Result<MaxRSResult>>* results);
+  /// Post-execution bookkeeping shared by the serial and batched paths:
+  /// counters, cache admission (on the canonical key), publish-then-erase
+  /// of the pending slot, and promise fulfillment.
+  void CompleteRequest(const std::shared_ptr<Request>& request,
+                       Result<MaxRSResult> result);
   Result<MaxRSResult> ExecuteQuery(double width, double height,
                                    const CancelToken* cancel);
   Result<MaxRSResult> ExecuteGlobalMerge(double width, double height,
@@ -365,7 +448,10 @@ class MaxRSServer {
   bool PruningActive() const;
   std::optional<MaxRSResult> CacheLookup(const CacheKey& key);
   void CacheInsert(const CacheKey& key, const MaxRSResult& result);
-  bool AdmitToCache(double width, double height) const;
+  /// The admission decision on a canonical cache key (AdmitsToCache after
+  /// key derivation): reconstructs the canonical dimension values from the
+  /// key's bits and applies the extent-fraction policy to those.
+  bool AdmitKeyToCache(const CacheKey& key) const;
 
   Env& env_;
   const DatasetHandle& dataset_;
@@ -401,16 +487,31 @@ class MaxRSServer {
       cache_index_;
 
   // In-flight dedup: one entry per distinct rect currently queued or
-  // executing. Followers copy the leader's shared_future and wait on it;
-  // the worker erases the entry (after publishing to the cache) before
-  // fulfilling the promise, so late duplicates hit the cache instead.
+  // executing. Followers copy the leader's shared_future and wait on it
+  // (bounded by their own deadline — a follower never inherits the
+  // leader's token); the worker erases the entry (after publishing to the
+  // cache) before fulfilling the promise, so late duplicates hit the
+  // cache instead. The leader pointer lets followers bump the request's
+  // follower count for the batch former's queue-jump priority.
+  struct PendingEntry {
+    std::shared_future<Result<MaxRSResult>> future;
+    std::shared_ptr<Request> leader;
+  };
   mutable std::mutex pending_mu_;
-  std::unordered_map<CacheKey, std::shared_future<Result<MaxRSResult>>,
-                     CacheKeyHash>
-      pending_;
+  std::unordered_map<CacheKey, PendingEntry, CacheKeyHash> pending_;
+
+  // Requests drained from the queue during batch formation but deferred
+  // (shape-incompatible with their batch's anchor, or past batch_max):
+  // served first, FIFO, by the next FormBatch on any worker.
+  std::mutex staging_mu_;
+  std::deque<std::shared_ptr<Request>> staged_;
 
   mutable std::mutex counters_mu_;
   ServerCounters counters_;
+  // Queue accounting under counters_mu_ (not queue_.size()) so counters()
+  // and queue_depth() snapshots are mutually consistent; see queue_depth().
+  uint64_t queued_enqueued_ = 0;
+  uint64_t queued_dequeued_ = 0;
 };
 
 }  // namespace maxrs

@@ -3,10 +3,16 @@
 // ExactMaxRS across rect sizes and worker counts), concurrency (8 in-flight
 // queries, deterministic results), and cache semantics (a warm query
 // performs zero block transfers — in particular zero sort-phase I/O).
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstring>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/exact_maxrs.h"
@@ -66,6 +72,95 @@ void ExpectBitIdentical(const MaxRSResult& a, const MaxRSResult& b) {
   EXPECT_EQ(a.location, b.location);
   EXPECT_EQ(a.region, b.region);
 }
+
+// Parks every ReadBlock issued while closed, so a test can pin a query
+// worker mid-execution and observe queue / dedup state deterministically.
+class ReadGate {
+ public:
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = false;
+  }
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  size_t arrived() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return arrived_;
+  }
+  void Await() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++arrived_;
+    cv_.wait(lock, [&] { return open_; });
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = true;
+  size_t arrived_ = 0;
+};
+
+// Env wrapper routing every read of an Open()ed file through a ReadGate.
+// Writes (and Create()d scratch files) pass straight through.
+class GatedEnv : public Env {
+ public:
+  explicit GatedEnv(Env& base) : base_(base) {}
+  ReadGate& gate() { return gate_; }
+
+  Result<std::unique_ptr<BlockFile>> Create(const std::string& name) override {
+    return base_.Create(name);
+  }
+  Result<std::unique_ptr<BlockFile>> Open(const std::string& name) override {
+    auto file = base_.Open(name);
+    if (!file.ok()) return file.status();
+    return Result<std::unique_ptr<BlockFile>>(std::unique_ptr<BlockFile>(
+        new File(std::move(file).value(), &gate_)));
+  }
+  Status Delete(const std::string& name) override { return base_.Delete(name); }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return base_.Rename(from, to);
+  }
+  bool Exists(const std::string& name) const override {
+    return base_.Exists(name);
+  }
+  std::vector<std::string> ListFiles() const override {
+    return base_.ListFiles();
+  }
+  size_t block_size() const override { return base_.block_size(); }
+  IoStats& stats() override { return base_.stats(); }
+
+ private:
+  class File : public BlockFile {
+   public:
+    File(std::unique_ptr<BlockFile> base, ReadGate* gate)
+        : base_(std::move(base)), gate_(gate) {}
+    Status ReadBlock(uint64_t index, void* buf) override {
+      gate_->Await();
+      return base_->ReadBlock(index, buf);
+    }
+    Status WriteBlock(uint64_t index, const void* buf) override {
+      return base_->WriteBlock(index, buf);
+    }
+    uint64_t NumBlocks() const override { return base_->NumBlocks(); }
+    Status Truncate(uint64_t num_blocks) override {
+      return base_->Truncate(num_blocks);
+    }
+    size_t block_size() const override { return base_->block_size(); }
+    const std::string& name() const override { return base_->name(); }
+
+   private:
+    std::unique_ptr<BlockFile> base_;
+    ReadGate* gate_;
+  };
+
+  Env& base_;
+  ReadGate gate_;
+};
 
 TEST(DatasetHandleTest, IngestShardsCoverAxisAndStaySorted) {
   std::vector<SpatialObject> objects;
@@ -504,6 +599,176 @@ TEST(ServeTest, RejectsInvalidDimensionsAndShutDownServer) {
   EXPECT_EQ(bad_server.Submit(10, 10).status().code(),
             Status::Code::kInvalidArgument);
   EXPECT_EQ((env->stats().Snapshot() - before).total(), 0u);
+}
+
+TEST(ServeTest, DedupFollowerHonorsItsOwnDeadline) {
+  // Regression: a follower attached to an in-flight leader waited on the
+  // leader's future unboundedly, inheriting the LEADER's deadline clock —
+  // a follower could block far past its own budget behind a slow leader.
+  // The follower now bounds its wait by its own deadline (measured from
+  // its Submit) and gives up with kDeadlineExceeded, without touching the
+  // leader's CancelToken.
+  std::vector<SpatialObject> objects;
+  auto base = MakeEnvWithDataset(&objects, /*n=*/400);
+  auto handle = DatasetHandle::Ingest(*base, kDatasetFile, IngestOptions(2));
+  ASSERT_TRUE(handle.ok());
+
+  GatedEnv env(*base);
+  MaxRSServerOptions options = ServerOptions(1);
+  options.deadline_ms = 300;
+  options.cache_entries = 0;
+  MaxRSServer server(env, *handle, options);
+
+  env.gate().Close();
+  // Watchdog: even if a regression makes the follower wait for the leader
+  // instead of its own deadline, the gate eventually opens and the test
+  // fails on assertions instead of hanging.
+  std::atomic<bool> gate_released{false};
+  std::thread watchdog([&] {
+    for (int i = 0; i < 100 && !gate_released.load(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    gate_released.store(true);
+    env.gate().Open();
+  });
+
+  // Pin the only worker on a query parked at the read gate.
+  std::thread blocker([&] { server.Submit(60, 60); });
+  while (env.gate().arrived() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The leader for the deduplicated rect sits in the queue behind it.
+  Result<MaxRSResult> leader_result = Status::Internal("leader not run");
+  std::thread leader([&] { leader_result = server.Submit(150, 90); });
+  while (server.queue_depth() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The follower attaches to the leader's pending slot and must give up
+  // at ITS deadline — while the leader is still queued, the worker still
+  // parked, and the gate still closed.
+  Result<MaxRSResult> follower = server.Submit(150, 90);
+  EXPECT_FALSE(gate_released.load());  // returned before the watchdog fired
+  EXPECT_EQ(follower.status().code(), Status::Code::kDeadlineExceeded);
+  ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.dedup_hits, 1u);
+  EXPECT_GE(counters.deadlines, 1u);
+
+  gate_released.store(true);
+  env.gate().Open();
+  watchdog.join();
+  blocker.join();
+  leader.join();
+
+  // The follower's timeout cancelled nothing: the leader ran to its own
+  // conclusion (here its own deadline — its clock started even earlier),
+  // and the server stays fully serviceable afterwards.
+  EXPECT_EQ(leader_result.status().code(), Status::Code::kDeadlineExceeded);
+  auto after = server.Submit(70, 70);
+  EXPECT_TRUE(after.ok()) << after.status().ToString();
+}
+
+TEST(ServeTest, CacheAdmissionDecidesOnTheCanonicalKey) {
+  // Regression companion to CacheKeyCanonicalizesSemanticallyEqualDimensions:
+  // the admission check used the raw submitted dimensions while the LRU key
+  // used canonical bits, so two bit-distinct spellings of one dimension
+  // could disagree about cacheability. Admission now evaluates the
+  // canonical key itself — every spelling that folds to the same key gets
+  // the same verdict.
+  std::vector<SpatialObject> objects;
+  auto env = MakeEnvWithDataset(&objects);
+  auto handle = DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(2));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(handle->has_bounds());
+  const double extent_w = handle->bounds().width();
+  const double extent_h = handle->bounds().height();
+
+  MaxRSServer server(*env, *handle, ServerOptions(1));  // fraction = 0.5
+
+  EXPECT_EQ(server.AdmitsToCache(-0.0, 10.0), server.AdmitsToCache(0.0, 10.0));
+  EXPECT_EQ(server.AdmitsToCache(10.0, -0.0), server.AdmitsToCache(10.0, 0.0));
+  const double canonical_nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(server.AdmitsToCache(std::nan("0x123"), 10.0),
+            server.AdmitsToCache(canonical_nan, 10.0));
+  EXPECT_EQ(server.AdmitsToCache(-canonical_nan, 10.0),
+            server.AdmitsToCache(canonical_nan, 10.0));
+
+  // The policy itself is unchanged: modest rects are admitted, rects
+  // covering most of the extent are refused (matches the Submit-level
+  // behavior pinned by CacheAdmissionRefusesRectsCoveringMostOfTheExtent).
+  EXPECT_TRUE(server.AdmitsToCache(extent_w * 0.6, extent_h * 0.6));
+  EXPECT_FALSE(server.AdmitsToCache(extent_w * 0.9, extent_h * 0.9));
+}
+
+TEST(ServeTest, QueueDepthStaysConsistentWithCounters) {
+  // Regression: queue_depth() read the queue's own size outside the
+  // counters mutex, so a sampler could observe a pushed request before
+  // the paired submitted++ and report queue_depth > submitted. Both
+  // snapshots now move under the counters mutex; depth can only
+  // under-report transiently (the safe direction).
+  std::vector<SpatialObject> objects;
+  auto base = MakeEnvWithDataset(&objects, /*n=*/400);
+  auto handle = DatasetHandle::Ingest(*base, kDatasetFile, IngestOptions(2));
+  ASSERT_TRUE(handle.ok());
+
+  // Deterministic part: worker parked at the gate, one request queued.
+  {
+    GatedEnv env(*base);
+    MaxRSServerOptions options = ServerOptions(1);
+    options.cache_entries = 0;
+    MaxRSServer server(env, *handle, options);
+    EXPECT_EQ(server.queue_depth(), 0u);
+
+    env.gate().Close();
+    std::thread blocker([&] { server.Submit(60, 60); });
+    while (env.gate().arrived() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::thread queued([&] { server.Submit(90, 90); });
+    while (server.queue_depth() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const size_t depth = server.queue_depth();
+    const ServerCounters counters = server.counters();
+    EXPECT_EQ(depth, 1u);
+    EXPECT_LE(depth, counters.submitted - counters.executed);
+
+    env.gate().Open();
+    blocker.join();
+    queued.join();
+    EXPECT_EQ(server.queue_depth(), 0u);
+  }
+
+  // Racy part: hammer Submit from several threads while a sampler checks
+  // the invariant. Depth is read FIRST; submitted is monotone, so any
+  // post-fix interleaving satisfies depth <= submitted.
+  {
+    MaxRSServerOptions options = ServerOptions(2);
+    options.cache_entries = 0;
+    MaxRSServer server(*base, *handle, options);
+    std::atomic<bool> done{false};
+    std::thread sampler([&] {
+      while (!done.load()) {
+        const size_t depth = server.queue_depth();
+        const ServerCounters counters = server.counters();
+        EXPECT_LE(depth, counters.submitted);
+      }
+    });
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 4; ++t) {
+      clients.emplace_back([&, t] {
+        for (int i = 0; i < 25; ++i) {
+          ASSERT_TRUE(server.Submit(20 + t * 25 + i, 35 + t * 25 + i).ok());
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    done.store(true);
+    sampler.join();
+    EXPECT_EQ(server.queue_depth(), 0u);
+    EXPECT_EQ(server.counters().submitted, 100u);
+  }
 }
 
 }  // namespace
