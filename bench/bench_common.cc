@@ -118,10 +118,18 @@ bool WriteBenchJson(const std::string& path,
                  "  {\"bench\": \"%s\", \"algo\": \"%s\", \"dataset\": \"%s\","
                  " \"n\": %" PRIu64 ", \"threads\": %zu,"
                  " \"memory_bytes\": %zu, \"wall_seconds\": %.6f,"
-                 " \"io_blocks\": %" PRIu64 ", \"total_weight\": %.6f}%s\n",
+                 " \"io_blocks\": %" PRIu64 ", \"total_weight\": %.6f",
                  r.bench.c_str(), r.algo.c_str(), r.dataset.c_str(), r.n,
                  r.threads, r.memory_bytes, r.wall_seconds, r.io_blocks,
-                 r.total_weight, i + 1 < records.size() ? "," : "");
+                 r.total_weight);
+    if (r.p99_ms > 0.0) {
+      // Latency records (bench_workload): tail percentiles + throughput.
+      std::fprintf(f,
+                   ", \"qps\": %.2f, \"p50_ms\": %.3f, \"p95_ms\": %.3f,"
+                   " \"p99_ms\": %.3f",
+                   r.qps, r.p50_ms, r.p95_ms, r.p99_ms);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   // A truncated artifact (disk full mid-write) must not report success:

@@ -72,6 +72,12 @@ struct BenchRecord {
   double wall_seconds = 0.0;
   uint64_t io_blocks = 0;
   double total_weight = 0.0;
+  // Latency-oriented extension (bench_workload): emitted to JSON only when
+  // p99_ms > 0, so throughput-only benches keep their artifact schema.
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
 };
 
 /// Writes `records` to `path` as a JSON array (overwrites). Returns false

@@ -90,9 +90,12 @@ std::vector<double> RunRound(MaxRSServer& server,
   for (size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       for (size_t i = c; i < rects.size(); i += clients) {
-        auto result = server.Submit(rects[i].first, rects[i].second);
+        QuerySpec spec;
+        spec.width = rects[i].first;
+        spec.height = rects[i].second;
+        auto result = server.Submit(spec);
         MAXRS_CHECK_MSG(result.ok(), "serve query failed");
-        weights[i] = result->total_weight;
+        weights[i] = result->result.total_weight;
       }
     });
   }

@@ -269,6 +269,17 @@ def main():
             regressions.append(f"wall regression on {fmt_key(key)}: "
                                f"{wall_b:.4f}s -> {wall_n:.4f}s "
                                f"({dwall:+.1%} > {args.wall_tol:.0%})")
+        # Latency records (bench_workload) also carry tail percentiles;
+        # p99 is machine-dependent like wall time, so the same --io-only
+        # escape applies and the same tolerance governs.
+        p99_b, p99_n = b.get("p99_ms", 0.0), n.get("p99_ms", 0.0)
+        if not args.io_only and p99_b > 0.0 and p99_n > 0.0:
+            dp99 = (p99_n - p99_b) / p99_b
+            if dp99 > args.wall_tol:
+                regressions.append(f"p99 latency regression on "
+                                   f"{fmt_key(key)}: {p99_b:.3f}ms -> "
+                                   f"{p99_n:.3f}ms "
+                                   f"({dp99:+.1%} > {args.wall_tol:.0%})")
 
     only_base = sorted(k for k in base if k not in new)
     only_new = sorted(k for k in new if k not in base)

@@ -200,21 +200,18 @@ int main(int argc, char** argv) {
     // Seed with a real error so an index a client somehow skips reads as a
     // visible failure, not an empty-but-ok() Result (which would be UB to
     // dereference).
-    std::vector<Result<MaxRSResult>> results(
+    std::vector<Result<QueryResponse>> results(
         rects.size(), Status::Internal("query was never submitted"));
-    std::vector<uint64_t> io_before(rects.size(), 0);
-    std::vector<uint64_t> io_after(rects.size(), 0);
     std::vector<std::thread> clients;
     const size_t num_clients = std::min(workers == 0 ? 1 : workers, rects.size());
     clients.reserve(num_clients);
     for (size_t c = 0; c < num_clients; ++c) {
       clients.emplace_back([&, c] {
         for (size_t i = c; i < rects.size(); i += num_clients) {
-          // Per-query I/O attribution is approximate under concurrency
-          // (the counters are Env-global); exact when --workers=1.
-          io_before[i] = env->stats().Snapshot().total();
-          results[i] = server.Submit(rects[i].first, rects[i].second);
-          io_after[i] = env->stats().Snapshot().total();
+          QuerySpec spec;
+          spec.width = rects[i].first;
+          spec.height = rects[i].second;
+          results[i] = server.Submit(spec);
         }
       });
     }
@@ -230,12 +227,19 @@ int main(int argc, char** argv) {
         failed = true;
         continue;
       }
+      // QueryResponse.io is this submission's own share of the block
+      // transfers: exact at any worker count (cache and dedup hits read 0).
+      const QueryResponse& response = results[i].value();
       std::snprintf(location, sizeof(location), "(%.2f, %.2f)",
-                    results[i]->location.x, results[i]->location.y);
+                    response.result.location.x, response.result.location.y);
+      const char* served = response.served_from == ServedFrom::kCache ? "cache"
+                           : response.served_from == ServedFrom::kDedup
+                               ? "dedup"
+                               : "executed";
       std::printf("%-6zu%14s%14.1f%24s%16llu%14s\n", round, rect_label,
-                  results[i]->total_weight, location,
-                  static_cast<unsigned long long>(io_after[i] - io_before[i]),
-                  "ok");
+                  response.result.total_weight, location,
+                  static_cast<unsigned long long>(response.io.total()),
+                  served);
     }
   }
 

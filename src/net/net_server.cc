@@ -1,0 +1,184 @@
+#include "net/net_server.h"
+
+#include <chrono>
+#include <deque>
+#include <future>
+#include <string>
+#include <utility>
+
+#include "net/query_protocol.h"
+
+namespace maxrs {
+
+NetServer::NetServer(MaxRSServer& server, Env& env, NetServerOptions options)
+    : server_(server), env_(env), options_(options) {}
+
+NetServer::~NetServer() { Shutdown(); }
+
+Status NetServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::Internal("NetServer::Start called twice");
+  }
+  Result<Socket> listener = ListenLoopback(options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  Result<uint16_t> port = LocalPort(listener_);
+  if (!port.ok()) return port.status();
+  port_ = port.value();
+  pool_ = std::make_unique<ThreadPool>(options_.num_io_threads);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void NetServer::Shutdown() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.Close();
+  {
+    // Every accepted connection (even ones still queued for a reader)
+    // runs to completion; readers see stop_ and drain their pipelines.
+    std::unique_lock<std::mutex> alock(active_mu_);
+    active_cv_.wait(alock, [this] { return active_ == 0; });
+  }
+  pool_.reset();
+}
+
+void NetServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    Result<bool> readable = PollReadable(listener_, options_.poll_interval_ms);
+    if (!readable.ok()) return;  // listener broken; Shutdown still drains
+    if (!readable.value()) continue;
+    Result<Socket> accepted = Accept(listener_);
+    if (!accepted.ok()) continue;  // racing hangup — just poll again
+    auto conn = std::make_shared<Socket>(std::move(accepted).value());
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(active_mu_);
+      ++active_;
+    }
+    // ThreadPool::Submit takes a copyable std::function, so the move-only
+    // Socket rides in a shared_ptr.
+    pool_->Submit([this, conn] {
+      ServeConnection(conn);
+      ConnectionDone();
+    });
+  }
+}
+
+void NetServer::ConnectionDone() {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  --active_;
+  active_cv_.notify_all();
+}
+
+void NetServer::ServeConnection(const std::shared_ptr<Socket>& conn) {
+  std::string buffer;
+  // MAXRS responses outstanding on this connection, oldest first. All
+  // other frames (STATS/PONG/BYE/parse errors) drain this queue before
+  // they go out, so response order always matches command order.
+  std::deque<std::future<Result<QueryResponse>>> pending;
+
+  // Blocks on one future and sends its response; false = peer gone.
+  const auto send_front = [&]() {
+    Result<QueryResponse> result = pending.front().get();
+    pending.pop_front();
+    const std::string frame = result.ok() ? FormatResponse(result.value())
+                                          : FormatError(result.status());
+    return SendAll(*conn, frame).ok();
+  };
+  // Flushes every outstanding response; false = peer gone.
+  const auto drain = [&]() {
+    while (!pending.empty()) {
+      if (!send_front()) return false;
+    }
+    return true;
+  };
+  // Protocol violations that close the connection still answer first so
+  // the client learns why.
+  const auto reject_and_close = [&](const std::string& why) {
+    if (drain()) (void)SendAll(*conn, FormatError(Status::InvalidArgument(why)));
+  };
+
+  while (true) {
+    // Flush whatever already completed, strictly FIFO.
+    while (!pending.empty() &&
+           pending.front().wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready) {
+      if (!send_front()) return;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      // Graceful drain: dispatched queries get their answers, then close.
+      (void)drain();
+      return;
+    }
+    if (pending.size() >= options_.max_pipeline) {
+      // Pipeline window full: stop reading input and wait on the oldest
+      // query. TCP flow control now pushes back on the client.
+      if (!send_front()) return;
+      continue;
+    }
+    Result<bool> readable = PollReadable(*conn, options_.poll_interval_ms);
+    if (!readable.ok()) return;
+    if (!readable.value()) continue;
+
+    char chunk[1024];
+    Result<size_t> n = RecvSome(*conn, chunk, sizeof(chunk));
+    if (!n.ok()) return;
+    if (n.value() == 0) {
+      // EOF: the client finished sending; answer what it already asked.
+      (void)drain();
+      return;
+    }
+    buffer.append(chunk, n.value());
+    if (buffer.find('\0') != std::string::npos) {
+      reject_and_close("binary garbage on a text connection");
+      return;
+    }
+
+    std::string::size_type newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.size() > options_.max_line_bytes) {
+        reject_and_close("command line exceeds max_line_bytes");
+        return;
+      }
+      Result<Command> command = ParseCommand(line);
+      if (!command.ok()) {
+        // Malformed command: answer ERR invalid and keep the connection
+        // alive — one typo should not cost the client its pipeline.
+        if (!drain()) return;
+        if (!SendAll(*conn, FormatError(command.status())).ok()) return;
+        continue;
+      }
+      switch (command.value().type) {
+        case CommandType::kMaxRS:
+          pending.push_back(server_.SubmitAsync(command.value().spec));
+          break;
+        case CommandType::kStats: {
+          if (!drain()) return;
+          const std::string frame =
+              FormatStats(server_.counters(), env_.stats().Snapshot());
+          if (!SendAll(*conn, frame).ok()) return;
+          break;
+        }
+        case CommandType::kPing:
+          if (!drain()) return;
+          if (!SendAll(*conn, FormatPong()).ok()) return;
+          break;
+        case CommandType::kQuit:
+          (void)(drain() && SendAll(*conn, FormatBye()).ok());
+          return;
+      }
+    }
+    if (buffer.size() > options_.max_line_bytes) {
+      // A "line" this long with no newline in sight is a garbage frame.
+      reject_and_close("command line exceeds max_line_bytes");
+      return;
+    }
+  }
+}
+
+}  // namespace maxrs

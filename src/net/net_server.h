@@ -1,0 +1,131 @@
+// The TCP front door of the serving stack: a loopback listener speaking
+// the line-delimited protocol in net/query_protocol.h on top of
+// MaxRSServer's structured Submit API.
+//
+// Threading: one acceptor thread polls the listener; each accepted
+// connection becomes one task on an internal ThreadPool of
+// `num_io_threads` readers. A reader parses lines, dispatches MAXRS
+// commands through MaxRSServer::SubmitAsync, and answers strictly in
+// command order (clients may pipeline up to `max_pipeline` queries on one
+// connection before the reader stops consuming input).
+//
+// Backpressure, end to end: a flooded client first fills its own
+// connection's pipeline window (the reader stops reading, TCP flow
+// control pushes back on the sender), and what does get through meets the
+// bounded admission queue inside MaxRSServer — whose timed PushFor sheds
+// with kUnavailable rather than wedging, surfacing on the wire as
+// `ERR unavailable` the client can back off and retry. No layer blocks
+// unboundedly, so overload degrades into explicit shed responses instead
+// of frozen sockets.
+//
+// Shutdown() is graceful: the acceptor stops, every open connection
+// drains the queries it already dispatched (each gets its response or
+// error), then sockets close. Safe to call from any thread; idempotent;
+// the destructor calls it.
+#ifndef MAXRS_NET_NET_SERVER_H_
+#define MAXRS_NET_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "io/env.h"
+#include "net/socket.h"
+#include "serve/maxrs_server.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace maxrs {
+
+/// Tuning knobs for the network front-end.
+struct NetServerOptions {
+  /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (read it back
+  /// with port() after Start — the pattern every test and bench uses).
+  uint16_t port = 0;
+  /// Reader threads, i.e. the max number of concurrently served
+  /// connections; further accepted connections wait for a free reader.
+  size_t num_io_threads = 4;
+  /// A line longer than this (no newline seen) is a garbage frame: the
+  /// server answers `ERR invalid` and closes the connection.
+  size_t max_line_bytes = 4096;
+  /// In-flight queries one connection may pipeline before the reader
+  /// stops consuming input (TCP flow control then pushes back).
+  size_t max_pipeline = 64;
+  /// Poll granularity for stop-flag checks on idle sockets.
+  int poll_interval_ms = 50;
+};
+
+/// The TCP listener + connection reader pool. Owns no query logic: every
+/// MAXRS command becomes a MaxRSServer::SubmitAsync call, so answers over
+/// the wire are bit-identical to in-process Submit.
+class NetServer {
+ public:
+  /// Wires the front-end to a server (query execution) and its Env
+  /// (aggregate I/O counters for STATS). Both must outlive the NetServer.
+  NetServer(MaxRSServer& server, Env& env, NetServerOptions options);
+  /// Calls Shutdown().
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds the listener and starts the acceptor thread. Call once;
+  /// returns IOError when the bind fails (port taken).
+  Status Start();
+
+  /// The bound port — the kernel-assigned one when options.port was 0.
+  /// Valid after a successful Start().
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, drains every open connection's in-flight queries,
+  /// closes all sockets, and joins all threads. Idempotent.
+  void Shutdown();
+
+  /// Connections accepted since Start (monotonic; includes closed ones).
+  uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+  /// Connections currently open (accepted and not yet closed).
+  uint64_t active_connections() const {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    return active_;
+  }
+
+ private:
+  // Acceptor-thread body: poll + accept until stop_, handing each
+  // connection to the reader pool.
+  void AcceptLoop();
+  // Reader-task body: serve one connection until QUIT/EOF/error/stop_.
+  void ServeConnection(const std::shared_ptr<Socket>& conn);
+  // Bookkeeping around ServeConnection so Shutdown can wait for drain.
+  void ConnectionDone();
+
+  MaxRSServer& server_;
+  Env& env_;
+  const NetServerOptions options_;
+
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> accepted_{0};
+  // Serializes Shutdown bodies so concurrent callers don't double-join.
+  std::mutex shutdown_mu_;
+
+  // Open-connection count; Shutdown waits on the cv until it hits zero.
+  mutable std::mutex active_mu_;
+  std::condition_variable active_cv_;
+  uint64_t active_ = 0;
+};
+
+}  // namespace maxrs
+
+#endif  // MAXRS_NET_NET_SERVER_H_

@@ -1,0 +1,132 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace maxrs {
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> ListenLoopback(uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Status::IOError(Errno("socket"));
+  const int one = 1;
+  // Rapid rebinds in tests must not trip TIME_WAIT; best-effort.
+  (void)::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IOError(Errno("bind"));
+  }
+  if (::listen(sock.fd(), 128) != 0) {
+    return Status::IOError(Errno("listen"));
+  }
+  return {std::move(sock)};
+}
+
+Result<uint16_t> LocalPort(const Socket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Status::IOError(Errno("getsockname"));
+  }
+  return {static_cast<uint16_t>(ntohs(addr.sin_port))};
+}
+
+Result<Socket> Accept(const Socket& listener) {
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    // A connection that reset between poll and accept is not an error of
+    // the listener — report retryable so the accept loop just polls again.
+    if (errno == ECONNABORTED || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == EINTR) {
+      return Status::Unavailable(Errno("accept"));
+    }
+    return Status::IOError(Errno("accept"));
+  }
+  return {Socket(fd)};
+}
+
+Result<Socket> ConnectLoopback(uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Status::IOError(Errno("socket"));
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Status::IOError(Errno("connect"));
+  }
+  const int one = 1;
+  // Query lines are tiny; Nagle would add 40ms to every pipelined
+  // request/response turn. Best-effort.
+  (void)::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return {std::move(sock)};
+}
+
+Result<bool> PollReadable(const Socket& socket, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = socket.fd();
+  pfd.events = POLLIN;
+  const int n = ::poll(&pfd, 1, timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return {false};  // spurious wake; caller re-polls
+    return Status::IOError(Errno("poll"));
+  }
+  // POLLHUP/POLLERR count as readable: the next recv observes EOF/reset
+  // instead of the loop spinning on a dead peer.
+  return {n > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0};
+}
+
+Status SendAll(const Socket& socket, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(socket.fd(), data.data() + sent,
+                             data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("send"));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<size_t> RecvSome(const Socket& socket, char* buf, size_t len) {
+  while (true) {
+    const ssize_t n = ::recv(socket.fd(), buf, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("recv"));
+    }
+    return {static_cast<size_t>(n)};
+  }
+}
+
+}  // namespace maxrs

@@ -1,0 +1,91 @@
+// Minimal RAII wrappers over POSIX loopback TCP sockets — just enough
+// surface for the line-delimited query protocol (net/net_server.h) and its
+// tests/benches: bind-listen on 127.0.0.1 (ephemeral port supported),
+// accept, connect, poll-with-timeout, send-all, recv-some. Everything
+// reports through the repo's Status/Result model instead of errno, and
+// every descriptor is owned by a move-only Socket so no path can leak an
+// fd. Deliberately loopback-only: the serving stack's front door binds
+// 127.0.0.1 — exposing it beyond the host is a deployment concern
+// (reverse proxy, mTLS sidecar), not this layer's.
+#ifndef MAXRS_NET_SOCKET_H_
+#define MAXRS_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace maxrs {
+
+/// A move-only owner of one socket file descriptor; closes it on
+/// destruction. A default-constructed Socket owns nothing (valid() false).
+class Socket {
+ public:
+  /// Owns nothing.
+  Socket() = default;
+  /// Takes ownership of `fd` (-1 = nothing).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  /// Moves ownership; the source is left empty.
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  /// Move-assigns; any descriptor this socket held is closed first.
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// The raw descriptor (-1 when empty).
+  int fd() const { return fd_; }
+  /// Whether this socket owns a descriptor.
+  bool valid() const { return fd_ >= 0; }
+  /// Closes the descriptor now (idempotent).
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a TCP listener bound to 127.0.0.1:`port` (0 = kernel-assigned
+/// ephemeral port — query it back with LocalPort). SO_REUSEADDR is set so
+/// rapid rebinding in tests does not trip TIME_WAIT.
+Result<Socket> ListenLoopback(uint16_t port);
+
+/// The local port a bound socket ended up on — the way to discover an
+/// ephemeral port after ListenLoopback(0).
+Result<uint16_t> LocalPort(const Socket& socket);
+
+/// Accepts one pending connection from a listener. Call only after
+/// PollReadable reported the listener readable; a racing hangup surfaces
+/// as kUnavailable (retryable — poll again).
+Result<Socket> Accept(const Socket& listener);
+
+/// Connects to 127.0.0.1:`port` (blocking).
+Result<Socket> ConnectLoopback(uint16_t port);
+
+/// Waits up to `timeout_ms` for the socket to become readable (data,
+/// pending connection, or EOF/hangup — both must wake a reader). False =
+/// timed out with nothing to read; the caller's stop-flag poll loop spins
+/// on that.
+Result<bool> PollReadable(const Socket& socket, int timeout_ms);
+
+/// Writes all of `data`, retrying partial sends. SIGPIPE is suppressed
+/// (MSG_NOSIGNAL): a peer that hung up surfaces as an IOError status, not
+/// a process signal.
+Status SendAll(const Socket& socket, const std::string& data);
+
+/// Reads at most `len` bytes into `buf`; returns the byte count, 0 when
+/// the peer closed its write side. Call after PollReadable to avoid
+/// blocking indefinitely.
+Result<size_t> RecvSome(const Socket& socket, char* buf, size_t len);
+
+}  // namespace maxrs
+
+#endif  // MAXRS_NET_SOCKET_H_

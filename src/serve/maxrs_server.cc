@@ -1120,19 +1120,52 @@ bool MaxRSServer::AdmitsToCache(double width, double height) const {
   return AdmitKeyToCache(MakeKey(width, height));
 }
 
-Result<MaxRSResult> MaxRSServer::Submit(double rect_width, double rect_height) {
-  if (!std::isfinite(rect_width) || !std::isfinite(rect_height) ||
-      !(rect_width > 0.0) || !(rect_height > 0.0)) {
+Status MaxRSServer::ValidateSpec(const QuerySpec& spec) {
+  if (!std::isfinite(spec.width) || !std::isfinite(spec.height) ||
+      !(spec.width > 0.0) || !(spec.height > 0.0)) {
     return Status::InvalidArgument(
         "rectangle dimensions must be positive and finite");
   }
-  if (!config_status_.ok()) return config_status_;
-  const CacheKey key = MakeKey(rect_width, rect_height);
+  if (spec.deadline_ms.has_value() && *spec.deadline_ms < 0) {
+    return Status::InvalidArgument(
+        "deadline_ms override must be non-negative (0 disables)");
+  }
+  return Status::OK();
+}
+
+QueryResponse MaxRSServer::MakeResponse(MaxRSResult result, ServedFrom served) {
+  QueryResponse response;
+  response.batch_size = result.stats.batch_size;
+  if (served == ServedFrom::kExecuted) response.io = result.stats.io;
+  response.served_from = served;
+  response.result = std::move(result);
+  return response;
+}
+
+namespace {
+// An already-completed future — the zero-thread path for validation
+// errors, cache hits, and refused admissions.
+std::future<Result<QueryResponse>> ReadyFuture(Result<QueryResponse> value) {
+  std::promise<Result<QueryResponse>> promise;
+  std::future<Result<QueryResponse>> future = promise.get_future();
+  promise.set_value(std::move(value));
+  return future;
+}
+}  // namespace
+
+std::future<Result<QueryResponse>> MaxRSServer::SubmitInternal(
+    const QuerySpec& spec, bool* dedup, int64_t* deadline_ms) {
+  *dedup = false;
+  *deadline_ms = spec.deadline_ms.value_or(options_.deadline_ms);
+  const Status valid = ValidateSpec(spec);
+  if (!valid.ok()) return ReadyFuture(valid);
+  if (!config_status_.ok()) return ReadyFuture(config_status_);
+  const CacheKey key = MakeKey(spec.width, spec.height);
   if (std::optional<MaxRSResult> hit = CacheLookup(key)) {
     std::lock_guard<std::mutex> lock(counters_mu_);
     ++counters_.submitted;
     ++counters_.cache_hits;
-    return *std::move(hit);
+    return ReadyFuture(MakeResponse(*std::move(hit), ServedFrom::kCache));
   }
 
   // In-flight dedup: become a follower of an executing leader, or claim
@@ -1140,54 +1173,43 @@ Result<MaxRSResult> MaxRSServer::Submit(double rect_width, double rect_height) {
   // the pending entry, so a missing entry here means a second cache lookup
   // is authoritative — without it, a duplicate arriving in the gap between
   // the leader's cache insert and promise fulfillment would re-execute.
-  std::shared_future<Result<MaxRSResult>> future;
+  // Mode overrides are NOT part of the key: they never change the answer,
+  // so a leader running under different modes still serves this caller.
+  std::future<Result<QueryResponse>> future;
   std::shared_ptr<Request> request;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
     auto it = pending_.find(key);
     if (it != pending_.end()) {
-      future = it->second.future;
-      // Queue-jump signal for the batch former: this leader now has one
-      // more caller waiting on it.
-      it->second.leader->followers.fetch_add(1, std::memory_order_relaxed);
+      // Attach a waiter promise while the entry exists — CompleteRequest
+      // moves the list out under this same lock, so the promise cannot be
+      // orphaned. Queue-jump signal for the batch former: this leader now
+      // has one more caller waiting on it.
+      it->second->waiters.emplace_back();
+      future = it->second->waiters.back().get_future();
+      it->second->followers.fetch_add(1, std::memory_order_relaxed);
+      *dedup = true;
     } else {
       if (std::optional<MaxRSResult> hit = CacheLookup(key)) {
         std::lock_guard<std::mutex> counters_lock(counters_mu_);
         ++counters_.submitted;
         ++counters_.cache_hits;
-        return *std::move(hit);
+        return ReadyFuture(MakeResponse(*std::move(hit), ServedFrom::kCache));
       }
       request = std::make_shared<Request>(
-          rect_width, rect_height,
-          std::chrono::milliseconds(std::max<int64_t>(0,
-                                                      options_.deadline_ms)));
-      future = request->promise.get_future().share();
-      pending_.emplace(key, PendingEntry{future, request});
+          spec.width, spec.height,
+          std::chrono::milliseconds(std::max<int64_t>(0, *deadline_ms)),
+          spec.routing.value_or(options_.routing_mode),
+          spec.pruning.value_or(options_.pruning_mode));
+      future = request->promise.get_future();
+      pending_.emplace(key, request);
     }
   }
-  if (request == nullptr) {  // follower: wait on the leader's result
-    {
-      std::lock_guard<std::mutex> lock(counters_mu_);
-      ++counters_.submitted;
-      ++counters_.dedup_hits;
-    }
-    // The follower's own deadline, measured from ITS Submit — never the
-    // leader's token, whose clock started earlier (and which must not be
-    // cancelled: other callers may still be waiting on it). A leader stuck
-    // in a long queue past this follower's budget fails THIS caller with
-    // kDeadlineExceeded while the leader runs on undisturbed.
-    if (options_.deadline_ms > 0 &&
-        future.wait_for(std::chrono::milliseconds(options_.deadline_ms)) ==
-            std::future_status::timeout) {
-      {
-        std::lock_guard<std::mutex> lock(counters_mu_);
-        ++counters_.deadlines;
-      }
-      return Status::DeadlineExceeded(
-          "deduplicated query exceeded its deadline waiting on the "
-          "in-flight leader");
-    }
-    return future.get();
+  if (request == nullptr) {  // follower: its future completes with the leader
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.submitted;
+    ++counters_.dedup_hits;
+    return future;
   }
 
   // Bounded admission: wait at most the admission budget for queue room.
@@ -1199,24 +1221,17 @@ Result<MaxRSResult> MaxRSServer::Submit(double rect_width, double rect_height) {
       request, std::chrono::milliseconds(
                    std::max<int64_t>(0, options_.admission_timeout_ms)));
   if (pushed != PushResult::kAccepted) {
-    const Status refused =
-        pushed == PushResult::kClosed
-            ? Status::NotSupported("MaxRSServer is shut down")
-            : Status::Unavailable(
-                  "MaxRSServer overloaded: queue full past the admission "
-                  "budget");
-    // Fail the promise first — followers may already be attached to this
-    // pending slot — then retire the slot.
-    request->promise.set_value(refused);
-    {
-      std::lock_guard<std::mutex> lock(pending_mu_);
-      pending_.erase(key);
-    }
+    FailRequest(request,
+                pushed == PushResult::kClosed
+                    ? Status::NotSupported("MaxRSServer is shut down")
+                    : Status::Unavailable(
+                          "MaxRSServer overloaded: queue full past the "
+                          "admission budget"));
     if (pushed == PushResult::kTimedOut) {
       std::lock_guard<std::mutex> lock(counters_mu_);
       ++counters_.shed;
     }
-    return refused;
+    return future;
   }
   {
     // submitted and the queue-depth accounting move under one lock
@@ -1228,7 +1243,47 @@ Result<MaxRSResult> MaxRSServer::Submit(double rect_width, double rect_height) {
     ++counters_.submitted;
     ++queued_enqueued_;
   }
+  return future;
+}
+
+std::future<Result<QueryResponse>> MaxRSServer::SubmitAsync(
+    const QuerySpec& spec) {
+  bool dedup = false;
+  int64_t deadline_ms = 0;
+  return SubmitInternal(spec, &dedup, &deadline_ms);
+}
+
+Result<QueryResponse> MaxRSServer::Submit(const QuerySpec& spec) {
+  bool dedup = false;
+  int64_t deadline_ms = 0;
+  std::future<Result<QueryResponse>> future =
+      SubmitInternal(spec, &dedup, &deadline_ms);
+  if (dedup && deadline_ms > 0) {
+    // The follower's own deadline, measured from ITS Submit — never the
+    // leader's token, whose clock started earlier (and which must not be
+    // cancelled: other callers may still be waiting on it). A leader stuck
+    // in a long queue past this follower's budget fails THIS caller with
+    // kDeadlineExceeded while the leader runs on undisturbed.
+    if (future.wait_for(std::chrono::milliseconds(deadline_ms)) ==
+        std::future_status::timeout) {
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.deadlines;
+      }
+      return Status::DeadlineExceeded(
+          "deduplicated query exceeded its deadline waiting on the "
+          "in-flight leader");
+    }
+  }
   return future.get();
+}
+
+Result<MaxRSResult> MaxRSServer::Submit(double rect_width, double rect_height) {
+  QuerySpec spec;
+  spec.width = rect_width;
+  spec.height = rect_height;
+  MAXRS_ASSIGN_OR_RETURN(QueryResponse response, Submit(spec));
+  return {std::move(response.result)};
 }
 
 void MaxRSServer::WorkerLoop() {
@@ -1241,6 +1296,13 @@ void MaxRSServer::WorkerLoop() {
 
 bool MaxRSServer::ShapeCompatible(const Request& anchor,
                                   const Request& candidate) {
+  // A batch executes under one (routing, pruning) mode pair — its shared
+  // scan is a streaming construct and its prune plan is computed once — so
+  // requests carrying different effective overrides never share a batch.
+  if (candidate.routing != anchor.routing ||
+      candidate.pruning != anchor.pruning) {
+    return false;
+  }
   // Rects within this aspect band share a scan profitably: a batch-mate
   // whose width dwarfs the anchor's would route most of its pieces across
   // many shards while the anchor's stay local, and the shared channels
@@ -1366,13 +1428,42 @@ void MaxRSServer::CompleteRequest(const std::shared_ptr<Request>& request,
       ++counters_.cache_rejects;
     }
   }
-  // Publish-then-erase: see Submit — a duplicate that misses the pending
-  // table after this erase must find the result in the cache.
+  // Publish-then-erase: see SubmitInternal — a duplicate that misses the
+  // pending table after this erase must find the result in the cache. The
+  // waiter list moves out under the same lock, so no follower can attach
+  // after it is drained.
+  std::vector<std::promise<Result<QueryResponse>>> waiters;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
+    waiters = std::move(request->waiters);
     pending_.erase(key);
   }
-  request->promise.set_value(std::move(result));
+  for (std::promise<Result<QueryResponse>>& waiter : waiters) {
+    waiter.set_value(result.ok()
+                         ? Result<QueryResponse>(MakeResponse(
+                               result.value(), ServedFrom::kDedup))
+                         : Result<QueryResponse>(result.status()));
+  }
+  request->promise.set_value(
+      result.ok() ? Result<QueryResponse>(MakeResponse(std::move(result).value(),
+                                                       ServedFrom::kExecuted))
+                  : Result<QueryResponse>(result.status()));
+}
+
+void MaxRSServer::FailRequest(const std::shared_ptr<Request>& request,
+                              const Status& refused) {
+  // Collect-then-fail under one pending_mu_ hold: a follower attaching
+  // between a promise failure and the erase would wait forever.
+  std::vector<std::promise<Result<QueryResponse>>> waiters;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    waiters = std::move(request->waiters);
+    pending_.erase(MakeKey(request->width, request->height));
+  }
+  for (std::promise<Result<QueryResponse>>& waiter : waiters) {
+    waiter.set_value(Result<QueryResponse>(refused));
+  }
+  request->promise.set_value(Result<QueryResponse>(refused));
 }
 
 void MaxRSServer::ExecuteBatch(std::vector<std::shared_ptr<Request>> batch) {
@@ -1394,20 +1485,24 @@ void MaxRSServer::ExecuteBatch(std::vector<std::shared_ptr<Request>> batch) {
   // materialized and global-merge modes execute a formed batch as a plain
   // sequence (their per-query file pipelines have no shareable pass), and
   // a single-query batch IS the legacy path — bit-identical baselines.
+  // ShapeCompatible keeps batches mode-homogeneous, so live[0]'s effective
+  // modes speak for every batch member.
   const bool shared_scan =
       live.size() > 1 && options_.solve_mode == ServeSolveMode::kPerShard &&
-      options_.routing_mode == ServeRoutingMode::kStreaming &&
+      live[0]->routing == ServeRoutingMode::kStreaming &&
       !dataset_.shards().empty();
   if (!shared_scan) {
     for (const std::shared_ptr<Request>& request : live) {
-      CompleteRequest(request, ExecuteQuery(request->width, request->height,
-                                            &request->cancel));
+      CompleteRequest(request,
+                      ExecuteQuery(request->width, request->height,
+                                   &request->cancel, request->routing,
+                                   request->pruning));
     }
     return;
   }
 
-  const bool pruned = PruningActive();
-  if (!pruned && options_.pruning_mode == ServePruningMode::kAuto &&
+  const bool pruned = PruningActiveFor(live[0]->pruning);
+  if (!pruned && live[0]->pruning == ServePruningMode::kAuto &&
       dataset_.shards().size() > 1) {
     // Same degradation accounting as ExecuteQuery, once per batched query.
     std::lock_guard<std::mutex> lock(counters_mu_);
@@ -1879,24 +1974,30 @@ void MaxRSServer::ExecuteBatchStreamingPruned(
   if (any_failed) temps.ReleaseAll();
 }
 
-bool MaxRSServer::PruningActive() const {
-  if (options_.pruning_mode == ServePruningMode::kOff) return false;
+bool MaxRSServer::PruningActiveFor(ServePruningMode mode) const {
+  if (mode == ServePruningMode::kOff) return false;
   if (options_.solve_mode != ServeSolveMode::kPerShard) return false;
   if (dataset_.shards().size() < 2) return false;
   const ShardAggIndex* index = dataset_.agg_index();
   return index != nullptr && index->pruning_safe();
 }
 
+bool MaxRSServer::PruningActive() const {
+  return PruningActiveFor(options_.pruning_mode);
+}
+
 Result<MaxRSResult> MaxRSServer::ExecuteQuery(double width, double height,
-                                              const CancelToken* cancel) {
+                                              const CancelToken* cancel,
+                                              ServeRoutingMode routing,
+                                              ServePruningMode pruning) {
   // A request whose deadline elapsed while it sat in the queue fails here
   // without touching the Env at all.
   MAXRS_RETURN_IF_ERROR(CheckCancel(cancel));
   if (options_.solve_mode == ServeSolveMode::kGlobalMerge) {
     return ExecuteGlobalMerge(width, height, cancel);
   }
-  const bool pruned = PruningActive();
-  if (!pruned && options_.pruning_mode == ServePruningMode::kAuto &&
+  const bool pruned = PruningActiveFor(pruning);
+  if (!pruned && pruning == ServePruningMode::kAuto &&
       dataset_.shards().size() > 1) {
     // Pruning was wanted but the dataset cannot support it (no usable
     // aggregate index, or weights unsafe to bound): count the degradation.
@@ -1904,7 +2005,7 @@ Result<MaxRSResult> MaxRSServer::ExecuteQuery(double width, double height,
     std::lock_guard<std::mutex> lock(counters_mu_);
     ++counters_.unpruned;
   }
-  if (options_.routing_mode == ServeRoutingMode::kMaterialized) {
+  if (routing == ServeRoutingMode::kMaterialized) {
     return pruned ? ExecutePerShardMaterializedPruned(width, height, cancel)
                   : ExecutePerShardMaterialized(width, height, cancel);
   }

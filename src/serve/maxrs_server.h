@@ -2,12 +2,15 @@
 // owns one ingested DatasetHandle and answers MaxRS queries of varying
 // rectangle sizes concurrently.
 //
-// Request path: Submit(w, h) consults a small LRU result cache keyed by the
-// canonicalized (w, h) bit patterns (a warm hit performs zero I/O), then an
-// in-flight table (a duplicate of a query already executing attaches to the
-// leader's pending slot instead of executing again), otherwise enqueues the
-// request on a bounded MPMC queue (util/mpmc_queue.h) and blocks on its
-// future. `num_workers` long-running worker tasks — a TaskGroup on the PR-2
+// Request path: Submit(QuerySpec) — and its async twin SubmitAsync —
+// consults a small LRU result cache keyed by the canonicalized (w, h) bit
+// patterns (a warm hit performs zero I/O), then an in-flight table (a
+// duplicate of a query already executing attaches to the leader's pending
+// slot instead of executing again), otherwise enqueues the request on a
+// bounded MPMC queue (util/mpmc_queue.h) and blocks on (or returns) its
+// future. A QuerySpec may override the deadline, routing mode, and pruning
+// mode per query; overrides never change the answer, only how it is
+// computed. `num_workers` long-running worker tasks — a TaskGroup on the PR-2
 // ThreadPool — pop requests and execute them. Two solve modes exist:
 //
 // kPerShard (default) — the x-slab shards ARE the top-level division:
@@ -296,6 +299,60 @@ struct ServerCounters {
                                 ///< Answers are unaffected.
 };
 
+/// One MaxRS query as submitted by a caller: the rectangle dimensions plus
+/// optional per-query overrides of the server-wide execution knobs. An
+/// unset override inherits the corresponding MaxRSServerOptions value, so
+/// `QuerySpec{w, h}` behaves exactly like the legacy positional Submit.
+/// Validated in one place (Submit/SubmitAsync): dimensions must be positive
+/// and finite, a set deadline must be non-negative. Overrides never change
+/// the answer — streaming and materialized routing, pruned and un-pruned
+/// execution are bit-identical by contract — which is what keeps the
+/// result cache and in-flight dedup keyed on (width, height) alone sound
+/// even when two callers ask for the same rect under different modes.
+struct QuerySpec {
+  /// Query rectangle width; must be positive and finite.
+  double width = 0.0;
+  /// Query rectangle height; must be positive and finite.
+  double height = 0.0;
+  /// Per-query deadline override in milliseconds, measured from Submit
+  /// (queue wait included). Unset inherits MaxRSServerOptions::deadline_ms;
+  /// 0 disables the deadline for this query.
+  std::optional<int64_t> deadline_ms;
+  /// Per-query pruning override; unset inherits
+  /// MaxRSServerOptions::pruning_mode.
+  std::optional<ServePruningMode> pruning;
+  /// Per-query routing override (kPerShard mode only); unset inherits
+  /// MaxRSServerOptions::routing_mode.
+  std::optional<ServeRoutingMode> routing;
+};
+
+/// Where a QueryResponse's answer came from.
+enum class ServedFrom {
+  /// Served from the LRU result cache — zero I/O, no execution.
+  kCache,
+  /// Attached to an in-flight duplicate's leader and served its result.
+  kDedup,
+  /// Ran the full per-query pipeline.
+  kExecuted,
+};
+
+/// One answered query: the MaxRS result plus the serving metadata the
+/// legacy Result<MaxRSResult> surface could not express.
+struct QueryResponse {
+  /// The answer, bit-identical at any shard/worker/batch/cache/mode
+  /// configuration (result.stats describes the execution that produced it).
+  MaxRSResult result;
+  /// Block I/O performed on behalf of THIS submission: the execution's
+  /// per-query (batch-amortized) share for kExecuted, all zeros for kCache
+  /// and kDedup — a cache hit or follower attach transfers no blocks.
+  IoStatsSnapshot io;
+  /// Shared-scan batch size of the execution that produced the answer
+  /// (1 = unbatched); carried from result.stats for cache/dedup serves.
+  uint64_t batch_size = 1;
+  /// How this submission was served; see ServedFrom.
+  ServedFrom served_from = ServedFrom::kExecuted;
+};
+
 /// A long-lived MaxRS query server over one immutable ingested dataset.
 /// Thread-safe: Submit may be called from any number of threads. The
 /// DatasetHandle (and the Env) must outlive the server.
@@ -312,14 +369,33 @@ class MaxRSServer {
   MaxRSServer(const MaxRSServer&) = delete;
   MaxRSServer& operator=(const MaxRSServer&) = delete;
 
-  /// Answers one MaxRS query for a `rect_width` x `rect_height` rectangle.
-  /// Blocks until the result is available; safe to call concurrently from
-  /// many threads. Returns InvalidArgument for non-positive/non-finite
-  /// dimensions; kUnavailable (retryable) when the queue stays full past
-  /// the admission budget; kDeadlineExceeded when `deadline_ms` elapses
-  /// before the query finishes. After Shutdown, already-cached rects
-  /// remain servable (zero I/O); queries that would need execution return
-  /// NotSupported.
+  /// Answers one MaxRS query, blocking until the response is available —
+  /// the canonical entry point; safe to call concurrently from any number
+  /// of threads. Returns InvalidArgument for an invalid spec (non-positive
+  /// or non-finite dimensions, negative deadline override); kUnavailable
+  /// (retryable) when the queue stays full past the admission budget;
+  /// kDeadlineExceeded when the effective deadline elapses before the
+  /// query finishes. After Shutdown, already-cached rects remain servable
+  /// (zero I/O); queries that would need execution return NotSupported.
+  Result<QueryResponse> Submit(const QuerySpec& spec);
+
+  /// Submit without blocking: returns the future the server holds
+  /// internally, so callers (the net layer, batch-hungry clients) can
+  /// pipeline many in-flight queries without one thread each. Completion
+  /// contract: EVERY returned future completes — with the response, with
+  /// the spec/admission error (an invalid spec or a shed query yields an
+  /// already-completed future), or with NotSupported once Shutdown stops
+  /// accepting work; Shutdown() drains all accepted requests before
+  /// returning, so no future outlives the server. One caveat vs the
+  /// blocking Submit: a query deduplicated onto an in-flight leader
+  /// completes when the LEADER completes — the blocking call enforces the
+  /// follower's own deadline with a timed wait, an async caller who needs
+  /// that must bound future.wait_for itself.
+  std::future<Result<QueryResponse>> SubmitAsync(const QuerySpec& spec);
+
+  /// Legacy positional surface: answers one `rect_width` x `rect_height`
+  /// query with all per-query overrides unset. A thin delegating wrapper
+  /// over Submit(QuerySpec) that unwraps QueryResponse::result.
   Result<MaxRSResult> Submit(double rect_width, double rect_height);
 
   /// Stops accepting new queries, waits for in-flight ones, and joins the
@@ -356,18 +432,31 @@ class MaxRSServer {
   }
 
  private:
-  /// One queued query: its dimensions, its cancellation token, and the
-  /// promise Submit waits on. The shared future is what the leader and any
-  /// deduplicated followers wait on; the worker fulfills the promise
-  /// exactly once. The token's deadline starts at Submit, so time spent
-  /// queued counts against it.
+  /// One queued query: its dimensions, its EFFECTIVE execution modes
+  /// (per-query overrides already resolved against the server options at
+  /// submit time), its cancellation token, and the promise the leader's
+  /// Submit waits on. The worker fulfills the promise exactly once. The
+  /// token's deadline starts at Submit, so time spent queued counts
+  /// against it.
   struct Request {
-    Request(double w, double h, std::chrono::milliseconds deadline)
-        : width(w), height(h), cancel(CancelToken::WithTimeout(deadline)) {}
+    Request(double w, double h, std::chrono::milliseconds deadline,
+            ServeRoutingMode r, ServePruningMode p)
+        : width(w),
+          height(h),
+          routing(r),
+          pruning(p),
+          cancel(CancelToken::WithTimeout(deadline)) {}
     double width;
     double height;
+    ServeRoutingMode routing;
+    ServePruningMode pruning;
     CancelToken cancel;
-    std::promise<Result<MaxRSResult>> promise;
+    std::promise<Result<QueryResponse>> promise;
+    // Promises of deduplicated followers attached to this leader. Guarded
+    // by pending_mu_: a follower attaches only while the pending entry
+    // exists, and CompleteRequest moves the list out under the same lock
+    // when it erases the entry — so no attach can race a fulfillment.
+    std::vector<std::promise<Result<QueryResponse>>> waiters;
     // Deduplicated submissions attached to this leader so far: the batch
     // former's queue-jump priority (a leader many callers wait on is
     // served before a leader nobody joined). Atomic: bumped by follower
@@ -396,6 +485,19 @@ class MaxRSServer {
 
   static CacheKey MakeKey(double width, double height);
 
+  /// The one validation point for every submission path.
+  static Status ValidateSpec(const QuerySpec& spec);
+  /// Builds the response for a result served a given way: io is the
+  /// execution's per-query share for kExecuted and zeroed otherwise,
+  /// batch_size is carried from the result's stats.
+  static QueryResponse MakeResponse(MaxRSResult result, ServedFrom served);
+  /// The shared submission path behind Submit/SubmitAsync: validation,
+  /// cache lookup, dedup attach-or-lead, bounded admission. Reports
+  /// whether the caller became a dedup follower and the query's effective
+  /// deadline so the blocking Submit can enforce the follower-side wait.
+  std::future<Result<QueryResponse>> SubmitInternal(const QuerySpec& spec,
+                                                    bool* dedup,
+                                                    int64_t* deadline_ms);
   MaxRSOptions MakeQueryOptions(double width, double height,
                                 const CancelToken* cancel = nullptr) const;
   void WorkerLoop();
@@ -407,9 +509,11 @@ class MaxRSServer {
   /// only rects shape-compatible with the highest-priority one; the rest
   /// are staged for the next batch. Empty result = shut down and drained.
   std::vector<std::shared_ptr<Request>> FormBatch();
-  /// Whether `candidate` may share a batch with `anchor`: width and height
-  /// each within kBatchShapeRatio of the anchor's, so pruning bounds and
-  /// routing fan-out stay comparable across the batch.
+  /// Whether `candidate` may share a batch with `anchor`: identical
+  /// effective routing and pruning modes (a batch executes under ONE mode
+  /// pair), and width and height each within kBatchShapeRatio of the
+  /// anchor's, so pruning bounds and routing fan-out stay comparable
+  /// across the batch.
   static bool ShapeCompatible(const Request& anchor, const Request& candidate);
   /// Runs one formed batch end to end and fulfills every promise:
   /// shared-scan execution for the streaming per-shard mode, a serial
@@ -427,11 +531,20 @@ class MaxRSServer {
       std::vector<Result<MaxRSResult>>* results);
   /// Post-execution bookkeeping shared by the serial and batched paths:
   /// counters, cache admission (on the canonical key), publish-then-erase
-  /// of the pending slot, and promise fulfillment.
+  /// of the pending slot, and fulfillment of the leader promise (served_from
+  /// kExecuted) and every attached follower promise (kDedup).
   void CompleteRequest(const std::shared_ptr<Request>& request,
                        Result<MaxRSResult> result);
+  /// Fails the leader promise and every attached follower promise with
+  /// `refused` and retires the pending slot — the shed/shutdown path.
+  void FailRequest(const std::shared_ptr<Request>& request,
+                   const Status& refused);
+  /// Executes one query under the EFFECTIVE (already-resolved) routing and
+  /// pruning modes carried by its request.
   Result<MaxRSResult> ExecuteQuery(double width, double height,
-                                   const CancelToken* cancel);
+                                   const CancelToken* cancel,
+                                   ServeRoutingMode routing,
+                                   ServePruningMode pruning);
   Result<MaxRSResult> ExecuteGlobalMerge(double width, double height,
                                          const CancelToken* cancel);
   Result<MaxRSResult> ExecutePerShardStreaming(double width, double height,
@@ -442,9 +555,12 @@ class MaxRSServer {
       double width, double height, const CancelToken* cancel);
   Result<MaxRSResult> ExecutePerShardMaterializedPruned(
       double width, double height, const CancelToken* cancel);
-  /// Whether this server's queries run the index-pruned phased execution:
-  /// pruning_mode is kAuto, the solve mode is kPerShard with more than one
-  /// shard, and the dataset's aggregate index exists and is pruning-safe.
+  /// Whether a query with effective pruning mode `mode` runs the
+  /// index-pruned phased execution: the mode is kAuto, the solve mode is
+  /// kPerShard with more than one shard, and the dataset's aggregate index
+  /// exists and is pruning-safe.
+  bool PruningActiveFor(ServePruningMode mode) const;
+  /// PruningActiveFor under the server-wide default pruning mode.
   bool PruningActive() const;
   std::optional<MaxRSResult> CacheLookup(const CacheKey& key);
   void CacheInsert(const CacheKey& key, const MaxRSResult& result);
@@ -487,18 +603,18 @@ class MaxRSServer {
       cache_index_;
 
   // In-flight dedup: one entry per distinct rect currently queued or
-  // executing. Followers copy the leader's shared_future and wait on it
+  // executing — the leader request. Followers attach a fresh promise to
+  // the leader's waiter list under pending_mu_ and wait on its future
   // (bounded by their own deadline — a follower never inherits the
   // leader's token); the worker erases the entry (after publishing to the
-  // cache) before fulfilling the promise, so late duplicates hit the
-  // cache instead. The leader pointer lets followers bump the request's
-  // follower count for the batch former's queue-jump priority.
-  struct PendingEntry {
-    std::shared_future<Result<MaxRSResult>> future;
-    std::shared_ptr<Request> leader;
-  };
+  // cache) and moves the waiter list out under the same lock before
+  // fulfilling any promise, so late duplicates hit the cache instead and
+  // no attach can race a fulfillment. Two specs with the same rect but
+  // different mode overrides share one leader: overrides never change the
+  // answer, so dedup on (width, height) stays sound.
   mutable std::mutex pending_mu_;
-  std::unordered_map<CacheKey, PendingEntry, CacheKeyHash> pending_;
+  std::unordered_map<CacheKey, std::shared_ptr<Request>, CacheKeyHash>
+      pending_;
 
   // Requests drained from the queue during batch formation but deferred
   // (shape-incompatible with their batch's anchor, or past batch_max):

@@ -771,5 +771,247 @@ TEST(ServeTest, QueueDepthStaysConsistentWithCounters) {
   }
 }
 
+// --- The structured query API: Submit(QuerySpec) / SubmitAsync ---
+
+TEST(ServeTest, QuerySpecSubmitReportsServedFromAndPerQueryIo) {
+  std::vector<SpatialObject> objects;
+  auto env = MakeEnvWithDataset(&objects);
+  auto handle = DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(2));
+  ASSERT_TRUE(handle.ok());
+  MaxRSServer server(*env, *handle, ServerOptions(2));
+
+  QuerySpec spec;
+  spec.width = 150;
+  spec.height = 300;
+  auto cold = server.Submit(spec);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->served_from, ServedFrom::kExecuted);
+  EXPECT_GT(cold->io.total(), 0u);  // an execution really moved blocks
+  EXPECT_GE(cold->batch_size, 1u);
+
+  auto warm = server.Submit(spec);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->served_from, ServedFrom::kCache);
+  EXPECT_EQ(warm->io.total(), 0u);  // a cache hit owes the Env nothing
+  ExpectBitIdentical(cold->result, warm->result);
+
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.submitted, 2u);
+  EXPECT_EQ(counters.executed, 1u);
+  EXPECT_EQ(counters.cache_hits, 1u);
+}
+
+TEST(ServeTest, LegacySubmitDelegatesToTheStructuredPath) {
+  std::vector<SpatialObject> objects;
+  auto env = MakeEnvWithDataset(&objects);
+  auto handle = DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(2));
+  ASSERT_TRUE(handle.ok());
+  MaxRSServer server(*env, *handle, ServerOptions(2));
+
+  QuerySpec spec;
+  spec.width = 120;
+  spec.height = 260;
+  auto structured = server.Submit(spec);
+  ASSERT_TRUE(structured.ok());
+  auto legacy = server.Submit(120.0, 260.0);
+  ASSERT_TRUE(legacy.ok());
+  ExpectBitIdentical(structured->result, legacy.value());
+  // The wrapper went through the same counters: one executed, one cached.
+  EXPECT_EQ(server.counters().submitted, 2u);
+  EXPECT_EQ(server.counters().cache_hits, 1u);
+}
+
+TEST(ServeTest, SubmitAsyncCompletesAndMatchesBlockingSubmit) {
+  std::vector<SpatialObject> objects;
+  auto env = MakeEnvWithDataset(&objects);
+  auto handle = DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(2));
+  ASSERT_TRUE(handle.ok());
+  MaxRSServer server(*env, *handle, ServerOptions(2));
+
+  const double rects[][2] = {{100, 100}, {60, 340}, {250, 40}, {100, 100}};
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (const auto& rect : rects) {
+    QuerySpec spec;
+    spec.width = rect[0];
+    spec.height = rect[1];
+    futures.push_back(server.SubmitAsync(spec));
+  }
+  std::vector<MaxRSResult> async_results;
+  for (auto& future : futures) {
+    Result<QueryResponse> response = future.get();  // every future completes
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    async_results.push_back(response->result);
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    QuerySpec spec;
+    spec.width = rects[i][0];
+    spec.height = rects[i][1];
+    auto blocking = server.Submit(spec);
+    ASSERT_TRUE(blocking.ok());
+    ExpectBitIdentical(async_results[i], blocking->result);
+  }
+  // The duplicate rect was deduplicated or cached, never run twice.
+  EXPECT_EQ(server.counters().executed, 3u);
+
+  // A spec rejection surfaces on an already-ready future, not a throw.
+  QuerySpec bad;
+  bad.width = -1;
+  bad.height = 10;
+  auto rejected = server.SubmitAsync(bad);
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(rejected.get().status().code(), Status::Code::kInvalidArgument);
+
+  // After Shutdown every future still completes — with kNotSupported.
+  server.Shutdown();
+  QuerySpec late;
+  late.width = 77;
+  late.height = 77;
+  auto refused = server.SubmitAsync(late);
+  ASSERT_EQ(refused.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(refused.get().status().code(), Status::Code::kNotSupported);
+}
+
+TEST(ServeTest, QuerySpecValidationIsTheSingleGate) {
+  std::vector<SpatialObject> objects;
+  auto env = MakeEnvWithDataset(&objects);
+  auto handle = DatasetHandle::Ingest(*env, kDatasetFile, IngestOptions(2));
+  ASSERT_TRUE(handle.ok());
+  MaxRSServer server(*env, *handle, ServerOptions(1));
+
+  const IoStatsSnapshot before = env->stats().Snapshot();
+  QuerySpec bad_dims;
+  bad_dims.width = 0.0;
+  bad_dims.height = 10.0;
+  EXPECT_EQ(server.Submit(bad_dims).status().code(),
+            Status::Code::kInvalidArgument);
+  QuerySpec bad_deadline;
+  bad_deadline.width = 10;
+  bad_deadline.height = 10;
+  bad_deadline.deadline_ms = -1;
+  EXPECT_EQ(server.Submit(bad_deadline).status().code(),
+            Status::Code::kInvalidArgument);
+  // Rejections never reached the execution path.
+  EXPECT_EQ((env->stats().Snapshot() - before).total(), 0u);
+  EXPECT_EQ(server.counters().submitted, 0u);
+}
+
+TEST(ServeTest, PerQueryModeOverridesAreBitIdenticalToDefaults) {
+  // The soundness property behind the (w,h)-only cache key: pruning and
+  // routing overrides change the execution strategy, never the answer.
+  // Weight-skewed data (the pruning_equivalence_test recipe: every third
+  // point in a heavy strip) at 16 shards guarantees the kAuto baseline
+  // genuinely prunes, so the pruning=off override has something to turn
+  // off.
+  auto env = NewMemEnv(4096);
+  std::vector<SpatialObject> objects =
+      testing::RandomIntObjects(2816, /*extent=*/6000, /*seed=*/19);
+  for (size_t i = 0; i < objects.size(); i += 3) {
+    objects[i].x = 4000.0 + std::floor(objects[i].x / 3.0);
+    objects[i].y = std::floor(objects[i].y / 20.0);
+    objects[i].w = 50.0;
+  }
+  ASSERT_TRUE(WriteDataset(*env, kDatasetFile, objects).ok());
+  DatasetHandleOptions ingest;
+  ingest.shard_count = 16;
+  ingest.memory_bytes = 512 * 1024;
+  auto handle = DatasetHandle::Ingest(*env, kDatasetFile, ingest);
+  ASSERT_TRUE(handle.ok());
+  MaxRSServerOptions options = ServerOptions(2);
+  options.cache_entries = 0;  // force a genuine execution per submit
+  MaxRSServer server(*env, *handle, options);
+
+  QuerySpec defaults;
+  defaults.width = 200;
+  defaults.height = 200;
+  auto baseline = server.Submit(defaults);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(baseline->served_from, ServedFrom::kExecuted);
+
+  QuerySpec materialized = defaults;
+  materialized.routing = ServeRoutingMode::kMaterialized;
+  auto via_materialized = server.Submit(materialized);
+  ASSERT_TRUE(via_materialized.ok());
+  ExpectBitIdentical(baseline->result, via_materialized->result);
+
+  const uint64_t unpruned_before = server.counters().unpruned;
+  QuerySpec unpruned = defaults;
+  unpruned.pruning = ServePruningMode::kOff;
+  auto via_unpruned = server.Submit(unpruned);
+  ASSERT_TRUE(via_unpruned.ok());
+  ExpectBitIdentical(baseline->result, via_unpruned->result);
+  // The override reached the execution layer: the off-run's own I/O
+  // attribution shows zero shard-skipping while the kAuto baseline pruned.
+  EXPECT_EQ(via_unpruned->io.shards_pruned + via_unpruned->io.bound_skips, 0u);
+  EXPECT_GT(baseline->io.shards_pruned + baseline->io.bound_skips, 0u);
+  // A deliberate pruning=off is a choice, not a degradation: the kAuto
+  // fallback counter must not move.
+  EXPECT_EQ(server.counters().unpruned, unpruned_before);
+
+  QuerySpec both = defaults;
+  both.routing = ServeRoutingMode::kMaterialized;
+  both.pruning = ServePruningMode::kOff;
+  auto via_both = server.Submit(both);
+  ASSERT_TRUE(via_both.ok());
+  ExpectBitIdentical(baseline->result, via_both->result);
+}
+
+TEST(ServeTest, DeadlineOverrideBoundsAFollowerWithUnboundedDefaults) {
+  // options.deadline_ms = 0 (no server-wide deadline); the per-query
+  // override alone must bound the dedup follower's wait.
+  std::vector<SpatialObject> objects;
+  auto base = MakeEnvWithDataset(&objects, /*n=*/400);
+  auto handle = DatasetHandle::Ingest(*base, kDatasetFile, IngestOptions(2));
+  ASSERT_TRUE(handle.ok());
+
+  GatedEnv env(*base);
+  MaxRSServerOptions options = ServerOptions(1);
+  options.cache_entries = 0;
+  MaxRSServer server(env, *handle, options);
+
+  env.gate().Close();
+  std::atomic<bool> gate_released{false};
+  std::thread watchdog([&] {
+    for (int i = 0; i < 100 && !gate_released.load(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    gate_released.store(true);
+    env.gate().Open();
+  });
+
+  // Pin the only worker, then park a leader for the deduplicated rect in
+  // the queue behind it.
+  std::thread blocker([&] { server.Submit(60, 60); });
+  while (env.gate().arrived() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Result<MaxRSResult> leader_result = Status::Internal("leader not run");
+  std::thread leader([&] { leader_result = server.Submit(150, 90); });
+  while (server.queue_depth() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  QuerySpec spec;
+  spec.width = 150;
+  spec.height = 90;
+  spec.deadline_ms = 150;
+  auto follower = server.Submit(spec);
+  EXPECT_FALSE(gate_released.load());  // returned before the watchdog fired
+  EXPECT_EQ(follower.status().code(), Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(server.counters().dedup_hits, 1u);
+  EXPECT_GE(server.counters().deadlines, 1u);
+
+  gate_released.store(true);
+  env.gate().Open();
+  watchdog.join();
+  blocker.join();
+  leader.join();
+
+  // The follower's expiry cancelled nothing: with no deadline of its own
+  // the leader ran to completion once the gate opened.
+  ASSERT_TRUE(leader_result.ok()) << leader_result.status().ToString();
+}
+
 }  // namespace
 }  // namespace maxrs
